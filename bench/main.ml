@@ -1,0 +1,149 @@
+(* The benchmark harness.
+
+   Two parts:
+
+   1. Reproduction: regenerate every table and figure of the paper's
+      evaluation (Table 1, Figures 3-8, the break-even analysis) plus the
+      ablations, printing the same rows/series the paper reports.  The
+      trial count defaults to the paper's N = 100; set DQEP_BENCH_TRIALS
+      to change it.
+
+   2. Micro-benchmarks: one Bechamel Test.make per table/figure,
+      measuring the computational kernel behind it (optimization,
+      start-up decision procedures, plan encoding, ...). *)
+
+module D = Dqep
+module E = D.Experiments
+open Bechamel
+open Toolkit
+
+let trials =
+  match Sys.getenv_opt "DQEP_BENCH_TRIALS" with
+  | Some v -> (try int_of_string v with _ -> 100)
+  | None -> 100
+
+(* --- part 1: the paper's tables and figures ----------------------------- *)
+
+let measurements () =
+  let queries = D.Queries.paper_queries () in
+  List.concat_map
+    (fun u -> List.map (fun q -> E.Common.measure ~trials q u) queries)
+    [ E.Common.Sel_only; E.Common.Sel_and_memory ]
+
+let reproduce () =
+  Format.printf
+    "=== dqep: reproduction of 'Dynamic Query Evaluation Plans' ===@.";
+  Format.printf "(N = %d random bindings per query; all tables described in \
+                 EXPERIMENTS.md)@.@."
+    trials;
+  E.Report.render Format.std_formatter (E.Table1.report ());
+  let ms = measurements () in
+  List.iter (E.Report.render Format.std_formatter) (E.Figures.all ms);
+  List.iter (E.Report.render Format.std_formatter) (E.Ablations.all ms);
+  E.Report.render Format.std_formatter (E.Validation.report ())
+
+(* --- part 2: bechamel micro-benchmarks ---------------------------------- *)
+
+let optimize_exn ~mode (q : D.Queries.t) =
+  Result.get_ok (D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query)
+
+let bench_tests () =
+  let q3 = D.Queries.chain ~relations:4 in
+  let q4 = D.Queries.chain ~relations:6 in
+  let q5 = D.Queries.chain ~relations:10 in
+  let dyn3 = (optimize_exn ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ()) q3).D.Optimizer.plan in
+  let dyn5 = (optimize_exn ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ()) q5).D.Optimizer.plan in
+  let binding (q : D.Queries.t) =
+    List.hd
+      (D.Paramgen.bindings ~seed:3 ~trials:1 ~host_vars:q.D.Queries.host_vars
+         ~uncertain_memory:true ())
+  in
+  let env3 = D.Env.of_bindings q3.D.Queries.catalog (binding q3) in
+  let env5 = D.Env.of_bindings q5.D.Queries.catalog (binding q5) in
+  let b4 = binding q4 in
+  [ (* Table 1: the cost of instantiating the full physical algebra once —
+       a static optimization of a mid-size query exercises every
+       implementation rule. *)
+    Test.make ~name:"table1_implementation_rules"
+      (Staged.stage (fun () -> ignore (optimize_exn ~mode:D.Optimizer.static q3)));
+    (* Figure 3: the per-invocation scenario quantities — one start-up
+       evaluation of a dynamic plan. *)
+    Test.make ~name:"fig3_scenario_startup_eval"
+      (Staged.stage (fun () -> ignore (D.Startup.evaluate env3 dyn3)));
+    (* Figure 4: execution-cost evaluation of a resolved plan under true
+       bindings. *)
+    Test.make ~name:"fig4_anticipated_cost"
+      (Staged.stage (fun () ->
+           ignore (D.Startup.resolve env3 dyn3).D.Startup.anticipated_cost));
+    (* Figure 5: optimization time, static vs dynamic cost model. *)
+    Test.make ~name:"fig5_optimize_static_6way"
+      (Staged.stage (fun () -> ignore (optimize_exn ~mode:D.Optimizer.static q4)));
+    Test.make ~name:"fig5_optimize_dynamic_6way"
+      (Staged.stage (fun () ->
+           ignore
+             (optimize_exn ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ()) q4)));
+    (* Figure 6: plan size handling — encoding an access module. *)
+    Test.make ~name:"fig6_access_module_encode"
+      (Staged.stage (fun () -> ignore (D.Access_module.encode dyn5)));
+    (* Figure 7: the choose-plan decision procedure on the largest plan. *)
+    Test.make ~name:"fig7_startup_resolve_10way"
+      (Staged.stage (fun () -> ignore (D.Startup.resolve env5 dyn5)));
+    (* Figure 8: a full run-time optimization, the thing dynamic plans
+       replace at start-up. *)
+    Test.make ~name:"fig8_runtime_optimize_6way"
+      (Staged.stage (fun () ->
+           ignore (optimize_exn ~mode:(D.Optimizer.Run_time b4) q4)));
+    (* Break-even: one complete dynamic-plan invocation (activation
+       decision + execution-cost evaluation). *)
+    Test.make ~name:"breakeven_dynamic_invocation"
+      (Staged.stage (fun () ->
+           let r = D.Startup.resolve env3 dyn3 in
+           ignore (D.Startup.evaluate env3 r.D.Startup.plan)));
+    (* Ablation: shrinking a trained dynamic plan. *)
+    Test.make ~name:"ablation_shrink"
+      (Staged.stage (fun () ->
+           let adapt = D.Adapt.create dyn3 in
+           D.Adapt.record adapt (D.Startup.resolve env3 dyn3);
+           ignore (D.Adapt.shrink (D.Env.dynamic q3.D.Queries.catalog) adapt))) ]
+
+let run_benchmarks () =
+  Format.printf "=== micro-benchmarks (Bechamel, monotonic clock) ===@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"dqep" ~fmt:"%s/%s" (bench_tests ()))
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Printf.sprintf "%12.1f ns/run" e
+            | _ -> "(no estimate)"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "r2=%.3f" r
+            | None -> ""
+          in
+          Format.printf "%-40s %s  %s@." name estimate r2)
+        rows)
+    merged;
+  Format.printf "@."
+
+let () =
+  reproduce ();
+  run_benchmarks ()

@@ -1,0 +1,280 @@
+(* dqep: command-line driver.
+
+   Subcommands:
+   - report:   regenerate the paper's tables/figures and the ablations
+   - optimize: optimize one chain query and print the plan
+   - run:      execute a query on synthetic data and report results/I/O
+   - catalog:  print the experimental catalog *)
+
+open Cmdliner
+module D = Dqep
+
+let setup_verbosity verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level D.Search.log_src (Some Logs.Debug)
+  end
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace optimizer goals.")
+
+(* --- report -------------------------------------------------------------- *)
+
+let all_experiment_ids =
+  [ "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "breakeven";
+    "shrink"; "domination"; "pruning"; "sharing"; "exhaustive"; "midquery"; "bounds"; "execution" ]
+
+let report_cmd =
+  let ids =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiments to run: all, or any of table1, fig3-fig8, \
+                 breakeven, shrink, domination, pruning, sharing, \
+                 exhaustive, midquery, bounds, execution.")
+  in
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Random bindings per query (paper: 100).")
+  in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Override the RNG seed.") in
+  let csv_dir =
+    Arg.(value & opt (some string) None & info [ "csv-dir" ] ~doc:"Also write each report as CSV into this directory.")
+  in
+  let run ids trials seed csv_dir =
+    let ids = if List.mem "all" ids then all_experiment_ids else ids in
+    List.iter
+      (fun id ->
+        if not (List.mem id all_experiment_ids) then begin
+          Printf.eprintf "unknown experiment %s\n" id;
+          exit 2
+        end)
+      ids;
+    let measurements =
+      lazy
+        (let queries = D.Queries.paper_queries () in
+         List.concat_map
+           (fun u ->
+             List.map (fun q -> D.Experiments.Common.measure ~trials ?seed q u) queries)
+           [ D.Experiments.Common.Sel_only; D.Experiments.Common.Sel_and_memory ])
+    in
+    let report_of = function
+      | "table1" -> D.Experiments.Table1.report ()
+      | "fig3" -> D.Experiments.Figures.fig3 (Lazy.force measurements)
+      | "fig4" -> D.Experiments.Figures.fig4 (Lazy.force measurements)
+      | "fig5" -> D.Experiments.Figures.fig5 (Lazy.force measurements)
+      | "fig6" -> D.Experiments.Figures.fig6 (Lazy.force measurements)
+      | "fig7" -> D.Experiments.Figures.fig7 (Lazy.force measurements)
+      | "fig8" -> D.Experiments.Figures.fig8 (Lazy.force measurements)
+      | "breakeven" -> D.Experiments.Figures.breakeven (Lazy.force measurements)
+      | "shrink" -> D.Experiments.Ablations.shrink ()
+      | "domination" -> D.Experiments.Ablations.domination ()
+      | "pruning" -> D.Experiments.Ablations.pruning ()
+      | "sharing" -> D.Experiments.Ablations.sharing (Lazy.force measurements)
+      | "exhaustive" -> D.Experiments.Ablations.exhaustive ()
+      | "midquery" -> D.Experiments.Ablations.midquery ()
+      | "bounds" -> D.Experiments.Ablations.bounds ()
+      | "execution" -> D.Experiments.Validation.report ()
+      | id -> invalid_arg id
+    in
+    List.iter
+      (fun id ->
+        let report = report_of id in
+        D.Experiments.Report.render Format.std_formatter report;
+        match csv_dir with
+        | None -> ()
+        | Some dir ->
+          let path = Filename.concat dir (id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (D.Experiments.Report.to_csv report);
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+      ids
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ ids $ trials $ seed $ csv_dir)
+
+(* --- optimize ------------------------------------------------------------ *)
+
+let relations_arg =
+  Arg.(value & opt int 4 & info [ "relations"; "n" ] ~doc:"Number of chain-joined relations.")
+
+let optimize_cmd =
+  let mode =
+    Arg.(value & opt string "dynamic"
+         & info [ "mode" ] ~doc:"static | dynamic | dynamic-mem | runtime")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~doc:"Write the plan DAG as Graphviz to this file.")
+  in
+  let decide =
+    Arg.(value & opt (some string) None
+         & info [ "decide" ]
+             ~doc:"Comma-separated selectivities; shows every choose-plan \
+                   decision under those bindings.")
+  in
+  let run relations mode verbose dot decide =
+    setup_verbosity verbose;
+    let q = D.Queries.chain ~relations in
+    let mode =
+      match mode with
+      | "static" -> D.Optimizer.static
+      | "dynamic" -> D.Optimizer.dynamic ()
+      | "dynamic-mem" -> D.Optimizer.dynamic ~uncertain_memory:true ()
+      | "runtime" ->
+        let bindings =
+          D.Paramgen.bindings ~seed:1 ~trials:1 ~host_vars:q.D.Queries.host_vars
+            ~uncertain_memory:true ()
+        in
+        D.Optimizer.Run_time (List.hd bindings)
+      | m ->
+        Printf.eprintf "unknown mode %s\n" m;
+        exit 2
+    in
+    match D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query with
+    | Error e ->
+      Printf.eprintf "optimization failed: %s\n" e;
+      exit 1
+    | Ok r ->
+      Format.printf "query:@.%a@.@." D.Logical.pp q.D.Queries.query;
+      Format.printf
+        "optimized in %.4fs CPU: %d groups, %d logical exprs, %.3g logical \
+         alternatives, %d candidates (%d pruned)@."
+        r.D.Optimizer.stats.D.Optimizer.cpu_seconds
+        r.D.Optimizer.stats.D.Optimizer.groups
+        r.D.Optimizer.stats.D.Optimizer.logical_exprs
+        r.D.Optimizer.stats.D.Optimizer.logical_alternatives
+        r.D.Optimizer.stats.D.Optimizer.candidates
+        r.D.Optimizer.stats.D.Optimizer.pruned;
+      Format.printf "plan (%d nodes, %d choose-plan operators):@.%a@."
+        (D.Plan.node_count r.D.Optimizer.plan)
+        (D.Plan.choose_count r.D.Optimizer.plan)
+        D.Plan.pp r.D.Optimizer.plan;
+      (match dot with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (D.Plan.to_dot r.D.Optimizer.plan);
+        close_out oc;
+        Format.printf "wrote %s (render with: dot -Tsvg %s)@." path path);
+      (match decide with
+      | None -> ()
+      | Some s ->
+        let parts = String.split_on_char ',' s |> List.map float_of_string in
+        if List.length parts <> relations then begin
+          Printf.eprintf "expected %d selectivities\n" relations;
+          exit 2
+        end;
+        let b =
+          D.Bindings.make
+            ~selectivities:(List.combine q.D.Queries.host_vars parts)
+            ~memory_pages:64
+        in
+        let env = D.Env.of_bindings q.D.Queries.catalog b in
+        Format.printf "@.start-up decisions under %a:@.@[<v>%a@]@." D.Bindings.pp b
+          D.Startup.pp_decisions
+          (D.Startup.explain env r.D.Optimizer.plan))
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"Optimize a chain query and print the plan.")
+    Term.(const run $ relations_arg $ mode $ verbose_arg $ dot $ decide)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Data and binding seed.") in
+  let memory = Arg.(value & opt int 64 & info [ "memory" ] ~doc:"Memory pages at run time.") in
+  let sels =
+    Arg.(value & opt (some string) None
+         & info [ "selectivities" ]
+             ~doc:"Comma-separated selectivities for hv1..hvN, e.g. 0.1,0.9. \
+                   Default: random per seed.")
+  in
+  let run relations seed memory sels =
+    let q = D.Queries.chain ~relations in
+    let bindings =
+      match sels with
+      | None ->
+        let b =
+          List.hd
+            (D.Paramgen.bindings ~seed ~trials:1 ~host_vars:q.D.Queries.host_vars
+               ~uncertain_memory:false ())
+        in
+        D.Bindings.make ~selectivities:b.D.Bindings.selectivities
+          ~memory_pages:memory
+      | Some s ->
+        let parts = String.split_on_char ',' s |> List.map float_of_string in
+        if List.length parts <> relations then begin
+          Printf.eprintf "expected %d selectivities\n" relations;
+          exit 2
+        end;
+        D.Bindings.make
+          ~selectivities:(List.combine q.D.Queries.host_vars parts)
+          ~memory_pages:memory
+    in
+    let db = D.Database.build ~seed q.D.Queries.catalog in
+    Format.printf "bindings: %a@." D.Bindings.pp bindings;
+    let show label mode =
+      match D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query with
+      | Error e -> Printf.eprintf "%s: %s\n" label e
+      | Ok r ->
+        let tuples, stats = D.Executor.run db bindings r.D.Optimizer.plan in
+        Format.printf
+          "%-8s: %5d tuples, %5d physical reads, %5d writes, %.4fs CPU@." label
+          (List.length tuples) stats.D.Executor.io.D.Buffer_pool.physical_reads
+          stats.D.Executor.io.D.Buffer_pool.physical_writes
+          stats.D.Executor.cpu_seconds;
+        Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
+          stats.D.Executor.resolved_plan
+    in
+    show "static" D.Optimizer.static;
+    show "dynamic" (D.Optimizer.dynamic ~uncertain_memory:true ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a chain query on synthetic data with static and dynamic plans.")
+    Term.(const run $ relations_arg $ seed $ memory $ sels)
+
+(* --- sql ----------------------------------------------------------------- *)
+
+let sql_cmd =
+  let stmt =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"STATEMENT"
+             ~doc:"e.g. \"SELECT * FROM R1, R2 WHERE R1.a <= :u AND R1.jr = R2.jl\"")
+  in
+  let run relations stmt =
+    let catalog = D.Paper_catalog.make ~relations in
+    match D.Sql.compile catalog stmt with
+    | Error e ->
+      Printf.eprintf "SQL error: %s\n" e;
+      exit 1
+    | Ok query -> (
+      Format.printf "parsed query:@.%a@.@." D.Logical.pp query;
+      match D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) catalog query with
+      | Error e ->
+        Printf.eprintf "optimization failed: %s\n" e;
+        exit 1
+      | Ok r ->
+        Format.printf "dynamic plan (%d nodes, %d choose-plan operators):@.%a@."
+          (D.Plan.node_count r.D.Optimizer.plan)
+          (D.Plan.choose_count r.D.Optimizer.plan)
+          D.Plan.pp r.D.Optimizer.plan)
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:"Compile a SQL statement against the experimental catalog and \
+             optimize it dynamically.")
+    Term.(const run $ relations_arg $ stmt)
+
+(* --- catalog ------------------------------------------------------------- *)
+
+let catalog_cmd =
+  let run relations =
+    let q = D.Queries.chain ~relations in
+    Format.printf "%a@." D.Catalog.pp q.D.Queries.catalog
+  in
+  Cmd.v (Cmd.info "catalog" ~doc:"Print the experimental catalog.")
+    Term.(const run $ relations_arg)
+
+let () =
+  let doc = "Dynamic query evaluation plans: optimizer, executor, experiments." in
+  let info = Cmd.info "dqep" ~doc in
+  exit (Cmd.eval (Cmd.group info [ report_cmd; optimize_cmd; run_cmd; sql_cmd; catalog_cmd ]))

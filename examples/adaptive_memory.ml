@@ -1,0 +1,45 @@
+(* Adapting to run-time resources: uncertain memory.
+
+   The second problem the paper targets: "unpredictable availability of
+   resources at run-time".  A join's best algorithm depends on how much
+   working memory the system can grant when the query starts.  With
+   memory modelled as the interval [16, 112] pages, hash-join and
+   sort-based plans become incomparable at compile time; the dynamic plan
+   defers the choice and the executor's spilling behaviour follows the
+   actual grant.
+
+   Run with: dune exec examples/adaptive_memory.exe *)
+
+module D = Dqep
+
+let () =
+  let q = D.Queries.chain ~relations:2 in
+  let catalog = q.D.Queries.catalog in
+  Format.printf "Query:@.%a@.@." D.Logical.pp q.D.Queries.query;
+
+  let dynamic =
+    Result.get_ok
+      (D.Optimizer.optimize
+         ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ())
+         catalog q.D.Queries.query)
+  in
+  Format.printf "Dynamic plan (%d nodes, %d choose-plan operators)@.@."
+    (D.Plan.node_count dynamic.D.Optimizer.plan)
+    (D.Plan.choose_count dynamic.D.Optimizer.plan);
+
+  let db = D.Database.build ~seed:5 catalog in
+  let sels = List.map (fun v -> (v, 0.8)) q.D.Queries.host_vars in
+  List.iter
+    (fun memory_pages ->
+      let b = D.Bindings.make ~selectivities:sels ~memory_pages in
+      let env = D.Env.of_bindings catalog b in
+      let res = D.Startup.resolve env dynamic.D.Optimizer.plan in
+      let tuples, stats = D.Executor.run db b dynamic.D.Optimizer.plan in
+      Format.printf
+        "memory = %3d pages -> anticipated %.2fs, executed: %d tuples, %d \
+         physical reads, %d writes (spill I/O)@."
+        memory_pages res.D.Startup.anticipated_cost (List.length tuples)
+        stats.D.Executor.io.D.Buffer_pool.physical_reads
+        stats.D.Executor.io.D.Buffer_pool.physical_writes;
+      Format.printf "  chosen plan:@.  @[<v>%a@]@.@." D.Plan.pp res.D.Startup.plan)
+    [ 16; 64; 112 ]

@@ -1,0 +1,61 @@
+(* Plan shrinking over time (paper, Section 4).
+
+   Dynamic plans carry every potentially optimal alternative.  If an
+   application's actual bindings only ever exercise a few of them, the
+   access module can record which components were used and replace
+   itself with a smaller dynamic plan containing only those — trading a
+   little robustness for cheaper activation.
+
+   Run with: dune exec examples/plan_shrinking.exe *)
+
+module D = Dqep
+
+let () =
+  let q = D.Queries.chain ~relations:4 in
+  let catalog = q.D.Queries.catalog in
+  let dynamic =
+    Result.get_ok
+      (D.Optimizer.optimize
+         ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ())
+         catalog q.D.Queries.query)
+  in
+  let adapt = D.Adapt.create dynamic.D.Optimizer.plan in
+  Format.printf "full dynamic plan: %d nodes, %d choose-plan operators@."
+    (D.Plan.node_count (D.Adapt.plan adapt))
+    (D.Plan.choose_count (D.Adapt.plan adapt));
+
+  (* The application's bindings are skewed: selectivities only in
+     [0, 0.3], memory always generous.  Most alternatives never win. *)
+  let rng = D.Rng.create 123 in
+  let skewed () =
+    D.Bindings.make
+      ~selectivities:
+        (List.map (fun v -> (v, 0.3 *. D.Rng.float rng)) q.D.Queries.host_vars)
+      ~memory_pages:(D.Rng.int_range rng 80 112)
+  in
+  for _ = 1 to 100 do
+    let env = D.Env.of_bindings catalog (skewed ()) in
+    D.Adapt.record adapt (D.Startup.resolve env dynamic.D.Optimizer.plan)
+  done;
+
+  let replaced = D.Adapt.maybe_replace ~threshold:100 (D.Env.dynamic catalog) adapt in
+  assert replaced;
+  let shrunk = D.Adapt.plan adapt in
+  Format.printf "after 100 skewed invocations, shrunk plan: %d nodes, %d \
+                 choose-plan operators@."
+    (D.Plan.node_count shrunk) (D.Plan.choose_count shrunk);
+
+  (* The shrunk plan still adapts within the observed region... *)
+  let check label b =
+    let env = D.Env.of_bindings catalog b in
+    let full = (D.Startup.resolve env dynamic.D.Optimizer.plan).D.Startup.anticipated_cost in
+    let small = (D.Startup.resolve env shrunk).D.Startup.anticipated_cost in
+    Format.printf "%s: full plan %.2fs, shrunk plan %.2fs%s@." label full small
+      (if small > full +. 1e-9 then "  <- regret (alternative was dropped)" else "")
+  in
+  check "binding inside the trained region " (skewed ());
+  (* ...but can regret on bindings it never saw. *)
+  check "binding outside the trained region"
+    (D.Bindings.make
+       ~selectivities:(List.map (fun v -> (v, 0.95)) q.D.Queries.host_vars)
+       ~memory_pages:16)

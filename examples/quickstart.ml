@@ -1,0 +1,76 @@
+(* Quickstart: the paper's Figure 1.
+
+   A single-relation query with an unbound predicate (a host variable in
+   an embedded query).  At compile time the selectivity is anywhere in
+   [0, 1], so a file scan and a B-tree scan have incomparable costs: the
+   optimizer emits a dynamic plan with a choose-plan operator.  At
+   start-up time the binding arrives, the decision procedure re-evaluates
+   the cost functions, and the right scan runs.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module D = Dqep
+
+let () =
+  (* 1. A catalog: one relation of 10,000 records with an indexed
+     attribute. *)
+  let relation =
+    D.Relation.make ~name:"emp" ~cardinality:10_000 ~record_bytes:512
+      ~attributes:[ D.Attribute.make ~name:"salary" ~domain_size:10_000 ]
+  in
+  let catalog =
+    D.Catalog.create ~relations:[ relation ]
+      ~indexes:[ D.Index.make ~relation:"emp" ~attribute:"salary" () ]
+      ()
+  in
+  (* 2. The query: SELECT * FROM emp WHERE salary <= :host_var. *)
+  let query =
+    D.Logical.Select
+      ( D.Logical.Get_set "emp",
+        D.Predicate.select ~rel:"emp" ~attr:"salary"
+          (D.Predicate.Host_var "limit") )
+  in
+  Format.printf "Query:@.%a@.@." D.Logical.pp query;
+
+  (* 3. Compile-time: traditional (static) vs dynamic optimization. *)
+  let static =
+    Result.get_ok (D.Optimizer.optimize ~mode:D.Optimizer.static catalog query)
+  in
+  Format.printf "Static plan (expects selectivity 0.05):@.%a@.@." D.Plan.pp
+    static.D.Optimizer.plan;
+  let dynamic =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) catalog query)
+  in
+  Format.printf "Dynamic plan (selectivity unknown):@.%a@.@." D.Plan.pp
+    dynamic.D.Optimizer.plan;
+
+  (* 4. Start-up-time: the choose-plan decision under two bindings. *)
+  let resolve sel =
+    let bindings =
+      D.Bindings.make ~selectivities:[ ("limit", sel) ] ~memory_pages:64
+    in
+    let env = D.Env.of_bindings catalog bindings in
+    let r = D.Startup.resolve env dynamic.D.Optimizer.plan in
+    Format.printf
+      "selectivity %.3f -> %s (anticipated cost %.2fs, %d cost evaluations)@."
+      sel
+      (D.Physical.name r.D.Startup.plan.D.Plan.op)
+      r.D.Startup.anticipated_cost r.D.Startup.stats.D.Startup.cost_evaluations;
+    bindings
+  in
+  let selective = resolve 0.002 in
+  let unselective = resolve 0.9 in
+
+  (* 5. Run-time: execute both on real synthetic data and watch the I/O. *)
+  Format.printf "@.Executing on a materialized database:@.";
+  let db = D.Database.build ~seed:42 catalog in
+  List.iter
+    (fun bindings ->
+      let tuples, stats = D.Executor.run db bindings dynamic.D.Optimizer.plan in
+      Format.printf
+        "  %a -> %s: %d tuples, %d physical reads@." D.Bindings.pp bindings
+        (D.Physical.name stats.D.Executor.resolved_plan.D.Plan.op)
+        (List.length tuples)
+        stats.D.Executor.io.D.Buffer_pool.physical_reads)
+    [ selective; unselective ]

@@ -1,0 +1,12 @@
+type t = { rel : string; attr : string }
+
+let make ~rel ~attr = { rel; attr }
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> String.compare a.attr b.attr
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf c = Format.fprintf ppf "%s.%s" c.rel c.attr
+let to_string c = c.rel ^ "." ^ c.attr

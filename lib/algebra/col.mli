@@ -1,0 +1,12 @@
+(** A column reference: relation name and attribute name.
+
+    Columns stay qualified through joins, so physical properties such as
+    sort order remain meaningful over intermediate results. *)
+
+type t = { rel : string; attr : string }
+
+val make : rel:string -> attr:string -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,95 @@
+module Catalog = Dqep_catalog.Catalog
+module Relation = Dqep_catalog.Relation
+
+type t =
+  | Get_set of string
+  | Select of t * Predicate.select
+  | Join of t * t * Predicate.equi list
+
+let rec relations = function
+  | Get_set r -> [ r ]
+  | Select (e, _) -> relations e
+  | Join (l, r, _) -> relations l @ relations r
+
+let rec selections = function
+  | Get_set _ -> []
+  | Select (e, p) -> p :: selections e
+  | Join (l, r, _) -> selections l @ selections r
+
+let rec join_predicates = function
+  | Get_set _ -> []
+  | Select (e, _) -> join_predicates e
+  | Join (l, r, ps) -> ps @ join_predicates l @ join_predicates r
+
+let host_vars t =
+  selections t
+  |> List.filter_map Predicate.host_var
+  |> List.sort_uniq String.compare
+
+let validate catalog t =
+  let ( let* ) = Result.bind in
+  let check_col (c : Col.t) =
+    match Catalog.relation catalog c.rel with
+    | None -> Error (Printf.sprintf "unknown relation %s" c.rel)
+    | Some r ->
+      if Relation.attribute r c.attr = None then
+        Error (Printf.sprintf "unknown attribute %s" (Col.to_string c))
+      else Ok ()
+  in
+  let rec go = function
+    | Get_set r ->
+      if Catalog.relation catalog r = None then
+        Error (Printf.sprintf "unknown relation %s" r)
+      else Ok [ r ]
+    | Select (e, p) ->
+      let* rels = go e in
+      let* () = check_col p.target in
+      (match p.selectivity with
+      | Predicate.Bound s when s < 0. || s > 1. ->
+        Error "selection selectivity out of [0, 1]"
+      | Predicate.Bound _ | Predicate.Host_var _ ->
+        if List.mem p.target.rel rels then Ok rels
+        else
+          Error
+            (Printf.sprintf "selection on %s does not target its input"
+               (Col.to_string p.target)))
+    | Join (l, r, ps) ->
+      let* left = go l in
+      let* right = go r in
+      (match List.find_opt (fun rel -> List.mem rel right) left with
+      | Some rel -> Error (Printf.sprintf "relation %s occurs on both sides" rel)
+      | None ->
+        let rec check_preds = function
+          | [] -> Ok (left @ right)
+          | (p : Predicate.equi) :: rest ->
+            let* () = check_col p.left in
+            let* () = check_col p.right in
+            let spans =
+              (List.mem p.left.rel left && List.mem p.right.rel right)
+              || (List.mem p.left.rel right && List.mem p.right.rel left)
+            in
+            if spans then check_preds rest
+            else
+              Error
+                (Format.asprintf "join predicate %a does not span its inputs"
+                   Predicate.pp_equi p)
+        in
+        if ps = [] then Error "cross products are not supported"
+        else check_preds ps)
+  in
+  let* rels = go t in
+  let uniq = List.sort_uniq String.compare rels in
+  if List.length uniq <> List.length rels then
+    Error "a relation occurs more than once in the query"
+  else Ok ()
+
+let rec pp ppf = function
+  | Get_set r -> Format.fprintf ppf "Get-Set %s" r
+  | Select (e, p) ->
+    Format.fprintf ppf "@[<v 2>Select [%a]@,%a@]" Predicate.pp_select p pp e
+  | Join (l, r, ps) ->
+    Format.fprintf ppf "@[<v 2>Join [%a]@,%a@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+         Predicate.pp_equi)
+      ps pp l pp r

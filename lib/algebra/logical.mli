@@ -1,0 +1,26 @@
+(** The logical algebra (paper, Table 1): [Get_set], [Select], [Join].
+
+    A logical expression describes a query as given to the optimizer; it
+    carries no execution decisions. *)
+
+type t =
+  | Get_set of string  (** retrieve a stored relation *)
+  | Select of t * Predicate.select
+  | Join of t * t * Predicate.equi list
+      (** natural equi-join under a conjunction of predicates *)
+
+val relations : t -> string list
+(** Base relations, in leaf order (duplicates preserved). *)
+
+val selections : t -> Predicate.select list
+val join_predicates : t -> Predicate.equi list
+
+val host_vars : t -> string list
+(** Sorted, de-duplicated host variables of all unbound predicates. *)
+
+val validate : Dqep_catalog.Catalog.t -> t -> (unit, string) result
+(** Check that all relations and attributes exist, every relation occurs
+    at most once, each selection targets a relation of its input, and
+    each join predicate spans its two inputs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type op =
+  | File_scan of string
+  | Btree_scan of { rel : string; attr : string }
+  | Filter of Predicate.select
+  | Filter_btree_scan of { rel : string; attr : string; pred : Predicate.select }
+  | Hash_join of Predicate.equi list
+  | Merge_join of Predicate.equi list
+  | Index_join of {
+      preds : Predicate.equi list;
+      inner_rel : string;
+      inner_attr : string;
+      inner_filter : Predicate.select option;
+    }
+  | Sort of Col.t list
+  | Choose_plan
+
+let name = function
+  | File_scan _ -> "File-Scan"
+  | Btree_scan _ -> "B-tree-Scan"
+  | Filter _ -> "Filter"
+  | Filter_btree_scan _ -> "Filter-B-tree-Scan"
+  | Hash_join _ -> "Hash-Join"
+  | Merge_join _ -> "Merge-Join"
+  | Index_join _ -> "Index-Join"
+  | Sort _ -> "Sort"
+  | Choose_plan -> "Choose-Plan"
+
+let arity = function
+  | File_scan _ | Btree_scan _ | Filter_btree_scan _ -> `Leaf
+  | Filter _ | Sort _ | Index_join _ -> `Unary
+  | Hash_join _ | Merge_join _ -> `Binary
+  | Choose_plan -> `Variadic
+
+let is_enforcer = function
+  | Sort _ | Choose_plan -> true
+  | File_scan _ | Btree_scan _ | Filter _ | Filter_btree_scan _ | Hash_join _
+  | Merge_join _ | Index_join _ -> false
+
+let pp_preds ppf ps =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " and ")
+    Predicate.pp_equi ppf ps
+
+let pp ppf = function
+  | File_scan r -> Format.fprintf ppf "File-Scan %s" r
+  | Btree_scan b -> Format.fprintf ppf "B-tree-Scan %s.%s" b.rel b.attr
+  | Filter p -> Format.fprintf ppf "Filter [%a]" Predicate.pp_select p
+  | Filter_btree_scan b ->
+    Format.fprintf ppf "Filter-B-tree-Scan %s.%s [%a]" b.rel b.attr
+      Predicate.pp_select b.pred
+  | Hash_join ps -> Format.fprintf ppf "Hash-Join [%a]" pp_preds ps
+  | Merge_join ps -> Format.fprintf ppf "Merge-Join [%a]" pp_preds ps
+  | Index_join j ->
+    Format.fprintf ppf "Index-Join [%a] via %s.%s%a" pp_preds j.preds j.inner_rel
+      j.inner_attr
+      (fun ppf -> function
+        | None -> ()
+        | Some p -> Format.fprintf ppf " filter [%a]" Predicate.pp_select p)
+      j.inner_filter
+  | Sort cols ->
+    Format.fprintf ppf "Sort (%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Col.pp)
+      cols
+  | Choose_plan -> Format.pp_print_string ppf "Choose-Plan"

@@ -1,0 +1,36 @@
+(** The physical algebra (paper, Table 1): the algorithms of the
+    execution engine, plus the two enforcers [Sort] and [Choose_plan]. *)
+
+type op =
+  | File_scan of string
+  | Btree_scan of { rel : string; attr : string }
+      (** full retrieval through an unclustered B-tree, delivering the
+          index order *)
+  | Filter of Predicate.select
+  | Filter_btree_scan of { rel : string; attr : string; pred : Predicate.select }
+      (** index scan restricted by the selection predicate *)
+  | Hash_join of Predicate.equi list
+      (** the left input is the build input *)
+  | Merge_join of Predicate.equi list
+      (** inputs must be sorted on their join columns *)
+  | Index_join of {
+      preds : Predicate.equi list;
+      inner_rel : string;
+      inner_attr : string;  (** indexed join column of the inner relation *)
+      inner_filter : Predicate.select option;
+          (** residual selection applied to fetched inner records *)
+    }
+      (** index nested-loops: the single child is the outer input *)
+  | Sort of Col.t list  (** enforcer for sort order *)
+  | Choose_plan
+      (** enforcer for plan robustness: children are equivalent
+          alternative plans, chosen among at start-up-time *)
+
+val name : op -> string
+(** Operator name as in the paper's Table 1. *)
+
+val arity : op -> [ `Leaf | `Unary | `Binary | `Variadic ]
+
+val is_enforcer : op -> bool
+
+val pp : Format.formatter -> op -> unit

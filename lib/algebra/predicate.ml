@@ -1,0 +1,45 @@
+type selectivity =
+  | Bound of float
+  | Host_var of string
+
+type select = { target : Col.t; selectivity : selectivity }
+
+let select ~rel ~attr selectivity =
+  (match selectivity with
+  | Bound s when s < 0. || s > 1. ->
+    invalid_arg "Predicate.select: selectivity out of [0, 1]"
+  | Bound _ | Host_var _ -> ());
+  { target = Col.make ~rel ~attr; selectivity }
+
+let selectivity_compare a b =
+  match (a, b) with
+  | Bound x, Bound y -> Float.compare x y
+  | Bound _, Host_var _ -> -1
+  | Host_var _, Bound _ -> 1
+  | Host_var x, Host_var y -> String.compare x y
+
+let select_compare a b =
+  match Col.compare a.target b.target with
+  | 0 -> selectivity_compare a.selectivity b.selectivity
+  | c -> c
+
+let select_equal a b = select_compare a b = 0
+
+let host_var s =
+  match s.selectivity with Bound _ -> None | Host_var v -> Some v
+
+type equi = { left : Col.t; right : Col.t }
+
+let equi ~left ~right = { left; right }
+let mirror e = { left = e.right; right = e.left }
+
+let equi_equal a b =
+  (Col.equal a.left b.left && Col.equal a.right b.right)
+  || (Col.equal a.left b.right && Col.equal a.right b.left)
+
+let pp_select ppf s =
+  match s.selectivity with
+  | Bound v -> Format.fprintf ppf "%a <= (sel=%.3g)" Col.pp s.target v
+  | Host_var h -> Format.fprintf ppf "%a <= :%s" Col.pp s.target h
+
+let pp_equi ppf e = Format.fprintf ppf "%a = %a" Col.pp e.left Col.pp e.right

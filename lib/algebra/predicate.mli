@@ -1,0 +1,37 @@
+(** Predicates of the logical algebra.
+
+    A {e selection} predicate is a range restriction [attr <= c].  Its
+    selectivity is either known at compile-time ([Bound]) or depends on a
+    host variable supplied only at start-up-time ([Host_var]) — the
+    paper's "unbound predicate" whose selectivity interval is [\[0, 1\]]
+    during optimization.
+
+    A {e join} predicate is an equality between columns of the two join
+    inputs. *)
+
+type selectivity =
+  | Bound of float  (** known selectivity in [\[0, 1\]] *)
+  | Host_var of string  (** named run-time parameter *)
+
+type select = { target : Col.t; selectivity : selectivity }
+
+val select : rel:string -> attr:string -> selectivity -> select
+(** @raise Invalid_argument if a [Bound] selectivity is outside [0, 1]. *)
+
+val select_compare : select -> select -> int
+val select_equal : select -> select -> bool
+
+val host_var : select -> string option
+(** The host variable this predicate depends on, if any. *)
+
+type equi = { left : Col.t; right : Col.t }
+
+val equi : left:Col.t -> right:Col.t -> equi
+val mirror : equi -> equi
+(** Swap sides, for join commutativity. *)
+
+val equi_equal : equi -> equi -> bool
+(** Equality up to mirroring. *)
+
+val pp_select : Format.formatter -> select -> unit
+val pp_equi : Format.formatter -> equi -> unit

@@ -1,0 +1,41 @@
+type order =
+  | Unordered
+  | Ordered of Col.t list
+
+type t = { order : order }
+
+let unordered = { order = Unordered }
+
+let ordered cols =
+  if cols = [] then invalid_arg "Props.ordered: empty column list";
+  { order = Ordered cols }
+
+type required =
+  | Any
+  | Sorted of Col.t
+
+let satisfies t required =
+  match (required, t.order) with
+  | Any, _ -> true
+  | Sorted _, Unordered -> false
+  | Sorted c, Ordered majors -> List.exists (Col.equal c) majors
+
+let required_equal a b =
+  match (a, b) with
+  | Any, Any -> true
+  | Sorted x, Sorted y -> Col.equal x y
+  | Any, Sorted _ | Sorted _, Any -> false
+
+let pp ppf t =
+  match t.order with
+  | Unordered -> Format.pp_print_string ppf "unordered"
+  | Ordered cols ->
+    Format.fprintf ppf "ordered(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Col.pp)
+      cols
+
+let pp_required ppf = function
+  | Any -> Format.pp_print_string ppf "any"
+  | Sorted c -> Format.fprintf ppf "sorted(%a)" Col.pp c

@@ -1,0 +1,31 @@
+(** Physical properties and property requirements (paper, Section 2).
+
+    The only interesting physical property in the prototype's algebra is
+    sort order; "plan robustness" — the property enforced by choose-plan
+    — is handled by the search engine itself. *)
+
+type order =
+  | Unordered
+  | Ordered of Col.t list
+      (** the columns by which the output is sorted {e as major key} — an
+          equivalence class, not a major-to-minor list: a merge join's
+          output is sorted on both join columns at once because their
+          values are equal on every row (the System R "interesting
+          orders" equivalence) *)
+
+type t = { order : order }
+
+val unordered : t
+val ordered : Col.t list -> t
+
+type required =
+  | Any
+  | Sorted of Col.t
+
+val satisfies : t -> required -> bool
+(** An [Ordered] output satisfies [Sorted c] iff [c] is one of its
+    (equal-valued) major sort columns. *)
+
+val required_equal : required -> required -> bool
+val pp : Format.formatter -> t -> unit
+val pp_required : Format.formatter -> required -> unit

@@ -1,0 +1,30 @@
+type t = Col.t array
+
+let of_relation (r : Dqep_catalog.Relation.t) =
+  Array.of_list
+    (List.map
+       (fun (a : Dqep_catalog.Attribute.t) -> Col.make ~rel:r.name ~attr:a.name)
+       r.attributes)
+
+let concat = Array.append
+let columns t = t
+let width = Array.length
+
+let position t col =
+  let n = Array.length t in
+  let rec go i =
+    if i >= n then None else if Col.equal t.(i) col then Some i else go (i + 1)
+  in
+  go 0
+
+let position_exn t col =
+  match position t col with Some i -> i | None -> raise Not_found
+
+let mem t col = position t col <> None
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Col.pp)
+    (Array.to_seq t)

@@ -1,0 +1,15 @@
+(** Tuple schemas: ordered column lists with positional lookup. *)
+
+type t
+
+val of_relation : Dqep_catalog.Relation.t -> t
+val concat : t -> t -> t
+val columns : t -> Col.t array
+val width : t -> int
+
+val position : t -> Col.t -> int option
+val position_exn : t -> Col.t -> int
+(** @raise Not_found if the column is absent. *)
+
+val mem : t -> Col.t -> bool
+val pp : Format.formatter -> t -> unit

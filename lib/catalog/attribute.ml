@@ -1,0 +1,7 @@
+type t = { name : string; domain_size : int }
+
+let make ~name ~domain_size =
+  if domain_size <= 0 then invalid_arg "Attribute.make: domain_size <= 0";
+  { name; domain_size }
+
+let pp ppf a = Format.fprintf ppf "%s(dom=%d)" a.name a.domain_size

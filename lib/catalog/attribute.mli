@@ -1,0 +1,13 @@
+(** Attribute metadata.
+
+    Attribute values are integers drawn uniformly from [\[0, domain_size)];
+    the domain size drives join-selectivity estimation (paper, Section 6:
+    join selectivity is the cross product divided by the larger of the
+    join attribute domain sizes). *)
+
+type t = { name : string; domain_size : int }
+
+val make : name:string -> domain_size:int -> t
+(** @raise Invalid_argument if [domain_size <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  relation : string;
+  attribute : string;
+  clustered : bool;
+}
+
+let make ~relation ~attribute ?(clustered = false) () =
+  { name = Printf.sprintf "ix_%s_%s" relation attribute;
+    relation;
+    attribute;
+    clustered }
+
+let pp ppf i =
+  Format.fprintf ppf "%s on %s.%s%s" i.name i.relation i.attribute
+    (if i.clustered then " (clustered)" else "")

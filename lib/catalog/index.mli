@@ -1,0 +1,18 @@
+(** Index metadata.
+
+    All indexes in the paper's experiments are unclustered B-trees on a
+    single attribute ("attributes referenced by the unbound selection
+    predicates as well as all join attributes had unclustered B-tree
+    structures"). *)
+
+type t = {
+  name : string;
+  relation : string;
+  attribute : string;
+  clustered : bool;
+}
+
+val make : relation:string -> attribute:string -> ?clustered:bool -> unit -> t
+(** Default [clustered] is [false], as in the paper. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  name : string;
+  cardinality : int;
+  record_bytes : int;
+  attributes : Attribute.t list;
+}
+
+let make ~name ~cardinality ~record_bytes ~attributes =
+  if cardinality <= 0 then invalid_arg "Relation.make: cardinality <= 0";
+  if record_bytes <= 0 then invalid_arg "Relation.make: record_bytes <= 0";
+  let names = List.map (fun (a : Attribute.t) -> a.name) attributes in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Relation.make: duplicate attribute names";
+  { name; cardinality; record_bytes; attributes }
+
+let attribute r name =
+  List.find_opt (fun (a : Attribute.t) -> a.name = name) r.attributes
+
+let attribute_exn r name =
+  match attribute r name with
+  | Some a -> a
+  | None -> raise Not_found
+
+let pages ~page_bytes r =
+  if page_bytes < r.record_bytes then
+    invalid_arg "Relation.pages: record larger than page";
+  let per_page = page_bytes / r.record_bytes in
+  Int.max 1 ((r.cardinality + per_page - 1) / per_page)
+
+let pp ppf r =
+  Format.fprintf ppf "%s(|%d| x %dB: %a)" r.name r.cardinality r.record_bytes
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Attribute.pp)
+    r.attributes

@@ -1,0 +1,26 @@
+(** Relation (base table) metadata. *)
+
+type t = {
+  name : string;
+  cardinality : int;  (** number of records *)
+  record_bytes : int;  (** fixed record width, 512 bytes in the paper *)
+  attributes : Attribute.t list;
+}
+
+val make :
+  name:string ->
+  cardinality:int ->
+  record_bytes:int ->
+  attributes:Attribute.t list ->
+  t
+(** @raise Invalid_argument on non-positive cardinality or width, or
+    duplicate attribute names. *)
+
+val attribute : t -> string -> Attribute.t option
+val attribute_exn : t -> string -> Attribute.t
+(** @raise Not_found if the attribute does not exist. *)
+
+val pages : page_bytes:int -> t -> int
+(** Number of disk pages the relation occupies, at least 1. *)
+
+val pp : Format.formatter -> t -> unit

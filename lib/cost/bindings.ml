@@ -1,0 +1,22 @@
+type t = {
+  selectivities : (string * float) list;
+  memory_pages : int;
+}
+
+let make ~selectivities ~memory_pages =
+  List.iter
+    (fun (v, s) ->
+      if s < 0. || s > 1. then
+        invalid_arg (Printf.sprintf "Bindings.make: selectivity of %s out of [0, 1]" v))
+    selectivities;
+  if memory_pages <= 0 then invalid_arg "Bindings.make: memory_pages <= 0";
+  { selectivities; memory_pages }
+
+let selectivity t var = List.assoc var t.selectivities
+
+let pp ppf t =
+  Format.fprintf ppf "{mem=%d pages;%a}" t.memory_pages
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       (fun ppf (v, s) -> Format.fprintf ppf " %s=%.3f" v s))
+    t.selectivities

@@ -1,0 +1,16 @@
+(** Run-time bindings: the values of all uncertain parameters, as they
+    become known at start-up-time. *)
+
+type t = {
+  selectivities : (string * float) list;  (** host variable -> selectivity *)
+  memory_pages : int;  (** available memory in pages *)
+}
+
+val make : selectivities:(string * float) list -> memory_pages:int -> t
+(** @raise Invalid_argument on out-of-range selectivity or non-positive
+    memory. *)
+
+val selectivity : t -> string -> float
+(** @raise Not_found for an unbound host variable. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Cost functions of the physical algebra.
+
+    Costs are intervals in seconds.  Bounds are computed "using
+    traditional cost formulas supplied with the appropriate upper and
+    lower bound values for the parameters of the cost model ... assuming
+    that cost functions are monotonic in all their arguments" (paper,
+    Section 5): every formula is evaluated at two corners — cheapest
+    (low cardinalities, high memory) and dearest (high cardinalities,
+    low memory).
+
+    All functions return the cost of the operator {e itself}; plan
+    composition (summing children, choose-plan minimum combination) is
+    the plan layer's job. *)
+
+module Interval = Dqep_util.Interval
+
+type input = { rows : Interval.t; bytes_per_row : int }
+
+val own_cost :
+  Env.t ->
+  Dqep_algebra.Physical.op ->
+  inputs:input list ->
+  output_rows:Interval.t ->
+  Interval.t
+(** Cost of one operator given its inputs' cardinalities and widths.
+    [Choose_plan] has own cost equal to its decision overhead.
+    @raise Invalid_argument if the inputs don't match the operator's
+    arity. *)
+
+val choose_plan_cost : Env.t -> Interval.t list -> Interval.t
+(** Cost of a whole choose-plan subplan over alternatives' total costs:
+    the element-wise minimum of the alternatives plus the decision
+    overhead (paper, Section 5's [\[0.01, 1.01\]] example). *)
+
+val index_depth : Env.t -> string -> int
+(** Modelled depth of a B-tree on the given relation (levels). *)
+
+val pages_for : Env.t -> rows:float -> bytes_per_row:int -> float
+(** Fractional page count of [rows] tuples of the given width, at
+    least 1. *)

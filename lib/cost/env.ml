@@ -1,0 +1,48 @@
+module Interval = Dqep_util.Interval
+module Predicate = Dqep_algebra.Predicate
+
+type t = {
+  catalog : Dqep_catalog.Catalog.t;
+  device : Device.t;
+  selectivity : string -> Interval.t;
+  memory_pages : Interval.t;
+  point : bool;
+}
+
+let make ~catalog ~device ~selectivity ~memory_pages =
+  { catalog; device; selectivity; memory_pages; point = false }
+
+let dynamic ?(memory = Interval.point 64.) ?(selectivity_bounds = [])
+    ?(device = Device.default) catalog =
+  let selectivity var =
+    match List.assoc_opt var selectivity_bounds with
+    | Some bounds -> bounds
+    | None -> Interval.make 0. 1.
+  in
+  { catalog; device; selectivity; memory_pages = memory; point = false }
+
+let static ?(default_selectivity = 0.05) ?(memory_pages = 64)
+    ?(device = Device.default) catalog =
+  { catalog;
+    device;
+    selectivity = (fun _ -> Interval.point default_selectivity);
+    memory_pages = Interval.point (float_of_int memory_pages);
+    point = true }
+
+let of_bindings ?(device = Device.default) catalog bindings =
+  { catalog;
+    device;
+    selectivity = (fun v -> Interval.point (Bindings.selectivity bindings v));
+    memory_pages = Interval.point (float_of_int bindings.Bindings.memory_pages);
+    point = true }
+
+let catalog t = t.catalog
+let device t = t.device
+let memory_pages t = t.memory_pages
+
+let selectivity t (p : Predicate.select) =
+  match p.selectivity with
+  | Predicate.Bound s -> Interval.point s
+  | Predicate.Host_var v -> t.selectivity v
+
+let is_point t = t.point

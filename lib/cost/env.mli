@@ -1,0 +1,63 @@
+(** Parameter environments: how the cost model sees the uncertain
+    run-time parameters.
+
+    The three optimization strategies of the paper differ {e only} in
+    their environment:
+    - {!dynamic}: unbound selectivities are [\[0, 1\]] and (optionally)
+      memory is an interval — costs become incomparable and the search
+      produces dynamic plans;
+    - {!static}: expected values (default selectivity 0.05, memory 64
+      pages) — the traditional optimizer;
+    - {!of_bindings}: actual values — used for run-time optimization and
+      for start-up-time re-evaluation of choose-plan decisions. *)
+
+module Interval = Dqep_util.Interval
+
+type t
+
+val make :
+  catalog:Dqep_catalog.Catalog.t ->
+  device:Device.t ->
+  selectivity:(string -> Interval.t) ->
+  memory_pages:Interval.t ->
+  t
+
+val dynamic :
+  ?memory:Interval.t ->
+  ?selectivity_bounds:(string * Interval.t) list ->
+  ?device:Device.t ->
+  Dqep_catalog.Catalog.t ->
+  t
+(** Unbound selectivities span [\[0, 1\]] unless [selectivity_bounds]
+    gives a narrower interval for a host variable — the paper's Section 3
+    point that the database implementor is free to model uncertainty more
+    tightly when more is known (e.g. an application always passes small
+    limits).  Narrower intervals mean fewer incomparable plans.  Default
+    [memory] is the point 64 (memory certain); pass e.g.
+    [Interval.make 16. 112.] to make it an uncertain parameter too. *)
+
+val static :
+  ?default_selectivity:float ->
+  ?memory_pages:int ->
+  ?device:Device.t ->
+  Dqep_catalog.Catalog.t ->
+  t
+(** Expected-value environment: defaults 0.05 and 64 pages, per the
+    paper's Section 6. *)
+
+val of_bindings : ?device:Device.t -> Dqep_catalog.Catalog.t -> Bindings.t -> t
+(** Point environment from actual bindings; unlisted host variables
+    raise [Not_found] when consulted. *)
+
+val catalog : t -> Dqep_catalog.Catalog.t
+val device : t -> Device.t
+val memory_pages : t -> Interval.t
+
+val selectivity : t -> Dqep_algebra.Predicate.select -> Interval.t
+(** Selectivity of a selection predicate: the bound value as a point, or
+    the environment's interval for its host variable. *)
+
+val is_point : t -> bool
+(** Whether all parameters this environment ever returned or can return
+    are points (memory is a point and host variables map to points);
+    used only for reporting. *)

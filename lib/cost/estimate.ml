@@ -1,0 +1,38 @@
+module Interval = Dqep_util.Interval
+module Catalog = Dqep_catalog.Catalog
+module Relation = Dqep_catalog.Relation
+module Predicate = Dqep_algebra.Predicate
+module Logical = Dqep_algebra.Logical
+
+let base_rows env rel =
+  Interval.point (float_of_int (Catalog.relation_exn (Env.catalog env) rel).Relation.cardinality)
+
+let select_rows env pred rows = Interval.mul (Env.selectivity env pred) rows
+
+let one_join_selectivity env (p : Predicate.equi) =
+  let catalog = Env.catalog env in
+  let dom (c : Dqep_algebra.Col.t) =
+    Catalog.domain_size catalog ~rel:c.rel ~attr:c.attr
+  in
+  1. /. float_of_int (Int.max (dom p.left) (dom p.right))
+
+let join_selectivity env preds =
+  Interval.point
+    (List.fold_left (fun acc p -> acc *. one_join_selectivity env p) 1. preds)
+
+let join_rows env preds rows_l rows_r =
+  Interval.mul (join_selectivity env preds) (Interval.mul rows_l rows_r)
+
+let rec logical_rows env = function
+  | Logical.Get_set r -> base_rows env r
+  | Logical.Select (e, p) -> select_rows env p (logical_rows env e)
+  | Logical.Join (l, r, preds) ->
+    join_rows env preds (logical_rows env l) (logical_rows env r)
+
+let rel_row_bytes env rels =
+  List.fold_left
+    (fun acc rel ->
+      acc + (Catalog.relation_exn (Env.catalog env) rel).Relation.record_bytes)
+    0 rels
+
+let row_bytes env e = rel_row_bytes env (Logical.relations e)

@@ -1,0 +1,466 @@
+module Interval = Dqep_util.Interval
+module Timer = Dqep_util.Timer
+module Schema = Dqep_algebra.Schema
+module Physical = Dqep_algebra.Physical
+module Predicate = Dqep_algebra.Predicate
+module Col = Dqep_algebra.Col
+module Catalog = Dqep_catalog.Catalog
+module Env = Dqep_cost.Env
+module Plan = Dqep_plans.Plan
+module Startup = Dqep_plans.Startup
+module Database = Dqep_storage.Database
+module Buffer_pool = Dqep_storage.Buffer_pool
+module Heap_file = Dqep_storage.Heap_file
+module Btree = Dqep_storage.Btree
+
+type run_stats = {
+  tuples : int;
+  io : Buffer_pool.stats;
+  cpu_seconds : float;
+  resolved_plan : Plan.t;
+}
+
+let memory_pages env =
+  Int.max 2 (int_of_float (Interval.mid (Env.memory_pages env)))
+
+(* --- helpers ------------------------------------------------------------ *)
+
+let base_schema db rel =
+  Schema.of_relation (Catalog.relation_exn (Database.catalog db) rel)
+
+(* Stream a heap file page by page, copying each page's tuples out while
+   pinned. *)
+let heap_iterator db schema heap =
+  let pages = ref [] in
+  let buffered = ref [] in
+  { Iterator.schema;
+    open_ =
+      (fun () ->
+        pages := Heap_file.page_ids heap;
+        buffered := []);
+    next =
+      (fun () ->
+        let rec go () =
+          match !buffered with
+          | t :: rest ->
+            buffered := rest;
+            Some t
+          | [] -> (
+            match !pages with
+            | [] -> None
+            | page :: rest ->
+              pages := rest;
+              let copied = ref [] in
+              Buffer_pool.with_page (Database.pool db) page (fun p ->
+                  match p.Dqep_storage.Page.payload with
+                  | Dqep_storage.Page.Heap h ->
+                    for slot = h.count - 1 downto 0 do
+                      copied := h.tuples.(slot) :: !copied
+                    done
+                  | Dqep_storage.Page.Free | Dqep_storage.Page.Btree _ ->
+                    invalid_arg "Executor: corrupt heap page");
+              buffered := !copied;
+              go ())
+        in
+        go ());
+    close = (fun () -> ()) }
+
+(* Fetch records for a list of rids, one at a time. *)
+let rid_fetch_iterator db schema rids_ref =
+  { Iterator.schema;
+    open_ = (fun () -> ());
+    next =
+      (fun () ->
+        match !rids_ref with
+        | [] -> None
+        | rid :: rest ->
+          rids_ref := rest;
+          Some (Heap_file.fetch (Database.pool db) rid));
+    close = (fun () -> ()) }
+
+let join_key ~left_schema preds side tuple =
+  List.map
+    (fun (p : Predicate.equi) ->
+      match side with
+      | `Left -> tuple.(Schema.position_exn left_schema p.Predicate.left)
+      | `Right r_schema -> tuple.(Schema.position_exn r_schema p.Predicate.right))
+    preds
+
+let tuples_per_page db width =
+  Heap_file.tuples_per_page
+    ~page_bytes:(Catalog.page_bytes (Database.catalog db))
+    ~record_bytes:(Int.max 1 width)
+
+let spill db width tuples =
+  let heap = Heap_file.create (Database.pool db) ~tuples_per_page:(tuples_per_page db width) in
+  List.iter (fun t -> ignore (Heap_file.append (Database.pool db) heap t)) tuples;
+  heap
+
+let unspill db heap =
+  let acc = ref [] in
+  Heap_file.scan (Database.pool db) heap (fun _ t -> acc := t :: !acc);
+  List.rev !acc
+
+(* --- operators ---------------------------------------------------------- *)
+
+let filter_iterator pred child = { child with Iterator.next = pred child.Iterator.next }
+
+let schema_of db plan = Plan.schema (Database.catalog db) plan
+
+let rec compile_node db env mat (plan : Plan.t) : Iterator.t =
+  match List.assoc_opt plan.Plan.pid mat with
+  | Some tuples ->
+    (* The subplan was already materialized (mid-query adaptation):
+       serve its temporary result. *)
+    Iterator.of_list (schema_of db plan) tuples
+  | None ->
+  match plan.Plan.op with
+  | Physical.File_scan rel ->
+    heap_iterator db (base_schema db rel) (Database.heap db rel)
+  | Physical.Btree_scan { rel; attr } ->
+    let schema = base_schema db rel in
+    let rids = ref [] in
+    let base = rid_fetch_iterator db schema rids in
+    { base with
+      Iterator.open_ =
+        (fun () ->
+          let acc = ref [] in
+          Btree.range (Database.pool db) (Database.index db ~rel ~attr) ~lo:None
+            ~hi:None (fun _ rid -> acc := rid :: !acc);
+          rids := List.rev !acc) }
+  | Physical.Filter pred ->
+    let child = compile_child db env mat plan in
+    let matches = Pred_eval.select_matches env child.Iterator.schema pred in
+    filter_iterator
+      (fun next ->
+        fun () ->
+          let rec go () =
+            match next () with
+            | None -> None
+            | Some t -> if matches t then Some t else go ()
+          in
+          go ())
+      child
+  | Physical.Filter_btree_scan { rel; attr; pred } ->
+    let schema = base_schema db rel in
+    let rids = ref [] in
+    let base = rid_fetch_iterator db schema rids in
+    { base with
+      Iterator.open_ =
+        (fun () ->
+          let cutoff = Pred_eval.threshold env pred in
+          let acc = ref [] in
+          if cutoff > 0 then
+            Btree.range (Database.pool db) (Database.index db ~rel ~attr) ~lo:None
+              ~hi:(Some (cutoff - 1)) (fun _ rid -> acc := rid :: !acc);
+          rids := List.rev !acc) }
+  | Physical.Hash_join preds -> hash_join db env mat plan preds
+  | Physical.Merge_join preds -> merge_join db env mat plan preds
+  | Physical.Index_join { preds; inner_rel; inner_attr; inner_filter } ->
+    index_join db env mat plan preds ~inner_rel ~inner_attr ~inner_filter
+  | Physical.Sort cols -> sort db env mat plan cols
+  | Physical.Choose_plan ->
+    let resolved = Startup.resolve env plan in
+    compile_node db env mat resolved.Startup.plan
+
+and compile_child db env mat (plan : Plan.t) =
+  match plan.Plan.inputs with
+  | [ child ] -> compile_node db env mat child
+  | _ -> invalid_arg "Executor: expected unary operator"
+
+and compile_children db env mat (plan : Plan.t) =
+  match plan.Plan.inputs with
+  | [ l; r ] -> (compile_node db env mat l, compile_node db env mat r)
+  | _ -> invalid_arg "Executor: expected binary operator"
+
+and hash_join db env mat (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env mat plan in
+  let left_schema = left_it.Iterator.schema
+  and right_schema = right_it.Iterator.schema in
+  let schema = Schema.concat left_schema right_schema in
+  let left_width, right_width =
+    match plan.Plan.inputs with
+    | [ l; r ] -> (l.Plan.bytes_per_row, r.Plan.bytes_per_row)
+    | _ -> assert false
+  in
+  let page_bytes = Catalog.page_bytes (Database.catalog db) in
+  let mem = memory_pages env in
+  let build_key = join_key ~left_schema preds `Left in
+  let probe_key = join_key ~left_schema preds (`Right right_schema) in
+  let results = ref [] in
+  let residual = Pred_eval.equi_matches ~left:left_schema ~right:right_schema preds in
+  (* The hash key covers every predicate, but verify defensively. *)
+  let emit l r = if residual l r then results := Array.append l r :: !results in
+  (* Join a partition whose build side fits in memory. *)
+  let join_in_memory build probe =
+    let table = Hashtbl.create (List.length build + 1) in
+    List.iter (fun t -> Hashtbl.add table (build_key t) t) build;
+    List.iter
+      (fun r ->
+        List.iter (fun l -> emit l r) (Hashtbl.find_all table (probe_key r)))
+      probe
+  in
+  let rec join_partition depth build probe =
+    let build_pages =
+      List.length build * left_width / page_bytes
+    in
+    if build_pages <= mem - 1 || depth >= 3 then join_in_memory build probe
+    else begin
+      (* Grace hash join: fan out both inputs to temporary files. *)
+      let fanout = Int.max 2 (mem - 1) in
+      let part key tuples width =
+        let buckets = Array.make fanout [] in
+        List.iter
+          (fun t ->
+            let h = Hashtbl.hash (depth, key t) mod fanout in
+            buckets.(h) <- t :: buckets.(h))
+          tuples;
+        Array.map (fun ts -> spill db width (List.rev ts)) buckets
+      in
+      let build_parts = part build_key build left_width in
+      let probe_parts = part probe_key probe right_width in
+      Array.iteri
+        (fun i bheap ->
+          join_partition (depth + 1) (unspill db bheap) (unspill db probe_parts.(i)))
+        build_parts
+    end
+  in
+  let pending = ref [] in
+  { Iterator.schema;
+    open_ =
+      (fun () ->
+        results := [];
+        let build = Iterator.consume left_it in
+        let probe = Iterator.consume right_it in
+        join_partition 0 build probe;
+        pending := List.rev !results);
+    next =
+      (fun () ->
+        match !pending with
+        | [] -> None
+        | t :: rest ->
+          pending := rest;
+          Some t);
+    close = (fun () -> ()) }
+
+and merge_join db env mat (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env mat plan in
+  let left_schema = left_it.Iterator.schema
+  and right_schema = right_it.Iterator.schema in
+  let schema = Schema.concat left_schema right_schema in
+  let first =
+    match preds with
+    | p :: _ -> p
+    | [] -> invalid_arg "Executor: merge join without predicates"
+  in
+  let lpos = Schema.position_exn left_schema first.Predicate.left in
+  let rpos = Schema.position_exn right_schema first.Predicate.right in
+  let residual = Pred_eval.equi_matches ~left:left_schema ~right:right_schema preds in
+  let right_arr = ref [||] in
+  let rpointer = ref 0 in
+  let group = ref [||] in
+  let group_idx = ref 0 in
+  let current_left = ref None in
+  { Iterator.schema;
+    open_ =
+      (fun () ->
+        left_it.Iterator.open_ ();
+        right_arr := Array.of_list (Iterator.consume right_it);
+        rpointer := 0;
+        group := [||];
+        group_idx := 0;
+        current_left := None);
+    next =
+      (fun () ->
+        let rec emit () =
+          match !current_left with
+          | Some l when !group_idx < Array.length !group ->
+            let r = !group.(!group_idx) in
+            incr group_idx;
+            if residual l r then Some (Array.append l r) else emit ()
+          | _ -> (
+            match left_it.Iterator.next () with
+            | None -> None
+            | Some l ->
+              let key = l.(lpos) in
+              (* Advance to the right group with this key. *)
+              let arr = !right_arr in
+              while
+                !rpointer < Array.length arr && arr.(!rpointer).(rpos) < key
+              do
+                incr rpointer
+              done;
+              let start = !rpointer in
+              let stop = ref start in
+              while !stop < Array.length arr && arr.(!stop).(rpos) = key do
+                incr stop
+              done;
+              (* Do not advance [rpointer] past the group: the next left
+                 tuple may carry the same key. *)
+              group := Array.sub arr start (!stop - start);
+              group_idx := 0;
+              current_left := Some l;
+              emit ())
+        in
+        emit ());
+    close =
+      (fun () ->
+        left_it.Iterator.close ();
+        right_arr := [||]) }
+
+and index_join db env mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
+  let outer_it =
+    match plan.Plan.inputs with
+    | [ o ] -> compile_node db env mat o
+    | _ -> invalid_arg "Executor: index join expects one input"
+  in
+  let outer_schema = outer_it.Iterator.schema in
+  let inner_schema = base_schema db inner_rel in
+  let schema = Schema.concat outer_schema inner_schema in
+  let probe_pred =
+    match
+      List.find_opt
+        (fun (p : Predicate.equi) ->
+          p.Predicate.right.Col.rel = inner_rel
+          && p.Predicate.right.Col.attr = inner_attr)
+        preds
+    with
+    | Some p -> p
+    | None -> invalid_arg "Executor: index join predicate not found"
+  in
+  let outer_pos = Schema.position_exn outer_schema probe_pred.Predicate.left in
+  let residual = Pred_eval.equi_matches ~left:outer_schema ~right:inner_schema preds in
+  let inner_ok =
+    match inner_filter with
+    | None -> fun _ -> true
+    | Some pred -> Pred_eval.select_matches env inner_schema pred
+  in
+  let pending = ref [] in
+  { Iterator.schema;
+    open_ = (fun () -> outer_it.Iterator.open_ ());
+    next =
+      (fun () ->
+        let rec go () =
+          match !pending with
+          | t :: rest ->
+            pending := rest;
+            Some t
+          | [] -> (
+            match outer_it.Iterator.next () with
+            | None -> None
+            | Some outer ->
+              let rids =
+                Btree.search (Database.pool db)
+                  (Database.index db ~rel:inner_rel ~attr:inner_attr)
+                  outer.(outer_pos)
+              in
+              pending :=
+                List.filter_map
+                  (fun rid ->
+                    let inner = Heap_file.fetch (Database.pool db) rid in
+                    if inner_ok inner && residual outer inner then
+                      Some (Array.append outer inner)
+                    else None)
+                  rids;
+              go ())
+        in
+        go ());
+    close = outer_it.Iterator.close }
+
+and sort db env mat (plan : Plan.t) cols =
+  let child = compile_child db env mat plan in
+  let schema = child.Iterator.schema in
+  let positions = List.map (Schema.position_exn schema) cols in
+  let compare_tuples a b =
+    let rec go = function
+      | [] -> 0
+      | p :: rest -> (
+        match Int.compare a.(p) b.(p) with 0 -> go rest | c -> c)
+    in
+    go positions
+  in
+  let width = plan.Plan.bytes_per_row in
+  let page_bytes = Catalog.page_bytes (Database.catalog db) in
+  let mem = memory_pages env in
+  let pending = ref [] in
+  { Iterator.schema;
+    open_ =
+      (fun () ->
+        let tuples = Iterator.consume child in
+        let pages = List.length tuples * width / page_bytes in
+        if pages <= mem then
+          pending := List.stable_sort compare_tuples tuples
+        else begin
+          (* External sort: spill sorted runs, then merge. *)
+          let per_run = Int.max 1 (mem * page_bytes / Int.max 1 width) in
+          let rec runs acc = function
+            | [] -> List.rev acc
+            | rest ->
+              let run = List.filteri (fun i _ -> i < per_run) rest in
+              let remainder = List.filteri (fun i _ -> i >= per_run) rest in
+              runs (spill db width (List.stable_sort compare_tuples run) :: acc) remainder
+          in
+          let run_files = runs [] tuples in
+          let sorted_runs = List.map (fun h -> unspill db h) run_files in
+          let rec merge lists =
+            match lists with
+            | [] -> []
+            | [ l ] -> l
+            | ls ->
+              (* K-way merge in one pass; buffer constraints are modelled
+                 by the I/O already accounted on spill. *)
+              let rec pick best rest = function
+                | [] -> (best, List.rev rest)
+                | [] :: more -> pick best rest more
+                | (h :: _ as l) :: more -> (
+                  match best with
+                  | Some (bh, _) when compare_tuples bh h <= 0 ->
+                    pick best (l :: rest) more
+                  | _ -> (
+                    match best with
+                    | None -> pick (Some (h, l)) rest more
+                    | Some (_, bl) -> pick (Some (h, l)) (bl :: rest) more))
+              in
+              (match pick None [] ls with
+              | None, _ -> []
+              | Some (h, winner), others ->
+                let winner_rest = List.tl winner in
+                h :: merge (winner_rest :: others))
+          in
+          pending := merge sorted_runs
+        end);
+    next =
+      (fun () ->
+        match !pending with
+        | [] -> None
+        | t :: rest ->
+          pending := rest;
+          Some t);
+    close = (fun () -> pending := []) }
+
+(* compile_node resolves any remaining choose-plan operators lazily, and
+   materialized substitution is checked before anything else, so plans
+   containing overridden choose nodes compile correctly. *)
+let compile_with db env ?(materialized = []) plan =
+  compile_node db env materialized plan
+
+let compile db env plan = compile_with db env plan
+
+let run db bindings plan =
+  let env = Env.of_bindings (Database.catalog db) bindings in
+  let resolved =
+    if Plan.contains_choose plan then (Startup.resolve env plan).Startup.plan
+    else plan
+  in
+  let pool = Database.pool db in
+  Buffer_pool.resize pool (memory_pages env);
+  let before = Buffer_pool.stats pool in
+  let it = compile_node db env [] resolved in
+  let tuples, cpu_seconds = Timer.cpu (fun () -> Iterator.consume it) in
+  let after = Buffer_pool.stats pool in
+  let io =
+    { Buffer_pool.logical_reads = after.Buffer_pool.logical_reads - before.Buffer_pool.logical_reads;
+      physical_reads = after.Buffer_pool.physical_reads - before.Buffer_pool.physical_reads;
+      physical_writes = after.Buffer_pool.physical_writes - before.Buffer_pool.physical_writes }
+  in
+  (tuples, { tuples = List.length tuples; io; cpu_seconds; resolved_plan = resolved })

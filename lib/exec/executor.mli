@@ -1,0 +1,44 @@
+(** The execution engine: compiles physical plans to iterators over a
+    materialized {!Dqep_storage.Database}.
+
+    All data access flows through the database's buffer pool, so physical
+    I/O is accounted: hash joins whose build input exceeds memory
+    partition to temporary files (Grace hash join), sorts spill to
+    disk-based runs, and index scans fetch records through B-trees.
+
+    Choose-plan operators are resolved at open time via
+    {!Dqep_plans.Startup} — the run-time half of the paper's 1989
+    contribution. *)
+
+type run_stats = {
+  tuples : int;
+  io : Dqep_storage.Buffer_pool.stats;  (** physical I/O delta of the run *)
+  cpu_seconds : float;
+  resolved_plan : Dqep_plans.Plan.t;  (** after choose-plan decisions *)
+}
+
+val compile :
+  Dqep_storage.Database.t -> Dqep_cost.Env.t -> Dqep_plans.Plan.t -> Iterator.t
+(** Compile a plan under a point environment (from actual bindings).
+    Dynamic plans are resolved first.
+    @raise Invalid_argument on malformed plans. *)
+
+val compile_with :
+  Dqep_storage.Database.t ->
+  Dqep_cost.Env.t ->
+  ?materialized:(int * Iterator.tuple list) list ->
+  Dqep_plans.Plan.t ->
+  Iterator.t
+(** Like {!compile}, but nodes whose pid appears in [materialized] are
+    served from the given temporary results instead of being executed —
+    the execution half of mid-query adaptation ({!Midquery}). *)
+
+val run :
+  Dqep_storage.Database.t ->
+  Dqep_cost.Bindings.t ->
+  Dqep_plans.Plan.t ->
+  Iterator.tuple list * run_stats
+(** Resolve, execute and drain a plan, reporting I/O and CPU. *)
+
+val memory_pages : Dqep_cost.Env.t -> int
+(** The engine's working-memory budget under the environment. *)

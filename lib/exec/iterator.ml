@@ -1,0 +1,37 @@
+type tuple = int array
+
+type t = {
+  schema : Dqep_algebra.Schema.t;
+  open_ : unit -> unit;
+  next : unit -> tuple option;
+  close : unit -> unit;
+}
+
+let consume it =
+  it.open_ ();
+  Fun.protect ~finally:it.close (fun () ->
+      let rec drain acc =
+        match it.next () with
+        | None -> List.rev acc
+        | Some t -> drain (t :: acc)
+      in
+      drain [])
+
+let count it =
+  it.open_ ();
+  Fun.protect ~finally:it.close (fun () ->
+      let rec drain n = match it.next () with None -> n | Some _ -> drain (n + 1) in
+      drain 0)
+
+let of_list schema tuples =
+  let remaining = ref tuples in
+  { schema;
+    open_ = (fun () -> remaining := tuples);
+    next =
+      (fun () ->
+        match !remaining with
+        | [] -> None
+        | t :: rest ->
+          remaining := rest;
+          Some t);
+    close = (fun () -> ()) }

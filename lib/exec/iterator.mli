@@ -1,0 +1,19 @@
+(** Volcano-style demand-driven iterators: open / next / close. *)
+
+type tuple = int array
+
+type t = {
+  schema : Dqep_algebra.Schema.t;
+  open_ : unit -> unit;
+  next : unit -> tuple option;
+  close : unit -> unit;
+}
+
+val consume : t -> tuple list
+(** Open, drain and close, returning all produced tuples in order. *)
+
+val count : t -> int
+(** Open, drain and close, returning only the tuple count. *)
+
+val of_list : Dqep_algebra.Schema.t -> tuple list -> t
+(** A materialized input, for tests. *)

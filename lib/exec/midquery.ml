@@ -1,0 +1,158 @@
+module Timer = Dqep_util.Timer
+module Physical = Dqep_algebra.Physical
+module Env = Dqep_cost.Env
+module Plan = Dqep_plans.Plan
+module Startup = Dqep_plans.Startup
+module Database = Dqep_storage.Database
+module Buffer_pool = Dqep_storage.Buffer_pool
+
+type stats = {
+  materialized : Plan.t option;
+  estimated_rows : float;
+  observed_rows : int;
+  default_cost : float;
+  adapted_cost : float;
+  switched : bool;
+  run : Executor.run_stats;
+}
+
+let pid_map plan =
+  let map = Hashtbl.create 64 in
+  Plan.iter (fun p -> Hashtbl.replace map p.Plan.pid p) plan;
+  map
+
+let shared_subplan (plan : Plan.t) =
+  match plan.Plan.op with
+  | Physical.Choose_plan -> (
+    match plan.Plan.inputs with
+    | [] | [ _ ] -> None
+    | alternatives ->
+      (* Score every subplan occurring in at least two alternatives by
+         (cardinality uncertainty x alternatives informed): observing the
+         most uncertain, most widely shared input buys the decision
+         procedure the most.  Nested choose operators are allowed —
+         materialization resolves them with the estimates at hand. *)
+      let maps = List.map pid_map alternatives in
+      let nodes = Hashtbl.create 64 in
+      let counts = Hashtbl.create 64 in
+      List.iter
+        (fun m ->
+          Hashtbl.iter
+            (fun pid node ->
+              Hashtbl.replace nodes pid node;
+              Hashtbl.replace counts pid
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts pid)))
+            m)
+        maps;
+      let score pid (node : Plan.t) =
+        let count = Hashtbl.find counts pid in
+        if count < 2 || pid = plan.Plan.pid then None
+        else begin
+          let width = Dqep_util.Interval.width node.Plan.rows in
+          if width <= 0. then None
+          else Some (width *. float_of_int count, Plan.node_count node)
+        end
+      in
+      Hashtbl.fold
+        (fun pid node best ->
+          match score pid node with
+          | None -> best
+          | Some s -> (
+            match best with
+            | Some (bs, _) when bs >= s -> best
+            | _ -> Some (s, node)))
+        nodes None
+      |> Option.map snd)
+  | _ -> None
+
+let plain_run db bindings plan =
+  let tuples, run = Executor.run db bindings plan in
+  let env = Env.of_bindings (Database.catalog db) bindings in
+  let cost, _ = Startup.evaluate env run.Executor.resolved_plan in
+  ( tuples,
+    { materialized = None;
+      estimated_rows = 0.;
+      observed_rows = 0;
+      default_cost = cost;
+      adapted_cost = cost;
+      switched = false;
+      run } )
+
+let run db bindings plan =
+  match shared_subplan plan with
+  | None -> plain_run db bindings plan
+  | Some sub ->
+    let env = Env.of_bindings (Database.catalog db) bindings in
+    let pool = Database.pool db in
+    Buffer_pool.resize pool (Executor.memory_pages env);
+    let before = Buffer_pool.stats pool in
+    let start = Sys.time () in
+    (* Phase 1: evaluate the shared subplan into a temporary. *)
+    let temp = Iterator.consume (Executor.compile db env sub) in
+    let observed = List.length temp in
+    (* Propagate the observation to every subplan computing the same
+       logical result (same relations and selections — witnessed by an
+       identical compile-time cardinality interval): alternatives that
+       access the observed input through a different physical path are
+       costed against reality too. *)
+    let equivalent =
+      Plan.fold
+        (fun acc (node : Plan.t) ->
+          if
+            node.Plan.rels = sub.Plan.rels
+            && Dqep_util.Interval.equal node.Plan.rows sub.Plan.rows
+          then node :: acc
+          else acc)
+        [] plan
+    in
+    let overrides =
+      List.map (fun (n : Plan.t) -> (n.Plan.pid, float_of_int observed)) equivalent
+    in
+    (* The temporary is unordered: only splice it in where no sort order
+       is promised; ordered equivalents re-execute their own path. *)
+    let materialized =
+      List.filter_map
+        (fun (n : Plan.t) ->
+          match n.Plan.props.Dqep_algebra.Props.order with
+          | Dqep_algebra.Props.Unordered -> Some (n.Plan.pid, temp)
+          | Dqep_algebra.Props.Ordered _ -> None)
+        equivalent
+    in
+    (* Phase 2: decide with the observation, execute with the temporary. *)
+    let default_resolution = Startup.resolve env plan in
+    (* Cost the start-up-time choice under the observation too, so both
+       costs are comparable statements about reality. *)
+    let default_cost, _ =
+      Startup.evaluate ~overrides env default_resolution.Startup.plan
+    in
+    let adapted = Startup.resolve ~overrides env plan in
+    let tuples =
+      Iterator.consume
+        (Executor.compile_with db env ~materialized adapted.Startup.plan)
+    in
+    let cpu_seconds = Sys.time () -. start in
+    let after = Buffer_pool.stats pool in
+    let io =
+      { Buffer_pool.logical_reads =
+          after.Buffer_pool.logical_reads - before.Buffer_pool.logical_reads;
+        physical_reads =
+          after.Buffer_pool.physical_reads - before.Buffer_pool.physical_reads;
+        physical_writes =
+          after.Buffer_pool.physical_writes - before.Buffer_pool.physical_writes }
+    in
+    ( tuples,
+      { materialized = Some sub;
+        estimated_rows = Startup.estimated_rows env sub;
+        observed_rows = observed;
+        default_cost;
+        adapted_cost = adapted.Startup.anticipated_cost;
+        switched =
+          (* Structural comparison via the canonical encoding: resolution
+             rebuilds nodes, so pids alone would differ spuriously. *)
+          Dqep_plans.Access_module.encode default_resolution.Startup.plan
+          <> Dqep_plans.Access_module.encode adapted.Startup.plan;
+        run =
+          { Executor.tuples = List.length tuples;
+            io;
+            cpu_seconds;
+            resolved_plan = adapted.Startup.plan } } )

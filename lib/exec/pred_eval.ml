@@ -1,0 +1,29 @@
+module Interval = Dqep_util.Interval
+module Env = Dqep_cost.Env
+module Schema = Dqep_algebra.Schema
+module Predicate = Dqep_algebra.Predicate
+module Col = Dqep_algebra.Col
+module Catalog = Dqep_catalog.Catalog
+
+let threshold env (p : Predicate.select) =
+  let sel = Interval.mid (Env.selectivity env p) in
+  let dom =
+    Catalog.domain_size (Env.catalog env) ~rel:p.target.Col.rel
+      ~attr:p.target.Col.attr
+  in
+  int_of_float (Float.round (sel *. float_of_int dom))
+
+let select_matches env schema (p : Predicate.select) tuple =
+  let pos = Schema.position_exn schema p.Predicate.target in
+  tuple.(pos) < threshold env p
+
+let equi_matches ~left ~right preds ltuple rtuple =
+  List.for_all
+    (fun (p : Predicate.equi) ->
+      let value (c : Col.t) =
+        match Schema.position left c with
+        | Some i -> ltuple.(i)
+        | None -> rtuple.(Schema.position_exn right c)
+      in
+      value p.left = value p.right)
+    preds

@@ -1,0 +1,48 @@
+module Schema = Dqep_algebra.Schema
+module Logical = Dqep_algebra.Logical
+module Catalog = Dqep_catalog.Catalog
+module Env = Dqep_cost.Env
+module Database = Dqep_storage.Database
+module Heap_file = Dqep_storage.Heap_file
+
+let eval db bindings query =
+  let env = Env.of_bindings (Database.catalog db) bindings in
+  let rec go = function
+    | Logical.Get_set rel ->
+      let schema =
+        Schema.of_relation (Catalog.relation_exn (Database.catalog db) rel)
+      in
+      let acc = ref [] in
+      Heap_file.scan (Database.pool db) (Database.heap db rel) (fun _ t ->
+          acc := t :: !acc);
+      (schema, List.rev !acc)
+    | Logical.Select (e, pred) ->
+      let schema, tuples = go e in
+      (schema, List.filter (Pred_eval.select_matches env schema pred) tuples)
+    | Logical.Join (l, r, preds) ->
+      let ls, lt = go l in
+      let rs, rt = go r in
+      let matches = Pred_eval.equi_matches ~left:ls ~right:rs preds in
+      let out =
+        List.concat_map
+          (fun a -> List.filter_map (fun b -> if matches a b then Some (Array.append a b) else None) rt)
+          lt
+      in
+      (Schema.concat ls rs, out)
+  in
+  go query
+
+let multiset_equal a b =
+  let sort l = List.sort compare (List.map Array.to_list l) in
+  sort a = sort b
+
+let normalize schema tuples =
+  let order =
+    Schema.columns schema
+    |> Array.mapi (fun i c -> (c, i))
+    |> Array.to_list
+    |> List.sort (fun (a, _) (b, _) -> Dqep_algebra.Col.compare a b)
+    |> List.map snd
+    |> Array.of_list
+  in
+  List.map (fun t -> Array.map (fun i -> t.(i)) order) tuples

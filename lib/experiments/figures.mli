@@ -1,0 +1,36 @@
+(** One report generator per figure of the paper's evaluation (Section 6)
+    plus the break-even analyses of the running text.
+
+    Every generator consumes pre-computed {!Common.measurement}s so the
+    expensive measurements run once and are shared across figures. *)
+
+val fig3 : ?invocations:int list -> Common.measurement list -> Report.t
+(** Figure 3's optimization-scenario model, instantiated with measured
+    quantities: total effort of static plans ([a + N(b + c)]), run-time
+    optimization ([N(a + d)]) and dynamic plans ([e + N(f + g)]) for a
+    range of invocation counts [N] (default 1, 10, 100). *)
+
+val fig4 : Common.measurement list -> Report.t
+(** Average execution cost of static vs dynamic plans. *)
+
+val fig5 : Common.measurement list -> Report.t
+(** Optimization time of static vs dynamic plans (measured CPU). *)
+
+val fig6 : Common.measurement list -> Report.t
+(** Plan sizes in operator nodes (DAG), plus modelled access-module
+    bytes and the tree-expanded node count sharing avoids. *)
+
+val fig7 : Common.measurement list -> Report.t
+(** Start-up CPU time of dynamic plans (measured), with decision counts
+    and activation I/O. *)
+
+val fig8 : Common.measurement list -> Report.t
+(** Run-time optimization vs dynamic plans: per-invocation run-time
+    effort [a + d] vs [f + g]. *)
+
+val breakeven : Common.measurement list -> Report.t
+(** Break-even invocation counts: dynamic vs static
+    ([ceil ((e-a) / ((b+c) - (f+g)))]) and dynamic vs run-time
+    optimization ([ceil (e / (a - f))]), per the paper's formulas. *)
+
+val all : Common.measurement list -> Report.t list

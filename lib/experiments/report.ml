@@ -1,0 +1,53 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ~rows ?(notes = []) () =
+  { id; title; header; rows; notes }
+
+let render ppf t =
+  let all = t.header :: t.rows in
+  let columns = List.length t.header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> Int.max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        Format.fprintf ppf "%s%s" cell (String.make (w - String.length cell + 2) ' '))
+      row;
+    Format.pp_print_newline ppf ()
+  in
+  Format.fprintf ppf "== %s: %s ==@." t.id t.title;
+  print_row t.header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row t.rows;
+  List.iter (fun n -> Format.fprintf ppf "note: %s@." n) t.notes;
+  Format.pp_print_newline ppf ()
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  String.concat "\n"
+    (List.map
+       (fun row -> String.concat "," (List.map csv_escape row))
+       (t.header :: t.rows))
+  ^ "\n"
+
+let f2 v = Printf.sprintf "%.2f" v
+let f4 v = Printf.sprintf "%.4f" v
+let g3 v = Printf.sprintf "%.3g" v

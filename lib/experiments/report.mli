@@ -1,0 +1,24 @@
+(** Plain-text experiment reports: aligned tables with notes, also
+    exportable as CSV. *)
+
+type t = {
+  id : string;  (** experiment id, e.g. "fig4" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> header:string list ->
+  rows:string list list -> ?notes:string list -> unit -> t
+
+val render : Format.formatter -> t -> unit
+val to_csv : t -> string
+
+val f2 : float -> string
+(** Fixed 2-decimal rendering. *)
+
+val f4 : float -> string
+val g3 : float -> string
+(** Compact significant-digit rendering. *)

@@ -1,0 +1,19 @@
+let report () =
+  Report.make ~id:"table1" ~title:"Logical and physical algebra operators"
+    ~header:
+      [ "operator type"; "logical operator / physical property";
+        "physical algorithm" ]
+    ~rows:
+      [ [ "data retrieval"; "Get-Set"; "File-Scan" ];
+        [ ""; ""; "B-tree-Scan" ];
+        [ "select, project"; "Select"; "Filter" ];
+        [ ""; ""; "Filter-B-tree-Scan" ];
+        [ "join"; "Join"; "Hash-Join" ];
+        [ ""; ""; "Merge-Join" ];
+        [ ""; ""; "Index-Join" ];
+        [ "enforcer"; "sort order"; "Sort" ];
+        [ ""; "plan robustness"; "Choose-Plan" ] ]
+    ~notes:
+      [ "matches the paper's Table 1; transformation rules are join \
+         commutativity and associativity (all bushy trees)" ]
+    ()

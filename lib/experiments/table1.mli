@@ -1,0 +1,3 @@
+(** The paper's Table 1: logical and physical algebra operators. *)
+
+val report : unit -> Report.t

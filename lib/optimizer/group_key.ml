@@ -1,0 +1,54 @@
+module Predicate = Dqep_algebra.Predicate
+module Col = Dqep_algebra.Col
+
+type item = { rel : string; sels : Predicate.select list }
+type t = item list
+
+let base rel = [ { rel; sels = [] } ]
+
+let with_selection t (p : Predicate.select) =
+  let rel = p.target.Col.rel in
+  let found = ref false in
+  let t =
+    List.map
+      (fun item ->
+        if item.rel = rel then begin
+          found := true;
+          { item with sels = List.sort Predicate.select_compare (p :: item.sels) }
+        end
+        else item)
+      t
+  in
+  if not !found then invalid_arg "Group_key.with_selection: relation not in key";
+  t
+
+let union a b =
+  List.iter
+    (fun ia ->
+      if List.exists (fun ib -> ib.rel = ia.rel) b then
+        invalid_arg "Group_key.union: overlapping relation sets")
+    a;
+  List.sort (fun x y -> String.compare x.rel y.rel) (a @ b)
+
+let items t = t
+let rels t = List.map (fun i -> i.rel) t
+let mem_rel t rel = List.exists (fun i -> i.rel = rel) t
+let cardinal = List.length
+let single_item = function [ item ] -> Some item | _ -> None
+
+let sel_string (p : Predicate.select) =
+  let v =
+    match p.selectivity with
+    | Predicate.Bound s -> Printf.sprintf "b%h" s
+    | Predicate.Host_var h -> "h" ^ h
+  in
+  Col.to_string p.target ^ "<=" ^ v
+
+let to_string t =
+  String.concat "|"
+    (List.map
+       (fun i -> i.rel ^ "{" ^ String.concat "," (List.map sel_string i.sels) ^ "}")
+       t)
+
+let equal a b = to_string a = to_string b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,44 @@
+(** Canonical identity of an equivalence class of logical expressions.
+
+    Two logical expressions are equivalent iff they combine the same base
+    relations with the same applied selections (join predicates are
+    implied: every query predicate internal to the relation set applies).
+    Keying groups this way means exhaustive application of join
+    commutativity and associativity can never create a duplicate group,
+    so the memo needs no group merging. *)
+
+type item = {
+  rel : string;
+  sels : Dqep_algebra.Predicate.select list;  (** sorted *)
+}
+
+type t
+(** A sorted set of items. *)
+
+val base : string -> t
+val with_selection : t -> Dqep_algebra.Predicate.select -> t
+(** Add a selection to the item owning the predicate's relation.
+    @raise Invalid_argument if that relation is not in the key. *)
+
+val union : t -> t -> t
+(** @raise Invalid_argument if the keys share a relation. *)
+
+val items : t -> item list
+val rels : t -> string list
+(** Sorted relation names. *)
+
+val mem_rel : t -> string -> bool
+val cardinal : t -> int
+
+val single_item : t -> item option
+(** The key's only item, if the key covers exactly one relation. *)
+
+val to_string : t -> string
+(** Canonical printable form, usable as a hash key. *)
+
+val sel_string : Dqep_algebra.Predicate.select -> string
+(** Canonical form of one selection predicate (shared with
+    {!Lmexpr.fingerprint}). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** The memo: equivalence classes ("groups") of logical expressions.
+
+    Implements the memoizing half of the Volcano search engine: groups
+    are keyed canonically ({!Group_key}), logical multi-expressions are
+    de-duplicated by fingerprint, and logical properties (cardinality
+    interval, tuple width) are computed once per group from its key —
+    independent of which expression created the group, so all equivalent
+    expressions agree on them by construction. *)
+
+module Interval = Dqep_util.Interval
+
+type group = {
+  id : int;
+  key : Group_key.t;
+  rels : string list;  (** sorted *)
+  rows : Interval.t;  (** estimated output cardinality *)
+  bytes_per_row : int;
+  mutable lexprs : Lmexpr.t list;  (** in insertion order *)
+  mutable explored : bool;
+}
+
+type t
+
+val create : Dqep_cost.Env.t -> t
+val env : t -> Dqep_cost.Env.t
+
+val ingest : t -> Dqep_algebra.Logical.t -> int
+(** Intern a whole query, registering its join predicates, and return
+    the root group id.  @raise Invalid_argument on malformed queries
+    (use {!Dqep_algebra.Logical.validate} first for friendly errors). *)
+
+val group : t -> int -> group
+val group_count : t -> int
+val lexpr_count : t -> int
+
+val add_lexpr : t -> int -> Lmexpr.t -> bool
+(** Add an expression to a group unless already present; [true] if new. *)
+
+val preds_between : t -> Group_key.t -> Group_key.t -> Dqep_algebra.Predicate.equi list
+(** All query join predicates spanning the two relation sets, oriented so
+    each predicate's left column belongs to the first key. *)
+
+val join_group : t -> int -> int -> int option
+(** Group representing the join of two groups, creating it (with its
+    canonical [Join] expression) if needed.  [None] if no query predicate
+    connects them (cross products are not generated). *)
+
+val make_join_lexpr : t -> int -> int -> Lmexpr.t option
+(** The canonical join expression over two child groups, [None] if they
+    are not connected. *)
+
+val logical_tree_count : t -> int -> float
+(** Number of distinct complete logical expression trees represented for
+    a group — the paper's "logical alternatives" count.  Float because it
+    grows into the millions for 10-way joins. *)

@@ -1,0 +1,76 @@
+(** The optimizer facade: one search engine, three strategies.
+
+    The strategies of the paper's Figure 3 differ only in the parameter
+    environment handed to the shared search engine:
+
+    - {!Static}: traditional compile-time optimization with expected
+      parameter values — produces a single static plan;
+    - {!Dynamic}: compile-time optimization with interval parameters —
+      produces a dynamic plan with choose-plan operators;
+    - {!Run_time}: optimization at query invocation with the actual
+      bindings — the "brute force" comparison point. *)
+
+module Interval = Dqep_util.Interval
+module Plan = Dqep_plans.Plan
+
+type mode =
+  | Static of { default_selectivity : float; memory_pages : int }
+  | Dynamic of { uncertain_memory : bool }
+  | Run_time of Dqep_cost.Bindings.t
+
+val static : mode
+(** [Static] with the paper's expected values: selectivity 0.05, memory
+    64 pages. *)
+
+val dynamic : ?uncertain_memory:bool -> unit -> mode
+(** Default [uncertain_memory] is [false]. *)
+
+type options = {
+  device : Dqep_cost.Device.t;
+  memory_interval : Interval.t;
+      (** run-time memory range when uncertain (paper: [\[16, 112\]]) *)
+  prune : bool;
+  use_index_join : bool;
+  left_deep : bool;
+      (** restrict join shapes to left-deep trees — the traditional
+          System R-style search space the paper contrasts with *)
+  exhaustive : bool;
+      (** treat every cost comparison as incomparable, yielding the
+          Section 3 "exhaustive plan" (dynamic mode only; implies keeping
+          all alternatives) *)
+  selectivity_bounds : (string * Interval.t) list;
+      (** narrower compile-time intervals for specific host variables
+          (dynamic mode); unlisted variables default to [\[0, 1\]] *)
+  sample_domination : int option;
+  sample_seed : int;
+}
+
+val default_options : options
+
+type stats = {
+  cpu_seconds : float;  (** measured optimization CPU time *)
+  groups : int;  (** memo groups (equivalence classes) *)
+  logical_exprs : int;  (** logical multi-expressions generated *)
+  logical_alternatives : float;  (** complete logical plan trees *)
+  goals : int;
+  candidates : int;
+  pruned : int;
+  sample_evaluations : int;
+  plan_nodes : int;  (** size of the produced plan DAG *)
+}
+
+type result = {
+  plan : Plan.t;
+  env : Dqep_cost.Env.t;  (** environment the plan was optimized under *)
+  stats : stats;
+}
+
+val optimize :
+  ?options:options ->
+  mode:mode ->
+  Dqep_catalog.Catalog.t ->
+  Dqep_algebra.Logical.t ->
+  (result, string) Result.t
+(** Validate and optimize a query.  Static and run-time modes always
+    return choose-plan-free plans; dynamic mode returns a dynamic plan
+    whenever costs were incomparable. *)

@@ -1,0 +1,35 @@
+module Interval = Dqep_util.Interval
+module Plan = Dqep_plans.Plan
+
+type t = Plan.t list
+
+let insert ~keep_equal ?(force_incomparable = false) ?sample_dominates set
+    (plan : Plan.t) =
+  if List.exists (fun (e : Plan.t) -> e.Plan.pid = plan.Plan.pid) set then
+    (set, false)
+  else if force_incomparable then (set @ [ plan ], true)
+  else
+  let dominated_by (existing : Plan.t) =
+    match Interval.compare_cost existing.Plan.total_cost plan.Plan.total_cost with
+    | Interval.Lt -> true
+    | Interval.Eq -> not keep_equal
+    | Interval.Gt -> false
+    | Interval.Incomparable -> (
+      match sample_dominates with
+      | None -> false
+      | Some f -> f existing plan)
+  in
+  if List.exists dominated_by set then (set, false)
+  else begin
+    let dominates (existing : Plan.t) =
+      match Interval.compare_cost plan.Plan.total_cost existing.Plan.total_cost with
+      | Interval.Lt -> true
+      | Interval.Gt | Interval.Eq -> false
+      | Interval.Incomparable -> (
+        match sample_dominates with
+        | None -> false
+        | Some f -> f plan existing)
+    in
+    let survivors = List.filter (fun e -> not (dominates e)) set in
+    (survivors @ [ plan ], true)
+  end

@@ -1,0 +1,25 @@
+(** Pareto sets of plans under the partial cost order.
+
+    Traditional optimizers keep exactly one winner per optimization goal;
+    with interval costs several plans may survive because none dominates
+    the others.  Equal-cost plans are both kept in dynamic mode — the
+    paper's deliberately conservative prototype behaviour — and resolved
+    arbitrarily (first wins) in static mode. *)
+
+module Plan = Dqep_plans.Plan
+
+type t = Plan.t list
+(** Mutually non-dominated plans, insertion-ordered. *)
+
+val insert :
+  keep_equal:bool ->
+  ?force_incomparable:bool ->
+  ?sample_dominates:(Plan.t -> Plan.t -> bool) ->
+  t ->
+  Plan.t ->
+  t * bool
+(** [insert ~keep_equal set plan] adds [plan] unless an existing plan
+    dominates it, removing any plans it dominates; returns the new set
+    and whether the plan was added.  [sample_dominates a b] — used for
+    the paper's Section 3 heuristic — may declare [a] consistently
+    cheaper than [b] even when their intervals overlap. *)

@@ -1,0 +1,61 @@
+type rule = {
+  name : string;
+  apply : Memo.t -> group_id:int -> Lmexpr.t -> Lmexpr.t list;
+}
+
+let join_commutativity =
+  { name = "join-commutativity";
+    apply =
+      (fun memo ~group_id:_ e ->
+        match e.Lmexpr.op with
+        | Lmexpr.Join _ ->
+          let l = e.Lmexpr.children.(0) and r = e.Lmexpr.children.(1) in
+          Option.to_list (Memo.make_join_lexpr memo r l)
+        | Lmexpr.Get _ | Lmexpr.Select _ -> []) }
+
+(* (A join B) join C  ->  A join (B join C), skipping splits that would
+   need a cross product. *)
+let join_associativity =
+  { name = "join-associativity";
+    apply =
+      (fun memo ~group_id:_ e ->
+        match e.Lmexpr.op with
+        | Lmexpr.Get _ | Lmexpr.Select _ -> []
+        | Lmexpr.Join _ ->
+          let left = e.Lmexpr.children.(0) and c = e.Lmexpr.children.(1) in
+          let lgroup = Memo.group memo left in
+          List.filter_map
+            (fun (le : Lmexpr.t) ->
+              match le.Lmexpr.op with
+              | Lmexpr.Get _ | Lmexpr.Select _ -> None
+              | Lmexpr.Join _ ->
+                let a = le.Lmexpr.children.(0) and b = le.Lmexpr.children.(1) in
+                (match Memo.join_group memo b c with
+                | None -> None
+                | Some bc -> Memo.make_join_lexpr memo a bc))
+            lgroup.Memo.lexprs) }
+
+let default_rules = [ join_commutativity; join_associativity ]
+
+let explore ?(rules = default_rules) memo root =
+  let rec go id =
+    let g = Memo.group memo id in
+    if not g.Memo.explored then begin
+      g.Memo.explored <- true;
+      let queue = Queue.create () in
+      List.iter (fun e -> Queue.add e queue) g.Memo.lexprs;
+      while not (Queue.is_empty queue) do
+        let e = Queue.pop queue in
+        (* Children must be explored before associativity can see all of
+           their join expressions. *)
+        Array.iter go e.Lmexpr.children;
+        List.iter
+          (fun rule ->
+            List.iter
+              (fun e' -> if Memo.add_lexpr memo id e' then Queue.add e' queue)
+              (rule.apply memo ~group_id:id e))
+          rules
+      done
+    end
+  in
+  go root

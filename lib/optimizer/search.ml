@@ -1,0 +1,334 @@
+module Interval = Dqep_util.Interval
+module Rng = Dqep_util.Rng
+module Physical = Dqep_algebra.Physical
+module Predicate = Dqep_algebra.Predicate
+module Props = Dqep_algebra.Props
+module Col = Dqep_algebra.Col
+module Catalog = Dqep_catalog.Catalog
+module Env = Dqep_cost.Env
+module Cost_model = Dqep_cost.Cost_model
+module Plan = Dqep_plans.Plan
+module Startup = Dqep_plans.Startup
+
+(* Enable with [Logs.Src.set_level Search.log_src (Some Logs.Debug)] or
+   the CLI's --verbose flag. *)
+let log_src = Logs.Src.create "dqep.search" ~doc:"Optimizer search engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  env : Env.t;
+  keep_equal_alternatives : bool;
+  prune : bool;
+  use_index_join : bool;
+  left_deep_only : bool;
+  force_incomparable : bool;
+  sample_domination : int option;
+  sample_seed : int;
+}
+
+let config ?(keep_equal_alternatives = true) ?(prune = true)
+    ?(use_index_join = true) ?(left_deep_only = false)
+    ?(force_incomparable = false) ?(sample_domination = None)
+    ?(sample_seed = 42) env =
+  { env; keep_equal_alternatives; prune; use_index_join; left_deep_only;
+    force_incomparable; sample_domination; sample_seed }
+
+type stats = {
+  goals : int;
+  candidates : int;
+  pruned : int;
+  sample_evaluations : int;
+}
+
+type entry = { bound : float; best : Plan.t option }
+
+type t = {
+  config : config;
+  memo : Memo.t;
+  builder : Plan.Builder.t;
+  winners : (int, (Props.required * entry) list) Hashtbl.t;
+  sample_envs : Env.t list Lazy.t;
+  sample_costs : (int * int, float) Hashtbl.t;
+  mutable goals : int;
+  mutable candidates : int;
+  mutable pruned : int;
+  mutable sample_evaluations : int;
+}
+
+(* Deterministic per-(variable, sample) selectivities and memory values
+   for the sampled-domination heuristic. *)
+let make_sample_envs config n =
+  let base_mem = Env.memory_pages config.env in
+  List.init n (fun j ->
+      let selectivity var =
+        let rng = Rng.create (Hashtbl.hash (var, config.sample_seed, j)) in
+        Interval.point (Rng.float rng)
+      in
+      let mem =
+        let rng = Rng.create (Hashtbl.hash ("memory", config.sample_seed, j)) in
+        Interval.point
+          (Rng.uniform rng base_mem.Interval.lo base_mem.Interval.hi)
+      in
+      Env.make
+        ~catalog:(Env.catalog config.env)
+        ~device:(Env.device config.env)
+        ~selectivity ~memory_pages:mem)
+
+let create config memo =
+  { config;
+    memo;
+    builder = Plan.Builder.create config.env;
+    winners = Hashtbl.create 64;
+    sample_envs =
+      lazy
+        (match config.sample_domination with
+        | None -> []
+        | Some n -> make_sample_envs config n);
+    sample_costs = Hashtbl.create 256;
+    goals = 0;
+    candidates = 0;
+    pruned = 0;
+    sample_evaluations = 0 }
+
+let memo t = t.memo
+
+let stats t =
+  { goals = t.goals;
+    candidates = t.candidates;
+    pruned = t.pruned;
+    sample_evaluations = t.sample_evaluations }
+
+let sample_cost t j env (plan : Plan.t) =
+  let key = (plan.Plan.pid, j) in
+  match Hashtbl.find_opt t.sample_costs key with
+  | Some c -> c
+  | None ->
+    let c, _ = Startup.evaluate env plan in
+    t.sample_evaluations <- t.sample_evaluations + 1;
+    Hashtbl.add t.sample_costs key c;
+    c
+
+(* [a] consistently at least as cheap as [b] over all sampled settings. *)
+let sample_dominates t a b =
+  match Lazy.force t.sample_envs with
+  | [] -> false
+  | envs ->
+    List.for_all
+      (fun (j, env) -> sample_cost t j env a <= sample_cost t j env b)
+      (List.mapi (fun j env -> (j, env)) envs)
+
+let find_entry t gid required =
+  match Hashtbl.find_opt t.winners gid with
+  | None -> None
+  | Some l ->
+    List.find_opt (fun (r, _) -> Props.required_equal r required) l
+    |> Option.map snd
+
+let store_entry t gid required entry =
+  let l = Option.value ~default:[] (Hashtbl.find_opt t.winners gid) in
+  let l = List.filter (fun (r, _) -> not (Props.required_equal r required)) l in
+  Hashtbl.replace t.winners gid ((required, entry) :: l)
+
+let group_input (g : Memo.group) =
+  { Cost_model.rows = g.Memo.rows; bytes_per_row = g.Memo.bytes_per_row }
+
+let rec optimize t gid required ~limit =
+  t.goals <- t.goals + 1;
+  match find_entry t gid required with
+  | Some e when e.bound >= limit -> e.best
+  | _ ->
+    Rules.explore t.memo gid;
+    let g = Memo.group t.memo gid in
+    let local_limit = ref limit in
+    let pareto = ref [] in
+    let sample_dom =
+      match t.config.sample_domination with
+      | None -> None
+      | Some _ -> Some (fun a b -> sample_dominates t a b)
+    in
+    let consider (plan : Plan.t) =
+      t.candidates <- t.candidates + 1;
+      if Props.satisfies plan.Plan.props required then begin
+        if t.config.force_incomparable then begin
+          (* Exhaustive plans: no comparison ever succeeds, every
+             candidate is retained (Section 3). *)
+          let set, _ =
+            Pareto.insert ~keep_equal:true ~force_incomparable:true !pareto plan
+          in
+          pareto := set
+        end
+        else if t.config.prune && plan.Plan.total_cost.Interval.lo > !local_limit
+        then t.pruned <- t.pruned + 1
+        else begin
+          let set, added =
+            Pareto.insert ~keep_equal:t.config.keep_equal_alternatives
+              ?sample_dominates:sample_dom !pareto plan
+          in
+          pareto := set;
+          if added && t.config.prune
+             && plan.Plan.total_cost.Interval.hi < !local_limit
+          then local_limit := plan.Plan.total_cost.Interval.hi
+        end
+      end
+    in
+    let mk op inputs props =
+      Plan.Builder.operator t.builder op ~inputs ~rels:g.Memo.rels ~rows:g.Memo.rows
+        ~bytes_per_row:g.Memo.bytes_per_row ~props
+    in
+    let own_of op inputs =
+      Cost_model.own_cost t.config.env op ~inputs ~output_rows:g.Memo.rows
+    in
+    let child_limit base = if t.config.prune then base else Float.infinity in
+    List.iter (fun e -> implementations t g e ~mk ~own_of ~child_limit ~local_limit ~consider) g.Memo.lexprs;
+    (* Sort enforcer for ordered goals. *)
+    (match required with
+    | Props.Any -> ()
+    | Props.Sorted col ->
+      let op = Physical.Sort [ col ] in
+      let own = own_of op [ group_input g ] in
+      (match
+         optimize t gid Props.Any
+           ~limit:(child_limit (!local_limit -. own.Interval.lo))
+       with
+      | None -> ()
+      | Some child -> consider (mk op [ child ] (Props.ordered [ col ]))));
+    let best =
+      match !pareto with
+      | [] -> None
+      | [ p ] -> Some p
+      | alts -> Some (Plan.Builder.choose t.builder alts)
+    in
+    Log.debug (fun m ->
+        m "goal (group %d, %a): %d surviving plan(s), best %a" gid
+          Props.pp_required required (List.length !pareto)
+          (Format.pp_print_option
+             ~none:(fun ppf () -> Format.pp_print_string ppf "none")
+             (fun ppf (p : Plan.t) -> Interval.pp ppf p.Plan.total_cost))
+          best);
+    store_entry t gid required { bound = limit; best };
+    best
+
+and implementations t (_g : Memo.group) (e : Lmexpr.t) ~mk ~own_of ~child_limit
+    ~local_limit ~consider =
+  let catalog = Env.catalog t.config.env in
+  match e.Lmexpr.op with
+  | Lmexpr.Get rel ->
+    consider (mk (Physical.File_scan rel) [] Props.unordered);
+    List.iter
+      (fun (ix : Dqep_catalog.Index.t) ->
+        let col = Col.make ~rel ~attr:ix.attribute in
+        consider
+          (mk (Physical.Btree_scan { rel; attr = ix.attribute }) []
+             (Props.ordered [ col ])))
+      (Catalog.indexes_of catalog rel)
+  | Lmexpr.Select pred ->
+    let child_gid = e.Lmexpr.children.(0) in
+    let child_group = Memo.group t.memo child_gid in
+    (* Filter over the child, preserving whatever order the goal needs:
+       one candidate per interesting child order. *)
+    let child_orders =
+      Props.Any
+      :: (match child_group.Memo.rels with
+         | [ rel ] ->
+           List.map
+             (fun (ix : Dqep_catalog.Index.t) ->
+               Props.Sorted (Col.make ~rel ~attr:ix.attribute))
+             (Catalog.indexes_of catalog rel)
+         | _ -> [])
+    in
+    let op = Physical.Filter pred in
+    let own = own_of op [ group_input child_group ] in
+    List.iter
+      (fun child_required ->
+        match
+          optimize t child_gid child_required
+            ~limit:(child_limit (!local_limit -. own.Interval.lo))
+        with
+        | None -> ()
+        | Some child -> consider (mk op [ child ] child.Plan.props))
+      child_orders;
+    (* Filter-B-tree-Scan directly over a base relation. *)
+    (match Group_key.single_item child_group.Memo.key with
+    | Some item
+      when item.Group_key.sels = []
+           && item.Group_key.rel = pred.Predicate.target.Col.rel
+           && Catalog.has_index catalog ~rel:item.Group_key.rel
+                ~attr:pred.Predicate.target.Col.attr ->
+      let rel = item.Group_key.rel and attr = pred.Predicate.target.Col.attr in
+      consider
+        (mk (Physical.Filter_btree_scan { rel; attr; pred }) []
+           (Props.ordered [ pred.Predicate.target ]))
+    | Some _ | None -> ())
+  | Lmexpr.Join preds ->
+    let gl = e.Lmexpr.children.(0) and gr = e.Lmexpr.children.(1) in
+    let lgroup = Memo.group t.memo gl and rgroup = Memo.group t.memo gr in
+    if t.config.left_deep_only && Group_key.cardinal rgroup.Memo.key <> 1 then ()
+    else begin
+    let binary op lreq rreq props =
+      let own = own_of op [ group_input lgroup; group_input rgroup ] in
+      match
+        optimize t gl lreq ~limit:(child_limit (!local_limit -. own.Interval.lo))
+      with
+      | None -> ()
+      | Some left -> (
+        match
+          optimize t gr rreq
+            ~limit:
+              (child_limit
+                 (!local_limit -. own.Interval.lo
+                 -. left.Plan.total_cost.Interval.lo))
+        with
+        | None -> ()
+        | Some right -> consider (mk op [ left; right ] props))
+    in
+    (* Hash join: left input builds, right probes.  The commuted
+       expression supplies the swapped roles. *)
+    binary (Physical.Hash_join preds) Props.Any Props.Any Props.unordered;
+    (* Merge join on the first (canonical) predicate's columns. *)
+    (match preds with
+    | [] -> ()
+    | first :: _ ->
+      binary (Physical.Merge_join preds)
+        (Props.Sorted first.Predicate.left)
+        (Props.Sorted first.Predicate.right)
+        (* Equal join-column values: the output is sorted on both. *)
+        (Props.ordered [ first.Predicate.left; first.Predicate.right ]));
+    (* Index join: inner must be a (possibly selected) base relation with
+       an index on a join column. *)
+    if t.config.use_index_join then
+      match Group_key.single_item rgroup.Memo.key with
+      | None -> ()
+      | Some item ->
+        let inner_filter =
+          match item.Group_key.sels with
+          | [] -> Some None
+          | [ p ] -> Some (Some p)
+          | _ :: _ :: _ -> None
+        in
+        (match inner_filter with
+        | None -> ()
+        | Some inner_filter ->
+          List.iter
+            (fun (p : Predicate.equi) ->
+              if
+                Catalog.has_index catalog ~rel:item.Group_key.rel
+                  ~attr:p.Predicate.right.Col.attr
+              then begin
+                let op =
+                  Physical.Index_join
+                    { preds;
+                      inner_rel = item.Group_key.rel;
+                      inner_attr = p.Predicate.right.Col.attr;
+                      inner_filter }
+                in
+                let own = own_of op [ group_input lgroup ] in
+                match
+                  optimize t gl Props.Any
+                    ~limit:(child_limit (!local_limit -. own.Interval.lo))
+                with
+                | None -> ()
+                | Some outer -> consider (mk op [ outer ] Props.unordered)
+              end)
+            preds)
+    end

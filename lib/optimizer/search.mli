@@ -1,0 +1,69 @@
+(** The search engine: top-down, memoizing dynamic programming with
+    branch-and-bound pruning, extended for partially ordered costs
+    (paper, Sections 3 and 5).
+
+    For each optimization goal — a (group, required physical property)
+    pair — the engine keeps a Pareto set of plans none of which dominates
+    another.  A goal's result is a single plan: the lone survivor, or a
+    choose-plan operator linking all incomparable survivors.
+
+    Branch-and-bound maintains a scalar upper limit per goal; because
+    only a cost's lower bound can safely be subtracted when descending
+    into inputs (Section 5), pruning is much less effective with interval
+    costs than with points — reproduced deliberately. *)
+
+module Plan = Dqep_plans.Plan
+module Props = Dqep_algebra.Props
+
+type config = {
+  env : Dqep_cost.Env.t;
+  keep_equal_alternatives : bool;
+      (** keep both plans on exactly equal cost (dynamic mode) *)
+  prune : bool;  (** enable branch-and-bound *)
+  use_index_join : bool;
+  left_deep_only : bool;
+      (** restrict join implementations to left-deep shapes (inner input
+          is a base relation) — the "traditional optimizers" baseline the
+          paper contrasts with its bushy search *)
+  force_incomparable : bool;
+      (** declare every cost comparison incomparable, producing the
+          paper's Section 3 "exhaustive plan" that contains absolutely
+          all plans *)
+  sample_domination : int option;
+      (** Section 3's heuristic: drop a plan whose cost is no better at
+          each of N sampled parameter settings *)
+  sample_seed : int;
+}
+
+val config :
+  ?keep_equal_alternatives:bool ->
+  ?prune:bool ->
+  ?use_index_join:bool ->
+  ?left_deep_only:bool ->
+  ?force_incomparable:bool ->
+  ?sample_domination:int option ->
+  ?sample_seed:int ->
+  Dqep_cost.Env.t ->
+  config
+
+type stats = {
+  goals : int;  (** optimization goals evaluated (including cache hits) *)
+  candidates : int;  (** physical plans considered *)
+  pruned : int;  (** candidates cut by branch-and-bound *)
+  sample_evaluations : int;  (** plan evaluations for sampled domination *)
+}
+
+type t
+
+val log_src : Logs.src
+(** Goal-level debug tracing ("dqep.search"). *)
+
+val create : config -> Memo.t -> t
+
+val optimize : t -> int -> Props.required -> limit:float -> Plan.t option
+(** Best plan for the group under the required property, or [None] if
+    every candidate exceeded [limit].  Results are memoized per goal and
+    reused whenever the cached computation's limit covers the request. *)
+
+val stats : t -> stats
+val memo : t -> Memo.t

@@ -1,0 +1,24 @@
+(** Access modules: the stored form of an optimized plan.
+
+    Production systems persist compiled plans as "access modules" read
+    at plan activation (paper, Sections 3-4).  This module serializes a
+    plan DAG — preserving sharing — to a line-oriented text format and
+    back, and reports both the real serialized size and the paper's
+    128-bytes-per-node model used to derive activation I/O time. *)
+
+val encode : Plan.t -> string
+(** Serialize a plan DAG.  Names (relations, attributes, host variables)
+    are percent-escaped, so arbitrary strings round-trip. *)
+
+val decode : Dqep_cost.Env.t -> string -> (Plan.t, string) result
+(** Parse an encoded access module.  The environment supplies the device
+    constants of the hosting system; stored costs are taken verbatim. *)
+
+val encoded_bytes : Plan.t -> int
+(** Real size of {!encode}'s output. *)
+
+val modelled_bytes : Dqep_cost.Device.t -> Plan.t -> int
+(** The paper's model: nodes x plan_node_bytes. *)
+
+val activation_io_time : Dqep_cost.Device.t -> Plan.t -> float
+(** Time to read the access module at 2 MB/s, per the paper. *)

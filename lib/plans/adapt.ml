@@ -1,0 +1,58 @@
+module Physical = Dqep_algebra.Physical
+
+type t = {
+  mutable plan : Plan.t;
+  mutable counts : (int * int, int) Hashtbl.t;  (* (choose pid, alt pid) *)
+  mutable invocations : int;
+}
+
+let create plan = { plan; counts = Hashtbl.create 32; invocations = 0 }
+let plan t = t.plan
+let invocations t = t.invocations
+
+let record t (r : Startup.resolution) =
+  t.invocations <- t.invocations + 1;
+  List.iter
+    (fun key ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt t.counts key) in
+      Hashtbl.replace t.counts key (c + 1))
+    r.Startup.choices
+
+let shrink env t =
+  let builder = Plan.Builder.create env in
+  let rebuilt = Hashtbl.create 64 in
+  let rec go (p : Plan.t) =
+    match Hashtbl.find_opt rebuilt p.Plan.pid with
+    | Some q -> q
+    | None ->
+      let q =
+        match p.Plan.op with
+        | Physical.Choose_plan ->
+          let used =
+            List.filter
+              (fun (alt : Plan.t) ->
+                Hashtbl.mem t.counts (p.Plan.pid, alt.Plan.pid))
+              p.Plan.inputs
+          in
+          (* No statistics for this operator: keep every alternative. *)
+          let kept = if used = [] then p.Plan.inputs else used in
+          (match List.map go kept with
+          | [ only ] -> only
+          | alts -> Plan.Builder.choose builder alts)
+        | _ ->
+          let inputs = List.map go p.Plan.inputs in
+          Plan.Builder.copy_node builder p ~inputs
+      in
+      Hashtbl.add rebuilt p.Plan.pid q;
+      q
+  in
+  go t.plan
+
+let maybe_replace ~threshold env t =
+  if t.invocations >= threshold then begin
+    t.plan <- shrink env t;
+    t.counts <- Hashtbl.create 32;
+    t.invocations <- 0;
+    true
+  end
+  else false

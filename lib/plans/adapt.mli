@@ -1,0 +1,30 @@
+(** Plan shrinking over time (paper, Section 4).
+
+    "During each invocation, the access module keeps statistics
+    indicating which components of the dynamic plan were actually used.
+    After a number of invocations, say 100, the access module ...
+    replaces itself with a dynamic-plan access module that contains only
+    those components that have been used before."
+
+    This is a heuristic: alternatives never chosen so far are dropped,
+    which may remove a choice that a future binding would have needed. *)
+
+type t
+
+val create : Plan.t -> t
+val plan : t -> Plan.t
+val invocations : t -> int
+
+val record : t -> Startup.resolution -> unit
+(** Note which alternative each choose-plan operator picked. *)
+
+val shrink : Dqep_cost.Env.t -> t -> Plan.t
+(** The plan containing only components used so far.  Choose-plan nodes
+    left with a single alternative are spliced out; nodes whose usage
+    was never observed (inside never-chosen alternatives) keep all their
+    alternatives. *)
+
+val maybe_replace : threshold:int -> Dqep_cost.Env.t -> t -> bool
+(** If at least [threshold] invocations have been recorded, replace the
+    held plan by its shrunk form (resetting statistics) and return
+    [true]. *)

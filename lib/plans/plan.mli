@@ -1,0 +1,107 @@
+(** Query evaluation plans.
+
+    Plans are directed acyclic graphs, not trees: "all plans and
+    alternative plans must be represented as DAGs with common
+    subexpressions" (paper, Section 3) — sharing is what keeps dynamic
+    plans to a reasonable size even though the number of possible plans
+    grows exponentially.  Sharing is obtained structurally through the
+    hash-consing {!Builder}; node identity is the [pid].
+
+    A [Choose_plan] node's inputs are equivalent alternative plans; every
+    other node's inputs are its operational data-flow children. *)
+
+module Interval = Dqep_util.Interval
+module Physical = Dqep_algebra.Physical
+module Props = Dqep_algebra.Props
+
+type t = private {
+  pid : int;
+  op : Physical.op;
+  inputs : t list;
+  rels : string list;  (** sorted relations contributing to the output *)
+  rows : Interval.t;  (** estimated output cardinality *)
+  bytes_per_row : int;
+  own_cost : Interval.t;
+  total_cost : Interval.t;  (** own + inputs; min-combination for choose *)
+  props : Props.t;
+}
+
+(** Hash-consing constructor: structurally identical nodes get the same
+    [pid], so equal subplans are physically shared. *)
+module Builder : sig
+  type plan := t
+  type t
+
+  val create : Dqep_cost.Env.t -> t
+
+  val operator :
+    t ->
+    Physical.op ->
+    inputs:plan list ->
+    rels:string list ->
+    rows:Interval.t ->
+    bytes_per_row:int ->
+    props:Props.t ->
+    plan
+  (** Build an operator node, computing its own cost from the cost model
+      and its total cost as own + sum of inputs. *)
+
+  val choose : t -> plan list -> plan
+  (** Wrap two or more equivalent alternatives in a choose-plan node.
+      @raise Invalid_argument on fewer than two alternatives. *)
+
+  val copy_node : t -> plan -> inputs:plan list -> plan
+  (** Rebuild a node with different inputs, keeping its operator, row
+      estimate and own cost; totals are recomputed.  Used when resolving
+      and shrinking dynamic plans. *)
+
+  val raw :
+    t ->
+    op:Physical.op ->
+    inputs:plan list ->
+    rels:string list ->
+    rows:Interval.t ->
+    bytes_per_row:int ->
+    own_cost:Interval.t ->
+    total_cost:Interval.t ->
+    props:Props.t ->
+    plan
+  (** Re-create a node with explicit costs; used when deserializing
+      access modules. *)
+
+  val created : t -> int
+  (** Number of distinct nodes created so far. *)
+end
+
+val node_count : t -> int
+(** Distinct nodes in the DAG — the paper's "plan size" (Figure 6). *)
+
+val expanded_count : t -> float
+(** Node count if the DAG were expanded to a tree (no sharing); float
+    because it grows exponentially.  Quantifies how much DAG sharing
+    saves (paper, Section 3). *)
+
+val iter : (t -> unit) -> t -> unit
+(** Visit every node exactly once, children before parents. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+val choose_count : t -> int
+(** Number of choose-plan nodes in the DAG. *)
+
+val contains_choose : t -> bool
+
+val size_bytes : Dqep_cost.Device.t -> t -> int
+(** Modelled access-module size: nodes x 128 bytes (paper, Section 6). *)
+
+val schema : Dqep_catalog.Catalog.t -> t -> Dqep_algebra.Schema.t
+(** Output schema of the plan. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tree rendering; shared nodes are printed once and referenced by pid
+    afterwards. *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the DAG: one box per shared node, choose-plan
+    operators as diamonds with dashed alternative edges.  Render with
+    [dot -Tsvg]. *)

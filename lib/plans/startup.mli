@@ -1,0 +1,66 @@
+(** Start-up-time evaluation of dynamic plans.
+
+    The decision procedure of a choose-plan operator is "merely a cost
+    comparison of the plan alternatives with run-time bindings
+    instantiated" (paper, Section 4): the original cost functions are
+    re-evaluated bottom-up under a point environment built from the
+    actual bindings.  The plan is a DAG and "the cost of each subplan is
+    evaluated only once" — evaluation is memoized per node. *)
+
+module Interval = Dqep_util.Interval
+
+type stats = {
+  nodes_evaluated : int;  (** distinct DAG nodes visited *)
+  cost_evaluations : int;  (** cost-function invocations *)
+  choose_decisions : int;  (** choose-plan comparisons performed *)
+  cpu_seconds : float;  (** measured CPU time of the evaluation *)
+}
+
+val evaluate :
+  ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> float * stats
+(** Anticipated total execution cost of the plan under the (point)
+    environment.  Choose-plan nodes contribute the minimum of their
+    alternatives plus the decision overhead.
+
+    [overrides] maps plan-node pids to {e observed} output cardinalities
+    of already-materialized subplans (the paper's Section 7 direction:
+    "when a subplan has been evaluated into a temporary result, its
+    logical and physical properties are known").  An overridden node's
+    cost becomes the cost of rescanning its temporary result. *)
+
+val estimated_rows :
+  ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> float
+(** The cost model's output-cardinality estimate for the plan under the
+    (point) environment. *)
+
+type resolution = {
+  plan : Plan.t;  (** the chosen static plan — no choose-plan nodes *)
+  anticipated_cost : float;
+      (** evaluated execution cost of [plan] under the bindings,
+          excluding choose-plan decision overheads *)
+  choices : (int * int) list;
+      (** (choose-plan pid, chosen alternative pid), for usage stats *)
+  stats : stats;
+}
+
+val resolve :
+  ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> resolution
+(** Evaluate all decision procedures and extract the chosen static plan.
+    On a plan without choose nodes this returns the plan itself.
+    [overrides] as in {!evaluate}. *)
+
+(** One choose-plan operator's decision, for explanation output. *)
+type decision = {
+  choose_pid : int;
+  alternatives : (int * string * float) list;
+      (** (alternative pid, operator name, evaluated total cost) *)
+  chosen_pid : int;
+}
+
+val explain :
+  ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> decision list
+(** Every choose-plan operator's decision under the environment, in
+    bottom-up order — the human-readable version of what {!resolve}
+    does. *)
+
+val pp_decisions : Format.formatter -> decision list -> unit

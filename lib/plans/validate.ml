@@ -1,0 +1,99 @@
+module Physical = Dqep_algebra.Physical
+module Col = Dqep_algebra.Col
+module Predicate = Dqep_algebra.Predicate
+module Catalog = Dqep_catalog.Catalog
+module Relation = Dqep_catalog.Relation
+
+type problem =
+  | Missing_relation of string
+  | Missing_index of { rel : string; attr : string }
+  | Missing_attribute of { rel : string; attr : string }
+
+let pp_problem ppf = function
+  | Missing_relation r -> Format.fprintf ppf "relation %s no longer exists" r
+  | Missing_index { rel; attr } ->
+    Format.fprintf ppf "index on %s.%s no longer exists" rel attr
+  | Missing_attribute { rel; attr } ->
+    Format.fprintf ppf "attribute %s.%s no longer exists" rel attr
+
+let node_problems catalog (p : Plan.t) =
+  let rel_ok r = Catalog.relation catalog r <> None in
+  let attr_ok r a =
+    match Catalog.relation catalog r with
+    | None -> false
+    | Some rel -> Relation.attribute rel a <> None
+  in
+  let need_rel r = if rel_ok r then [] else [ Missing_relation r ] in
+  let need_attr r a =
+    if not (rel_ok r) then [ Missing_relation r ]
+    else if not (attr_ok r a) then [ Missing_attribute { rel = r; attr = a } ]
+    else []
+  in
+  let need_index r a =
+    need_attr r a
+    @ if rel_ok r && attr_ok r a && not (Catalog.has_index catalog ~rel:r ~attr:a)
+      then [ Missing_index { rel = r; attr = a } ]
+      else []
+  in
+  match p.Plan.op with
+  | Physical.File_scan r -> need_rel r
+  | Physical.Btree_scan { rel; attr } -> need_index rel attr
+  | Physical.Filter pred ->
+    need_attr pred.Predicate.target.Col.rel pred.Predicate.target.Col.attr
+  | Physical.Filter_btree_scan { rel; attr; pred } ->
+    need_index rel attr
+    @ need_attr pred.Predicate.target.Col.rel pred.Predicate.target.Col.attr
+  | Physical.Hash_join preds | Physical.Merge_join preds ->
+    List.concat_map
+      (fun (e : Predicate.equi) ->
+        need_attr e.Predicate.left.Col.rel e.Predicate.left.Col.attr
+        @ need_attr e.Predicate.right.Col.rel e.Predicate.right.Col.attr)
+      preds
+  | Physical.Index_join { inner_rel; inner_attr; inner_filter; preds } ->
+    need_index inner_rel inner_attr
+    @ (match inner_filter with
+      | None -> []
+      | Some pred ->
+        need_attr pred.Predicate.target.Col.rel pred.Predicate.target.Col.attr)
+    @ List.concat_map
+        (fun (e : Predicate.equi) ->
+          need_attr e.Predicate.left.Col.rel e.Predicate.left.Col.attr)
+        preds
+  | Physical.Sort cols ->
+    List.concat_map (fun (c : Col.t) -> need_attr c.Col.rel c.Col.attr) cols
+  | Physical.Choose_plan -> []
+
+let check catalog plan =
+  let problems = Plan.fold (fun acc p -> node_problems catalog p @ acc) [] plan in
+  (* Deduplicate structurally. *)
+  let problems = List.sort_uniq compare problems in
+  if problems = [] then Ok () else Error problems
+
+let prune_infeasible env catalog plan =
+  let builder = Plan.Builder.create env in
+  let memo : (int, Plan.t option) Hashtbl.t = Hashtbl.create 64 in
+  let rec go (p : Plan.t) =
+    match Hashtbl.find_opt memo p.Plan.pid with
+    | Some r -> r
+    | None ->
+      let r =
+        if node_problems catalog p <> [] then None
+        else
+          match p.Plan.op with
+          | Physical.Choose_plan -> (
+            match List.filter_map go p.Plan.inputs with
+            | [] -> None
+            | [ only ] -> Some only
+            | alts -> Some (Plan.Builder.choose builder alts))
+          | _ ->
+            let inputs = List.map go p.Plan.inputs in
+            if List.exists Option.is_none inputs then None
+            else
+              Some
+                (Plan.Builder.copy_node builder p
+                   ~inputs:(List.map Option.get inputs))
+      in
+      Hashtbl.add memo p.Plan.pid r;
+      r
+  in
+  go plan

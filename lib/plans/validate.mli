@@ -1,0 +1,27 @@
+(** Plan feasibility validation at activation time.
+
+    Activating an access module "includes some I/O operations to verify
+    that the plan is still feasible" (paper, Section 2, after System R
+    [CAK81]): between compile-time and run-time, relations may have been
+    dropped and indexes created or destroyed.  A plan referencing a
+    dropped object is {e infeasible} and must be re-optimized; one of the
+    strengths of dynamic plans is that a {e changed} environment (new or
+    dropped alternatives' indexes) often invalidates only some
+    alternatives. *)
+
+type problem =
+  | Missing_relation of string
+  | Missing_index of { rel : string; attr : string }
+  | Missing_attribute of { rel : string; attr : string }
+
+val pp_problem : Format.formatter -> problem -> unit
+
+val check : Dqep_catalog.Catalog.t -> Plan.t -> (unit, problem list) result
+(** Verify every relation, attribute and index the plan's operators
+    reference against the (current) catalog. *)
+
+val prune_infeasible :
+  Dqep_cost.Env.t -> Dqep_catalog.Catalog.t -> Plan.t -> Plan.t option
+(** Remove choose-plan alternatives that are no longer feasible,
+    splicing out choose operators left with one alternative.  [None] if
+    nothing feasible remains (a full re-optimization is needed). *)

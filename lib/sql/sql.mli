@@ -1,0 +1,42 @@
+(** A small SQL front-end for the supported query class.
+
+    Grammar (case-insensitive keywords):
+
+    {v
+    query  ::= SELECT '*' FROM table (',' table)* [WHERE cond (AND cond)*]
+    table  ::= ident
+    cond   ::= col '<=' value          -- selection
+             | col '=' col             -- equi-join
+    col    ::= ident '.' ident
+    value  ::= integer                 -- literal: selectivity from catalog
+             | ':' ident               -- host variable (unbound predicate)
+    v}
+
+    Literal selections are translated to bound selectivities
+    ([value / domain_size]); host variables become the paper's unbound
+    predicates, resolved at start-up time. *)
+
+type ast = {
+  tables : string list;
+  selections : (string * string * value) list;  (** rel, attr, bound *)
+  joins : ((string * string) * (string * string)) list;
+}
+
+and value =
+  | Literal of int
+  | Host of string
+
+val parse : string -> (ast, string) result
+(** Parse a statement; errors carry a position and message. *)
+
+val to_logical :
+  Dqep_catalog.Catalog.t -> ast -> (Dqep_algebra.Logical.t, string) result
+(** Resolve names against the catalog and build the logical expression:
+    selections sit directly above their [Get_set], tables join left to
+    right along the WHERE equi-joins (the optimizer then explores all
+    orders).  Errors on unknown names, disconnected FROM lists, or
+    out-of-domain literals. *)
+
+val compile :
+  Dqep_catalog.Catalog.t -> string -> (Dqep_algebra.Logical.t, string) result
+(** [parse] followed by [to_logical]. *)

@@ -1,0 +1,133 @@
+type frame = {
+  page : Page.t;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable last_use : int;
+}
+
+type stats = {
+  logical_reads : int;
+  physical_reads : int;
+  physical_writes : int;
+}
+
+type t = {
+  disk : Disk.t;
+  mutable capacity : int;
+  table : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable logical_reads : int;
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+}
+
+let create ?(frames = 64) disk =
+  if frames <= 0 then invalid_arg "Buffer_pool.create: frames <= 0";
+  { disk;
+    capacity = frames;
+    table = Hashtbl.create (2 * frames);
+    clock = 0;
+    logical_reads = 0;
+    physical_reads = 0;
+    physical_writes = 0 }
+
+let disk t = t.disk
+let frames t = t.capacity
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_one t =
+  (* Find the least recently used unpinned frame. *)
+  let victim =
+    Hashtbl.fold
+      (fun id f best ->
+        if f.pins > 0 then best
+        else
+          match best with
+          | Some (_, bf) when bf.last_use <= f.last_use -> best
+          | _ -> Some (id, f))
+      t.table None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some (id, f) ->
+    if f.dirty then t.physical_writes <- t.physical_writes + 1;
+    Hashtbl.remove t.table id
+
+let ensure_room t =
+  while Hashtbl.length t.table >= t.capacity do
+    evict_one t
+  done
+
+let pinned_count t =
+  Hashtbl.fold (fun _ f n -> if f.pins > 0 then n + 1 else n) t.table 0
+
+let resize t capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.resize: capacity <= 0";
+  if capacity < pinned_count t then
+    invalid_arg "Buffer_pool.resize: smaller than pinned pages";
+  t.capacity <- capacity;
+  while Hashtbl.length t.table > t.capacity do
+    evict_one t
+  done
+
+let pin t id =
+  t.logical_reads <- t.logical_reads + 1;
+  match Hashtbl.find_opt t.table id with
+  | Some f ->
+    f.pins <- f.pins + 1;
+    f.last_use <- tick t;
+    f.page
+  | None ->
+    t.physical_reads <- t.physical_reads + 1;
+    ensure_room t;
+    let page = Disk.get t.disk id in
+    let f = { page; pins = 1; dirty = false; last_use = tick t } in
+    Hashtbl.add t.table id f;
+    page
+
+let unpin t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> invalid_arg "Buffer_pool.unpin: page not resident"
+  | Some f ->
+    if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: page not pinned";
+    f.pins <- f.pins - 1
+
+let mark_dirty t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+  | Some f -> f.dirty <- true
+
+let with_page t id f =
+  let page = pin t id in
+  Fun.protect ~finally:(fun () -> unpin t id) (fun () -> f page)
+
+let new_page t =
+  ensure_room t;
+  let page = Disk.allocate t.disk in
+  let f = { page; pins = 1; dirty = true; last_use = tick t } in
+  Hashtbl.add t.table page.Page.id f;
+  page
+
+let flush_all t =
+  Hashtbl.iter
+    (fun _ f ->
+      if f.dirty then begin
+        t.physical_writes <- t.physical_writes + 1;
+        f.dirty <- false
+      end)
+    t.table
+
+let stats t =
+  { logical_reads = t.logical_reads;
+    physical_reads = t.physical_reads;
+    physical_writes = t.physical_writes }
+
+let reset_stats t =
+  t.logical_reads <- 0;
+  t.physical_reads <- 0;
+  t.physical_writes <- 0
+
+let resident t = Hashtbl.length t.table

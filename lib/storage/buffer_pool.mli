@@ -1,0 +1,51 @@
+(** LRU buffer pool in front of the simulated {!Disk}.
+
+    The pool is where physical I/O is counted: a page access that misses
+    the pool is a physical read; evicting a dirty page is a physical
+    write.  Pinned pages are never evicted. *)
+
+type t
+
+type stats = {
+  logical_reads : int;
+  physical_reads : int;
+  physical_writes : int;
+}
+
+val create : ?frames:int -> Disk.t -> t
+(** [create ~frames disk] is a pool holding at most [frames] pages
+    (default 64, the paper's expected memory size).
+    @raise Invalid_argument if [frames <= 0]. *)
+
+val disk : t -> Disk.t
+val frames : t -> int
+val resize : t -> int -> unit
+(** Change the frame budget (evicting as needed); used when a run-time
+    memory binding differs from the default.
+    @raise Invalid_argument if the new size is [<= 0] or smaller than the
+    number of currently pinned pages. *)
+
+val pin : t -> int -> Page.t
+(** [pin t id] fetches page [id], counting a physical read on a miss,
+    and pins it. *)
+
+val unpin : t -> int -> unit
+(** @raise Invalid_argument if the page is not resident or not pinned. *)
+
+val mark_dirty : t -> int -> unit
+(** Mark a resident page dirty so its eviction counts as a write. *)
+
+val with_page : t -> int -> (Page.t -> 'a) -> 'a
+(** Pin, apply, unpin (also on exception). *)
+
+val new_page : t -> Page.t
+(** Allocate a disk page and pin it (counts as neither read nor write
+    until evicted dirty). *)
+
+val flush_all : t -> unit
+(** Write out all dirty pages. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val resident : t -> int
+(** Number of pages currently held. *)

@@ -1,0 +1,20 @@
+type t = { mutable pages : Page.t array; mutable used : int }
+
+let create () = { pages = Array.make 64 { Page.id = -1; payload = Page.Free }; used = 0 }
+
+let allocate t =
+  if t.used = Array.length t.pages then begin
+    let bigger = Array.make (2 * t.used) { Page.id = -1; payload = Page.Free } in
+    Array.blit t.pages 0 bigger 0 t.used;
+    t.pages <- bigger
+  end;
+  let page = { Page.id = t.used; payload = Page.Free } in
+  t.pages.(t.used) <- page;
+  t.used <- t.used + 1;
+  page
+
+let get t id =
+  if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
+  t.pages.(id)
+
+let page_count t = t.used

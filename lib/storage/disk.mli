@@ -1,0 +1,16 @@
+(** Simulated disk: a growable array of pages.
+
+    The disk is the stable home of every page; the {!Buffer_pool} in
+    front of it decides which accesses count as physical I/O. *)
+
+type t
+
+val create : unit -> t
+
+val allocate : t -> Page.t
+(** Allocate a fresh [Free] page. *)
+
+val get : t -> int -> Page.t
+(** @raise Invalid_argument on an unallocated page id. *)
+
+val page_count : t -> int

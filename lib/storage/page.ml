@@ -1,0 +1,28 @@
+type btree_node =
+  | Leaf of {
+      mutable keys : int array;
+      mutable rids : Rid.t array;
+      mutable next : int;
+    }
+  | Internal of {
+      mutable keys : int array;
+      mutable children : int array;
+    }
+
+type payload =
+  | Free
+  | Heap of { mutable tuples : int array array; mutable count : int }
+  | Btree of btree_node
+
+type t = { id : int; mutable payload : payload }
+
+let pp ppf p =
+  match p.payload with
+  | Free -> Format.fprintf ppf "page %d: free" p.id
+  | Heap h -> Format.fprintf ppf "page %d: heap(%d tuples)" p.id h.count
+  | Btree (Leaf l) ->
+    Format.fprintf ppf "page %d: leaf(%d keys, next=%d)" p.id
+      (Array.length l.keys) l.next
+  | Btree (Internal n) ->
+    Format.fprintf ppf "page %d: internal(%d children)" p.id
+      (Array.length n.children)

@@ -1,0 +1,11 @@
+type t = { page : int; slot : int }
+
+let make ~page ~slot = { page; slot }
+
+let compare a b =
+  match Int.compare a.page b.page with
+  | 0 -> Int.compare a.slot b.slot
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf r = Format.fprintf ppf "(%d,%d)" r.page r.slot

@@ -1,0 +1,52 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg "Interval.make: NaN bound";
+  if lo < 0. then invalid_arg "Interval.make: negative lower bound";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point v = make v v
+let zero = { lo = 0.; hi = 0. }
+let is_point a = a.lo = a.hi
+let width a = a.hi -. a.lo
+let mid a = (a.lo +. a.hi) /. 2.
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let sum l = List.fold_left add zero l
+
+let sub_lo limit used =
+  let shift = used.lo in
+  { lo = Float.max 0. (limit.lo -. shift); hi = Float.max 0. (limit.hi -. shift) }
+
+let mul a b = { lo = a.lo *. b.lo; hi = a.hi *. b.hi }
+
+let div a b =
+  if b.lo <= 0. then invalid_arg "Interval.div: divisor lower bound <= 0";
+  { lo = a.lo /. b.hi; hi = a.hi /. b.lo }
+
+let scale k a =
+  if k < 0. then invalid_arg "Interval.scale: negative factor";
+  { lo = k *. a.lo; hi = k *. a.hi }
+
+let combine_min a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
+let union a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let contains a v = a.lo <= v && v <= a.hi
+let clamp a v = Float.max a.lo (Float.min a.hi v)
+
+type order = Lt | Gt | Eq | Incomparable
+
+let compare_cost a b =
+  if a.lo = b.lo && a.hi = b.hi && is_point a then Eq
+  else if a.hi < b.lo then Lt
+  else if b.hi < a.lo then Gt
+  else Incomparable
+
+let dominates a b = compare_cost a b = Lt
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp ppf a =
+  if is_point a then Format.fprintf ppf "%.4g" a.lo
+  else Format.fprintf ppf "[%.4g, %.4g]" a.lo a.hi
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,90 @@
+(** Closed intervals of non-negative floats.
+
+    Intervals are the uncertainty domain of the whole system: costs,
+    cardinalities, selectivities and memory sizes are all intervals
+    [\[lo, hi\]] capturing the entire range in which the actual run-time
+    value may fall (paper, Section 5).  A traditional "point" value is the
+    degenerate interval [\[v, v\]].
+
+    Because two overlapping intervals cannot be ordered, values of this
+    type are only {e partially} ordered — the key concept enabling dynamic
+    plans. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi] is the interval [\[lo, hi\]].
+    @raise Invalid_argument if [lo > hi], either bound is NaN, or
+    [lo < 0]. *)
+
+val point : float -> t
+(** [point v] is the degenerate interval [\[v, v\]]. *)
+
+val zero : t
+
+val is_point : t -> bool
+(** Whether the interval is degenerate (width zero). *)
+
+val width : t -> float
+
+val mid : t -> float
+(** Midpoint of the interval. *)
+
+(** {1 Arithmetic}
+
+    All operations assume non-negative operands, which holds for every
+    quantity in the cost model (costs, cardinalities, selectivities,
+    page counts). *)
+
+val add : t -> t -> t
+val sum : t list -> t
+
+val sub_lo : t -> t -> t
+(** [sub_lo limit used] subtracts only the {e lower} bound of [used] from
+    both ends of [limit], clamping at zero.  This is the paper's
+    branch-and-bound subtraction: "subtracting costs only subtracts the
+    lower-bound, since we can only be sure that the lower-bound cost will
+    be 'used up'" (Section 5). *)
+
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div a b] assumes [b.lo > 0]; the result is widest-case
+    [\[a.lo / b.hi, a.hi / b.lo\]]. *)
+
+val scale : float -> t -> t
+(** [scale k a] multiplies both bounds by [k >= 0]. *)
+
+val combine_min : t -> t -> t
+(** [combine_min a b] is the cost of a dynamic plan choosing the cheaper
+    of two alternatives: [\[min a.lo b.lo, min a.hi b.hi\]] (Section 5:
+    "the cost of a dynamic plan ... ranges from the smaller of the two
+    minimum costs to the smaller of the two maximum costs"). *)
+
+val union : t -> t -> t
+(** Convex hull of two intervals. *)
+
+val contains : t -> float -> bool
+
+val clamp : t -> float -> float
+(** [clamp a v] is [v] limited to [a]. *)
+
+(** {1 The partial order} *)
+
+type order =
+  | Lt  (** strictly cheaper for every possible binding *)
+  | Gt  (** strictly more expensive for every possible binding *)
+  | Eq  (** two identical point values *)
+  | Incomparable  (** overlapping intervals: order unknown until run-time *)
+
+val compare_cost : t -> t -> order
+(** [compare_cost a b] orders two interval costs.  Overlapping intervals
+    are [Incomparable]; only identical point values are [Eq]. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff [compare_cost a b = Lt]. *)
+
+val equal : t -> t -> bool
+(** Structural equality of bounds (not the partial order's [Eq]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,34 @@
+let sum = List.fold_left ( +. ) 0.
+
+let mean = function
+  | [] -> 0.
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    sqrt var
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+    if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+    let sorted = List.sort Float.compare xs in
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    a.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+
+let geometric_mean = function
+  | [] -> 0.
+  | xs ->
+    let logs = List.map (fun x -> log x) xs in
+    exp (mean logs)

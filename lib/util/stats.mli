@@ -1,0 +1,19 @@
+(** Summary statistics over float samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val min_max : float list -> float * float
+(** @raise Invalid_argument on the empty list. *)
+
+val sum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] for [p] in [\[0, 100\]], nearest-rank on the sorted
+    sample.  @raise Invalid_argument on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of strictly positive samples; 0 for the empty list. *)

@@ -1,0 +1,42 @@
+module Attribute = Dqep_catalog.Attribute
+module Relation = Dqep_catalog.Relation
+module Index = Dqep_catalog.Index
+module Catalog = Dqep_catalog.Catalog
+
+let rel_name i = Printf.sprintf "R%d" i
+let select_attr = "a"
+let join_left_attr = "jl"
+let join_right_attr = "jr"
+
+(* Deterministic spread over [100, 1000]: co-prime stride so successive
+   relations differ substantially, as the paper's "varied from 100 to
+   1,000". *)
+let cardinality i = 100 + (i * 367 mod 901)
+
+(* Domain factors cycle through [0.2, 1.25] x cardinality. *)
+let domain_factor k =
+  let factors = [| 0.2; 0.5; 0.8; 1.0; 1.25 |] in
+  factors.(k mod Array.length factors)
+
+let make ~relations =
+  if relations < 1 then invalid_arg "Paper_catalog.make: relations < 1";
+  let rels =
+    List.init relations (fun idx ->
+        let i = idx + 1 in
+        let card = cardinality i in
+        let dom k = Int.max 2 (int_of_float (domain_factor k *. float_of_int card)) in
+        Relation.make ~name:(rel_name i) ~cardinality:card ~record_bytes:512
+          ~attributes:
+            [ Attribute.make ~name:select_attr ~domain_size:(dom i);
+              Attribute.make ~name:join_left_attr ~domain_size:(dom (i + 1));
+              Attribute.make ~name:join_right_attr ~domain_size:(dom (i + 2)) ])
+  in
+  let indexes =
+    List.concat_map
+      (fun (r : Relation.t) ->
+        List.map
+          (fun (a : Attribute.t) -> Index.make ~relation:r.name ~attribute:a.name ())
+          r.attributes)
+      rels
+  in
+  Catalog.create ~page_bytes:2048 ~relations:rels ~indexes ()

@@ -1,0 +1,28 @@
+(** The experimental database of the paper's Section 6.
+
+    Relations [R1 .. Rn] with 100-1000 records of 512 bytes on 2048-byte
+    pages.  Each relation has a selection attribute [a] and join
+    attributes [jl], [jr]; attribute domain sizes vary from 0.2 to 1.25
+    times the relation's cardinality.  All selection and join attributes
+    carry unclustered B-trees.  All values are deterministic functions of
+    the relation index, so experiments are reproducible. *)
+
+val cardinality : int -> int
+(** Cardinality of relation [i] (1-based), spread deterministically over
+    [\[100, 1000\]]. *)
+
+val make : relations:int -> Dqep_catalog.Catalog.t
+(** Catalog with relations [R1 .. Rrelations].
+    @raise Invalid_argument if [relations < 1]. *)
+
+val rel_name : int -> string
+(** ["R<i>"]. *)
+
+val select_attr : string
+(** ["a"], the attribute referenced by unbound selections. *)
+
+val join_left_attr : string
+(** ["jl"], the attribute joining towards the previous relation. *)
+
+val join_right_attr : string
+(** ["jr"], the attribute joining towards the next relation. *)

@@ -1,0 +1,17 @@
+module Rng = Dqep_util.Rng
+module Interval = Dqep_util.Interval
+module Bindings = Dqep_cost.Bindings
+
+let binding ?(bounds = []) rng ~host_vars ~uncertain_memory =
+  let draw v =
+    match List.assoc_opt v bounds with
+    | None -> Rng.float rng
+    | Some (i : Interval.t) -> Rng.uniform rng i.Interval.lo i.Interval.hi
+  in
+  let selectivities = List.map (fun v -> (v, draw v)) host_vars in
+  let memory_pages = if uncertain_memory then Rng.int_range rng 16 112 else 64 in
+  Bindings.make ~selectivities ~memory_pages
+
+let bindings ?(bounds = []) ~seed ~trials ~host_vars ~uncertain_memory () =
+  let rng = Rng.create seed in
+  List.init trials (fun _ -> binding ~bounds rng ~host_vars ~uncertain_memory)

@@ -1,0 +1,19 @@
+(** Random run-time bindings, as drawn in the paper's experiments:
+    selectivities uniform over [\[0, 1\]]; when memory is uncertain, a
+    page count uniform over [\[16, 112\]], otherwise the expected 64. *)
+
+val bindings :
+  ?bounds:(string * Dqep_util.Interval.t) list ->
+  seed:int ->
+  trials:int ->
+  host_vars:string list ->
+  uncertain_memory:bool ->
+  unit ->
+  Dqep_cost.Bindings.t list
+(** [bounds] restricts a host variable's draws to the given interval
+    (matching a compile-time [selectivity_bounds] declaration). *)
+
+val binding :
+  ?bounds:(string * Dqep_util.Interval.t) list ->
+  Dqep_util.Rng.t -> host_vars:string list -> uncertain_memory:bool ->
+  Dqep_cost.Bindings.t

@@ -1,0 +1,85 @@
+module Logical = Dqep_algebra.Logical
+module Predicate = Dqep_algebra.Predicate
+module Col = Dqep_algebra.Col
+
+type t = {
+  id : int;
+  relations : int;
+  query : Logical.t;
+  host_vars : string list;
+  catalog : Dqep_catalog.Catalog.t;
+}
+
+type topology =
+  | Chain
+  | Star
+  | Cycle
+
+let host_var i = Printf.sprintf "hv%d" i
+
+let selected_relation i =
+  Logical.Select
+    ( Logical.Get_set (Paper_catalog.rel_name i),
+      Predicate.select ~rel:(Paper_catalog.rel_name i)
+        ~attr:Paper_catalog.select_attr
+        (Predicate.Host_var (host_var i)) )
+
+(* Join predicates of each topology, as (left relation index, right
+   relation index) pairs over jr/jl. *)
+let edges topology relations =
+  match topology with
+  | Chain -> List.init (relations - 1) (fun i -> (i + 1, i + 2))
+  | Star -> List.init (relations - 1) (fun i -> (1, i + 2))
+  | Cycle ->
+    if relations < 3 then invalid_arg "Queries.make: a cycle needs >= 3 relations"
+    else List.init (relations - 1) (fun i -> (i + 1, i + 2)) @ [ (relations, 1) ]
+
+let edge_pred (i, j) =
+  Predicate.equi
+    ~left:(Col.make ~rel:(Paper_catalog.rel_name i) ~attr:Paper_catalog.join_right_attr)
+    ~right:(Col.make ~rel:(Paper_catalog.rel_name j) ~attr:Paper_catalog.join_left_attr)
+
+let make ?(topology = Chain) ~relations () =
+  if relations < 1 then invalid_arg "Queries.make: relations < 1";
+  let catalog = Paper_catalog.make ~relations in
+  let edges = if relations = 1 then [] else edges topology relations in
+  (* Attach relations greedily along the join graph, starting from R1. *)
+  let preds_between covered next =
+    List.filter_map
+      (fun (i, j) ->
+        if List.mem i covered && j = next then Some (edge_pred (i, j))
+        else if List.mem j covered && i = next then
+          Some (Predicate.mirror (edge_pred (i, j)))
+        else None)
+      edges
+  in
+  let rec attach expr covered remaining =
+    match remaining with
+    | [] -> expr
+    | _ -> (
+      match List.find_opt (fun i -> preds_between covered i <> []) remaining with
+      | None -> invalid_arg "Queries.make: join graph not connected"
+      | Some next ->
+        attach
+          (Logical.Join (expr, selected_relation next, preds_between covered next))
+          (next :: covered)
+          (List.filter (fun i -> i <> next) remaining))
+  in
+  let query =
+    attach (selected_relation 1) [ 1 ] (List.init (relations - 1) (fun i -> i + 2))
+  in
+  { id = 0;
+    relations;
+    query;
+    host_vars = List.init relations (fun i -> host_var (i + 1));
+    catalog }
+
+let chain ~relations = make ~topology:Chain ~relations ()
+let star ~relations = make ~topology:Star ~relations ()
+let cycle ~relations = make ~topology:Cycle ~relations ()
+
+let paper_queries () =
+  List.mapi (fun idx relations -> { (chain ~relations) with id = idx + 1 }) [ 1; 2; 4; 6; 10 ]
+
+let uncertain_variables t ~uncertain_memory =
+  List.length t.host_vars + if uncertain_memory then 1 else 0

@@ -1,0 +1,42 @@
+(** The five experimental queries of the paper's Section 6.
+
+    Query [k] joins the first [n_k] relations in a chain (equi-join
+    between neighbours) with one unbound selection per relation:
+    query 1 is a single-relation selection, queries 2-5 are 2-, 4-, 6-
+    and 10-way joins with as many unbound selection predicates. *)
+
+type t = {
+  id : int;  (** 1..5 *)
+  relations : int;  (** number of joined relations *)
+  query : Dqep_algebra.Logical.t;
+  host_vars : string list;  (** one per relation, ["hv1" .. "hvN"] *)
+  catalog : Dqep_catalog.Catalog.t;
+}
+
+type topology =
+  | Chain  (** joins between neighbours: [Ri.jr = R(i+1).jl] *)
+  | Star  (** [R1] is the hub: [R1.jr = Ri.jl] for all spokes *)
+  | Cycle  (** a chain closed by [Rn.jr = R1.jl] *)
+
+val make : ?topology:topology -> relations:int -> unit -> t
+(** Query over [R1 .. Rn] with one unbound selection [Ri.a <= :hvi] per
+    relation and equi-joins per the topology (default [Chain]).  The
+    paper does not state its join-graph topology; the three classes here
+    exercise the transformation rules differently (chains have few
+    connected subsets, stars many). *)
+
+val chain : relations:int -> t
+(** [make ~topology:Chain]. *)
+
+val star : relations:int -> t
+val cycle : relations:int -> t
+
+val paper_queries : unit -> t list
+(** The five queries (1, 2, 4, 6, 10 relations), ids 1..5. *)
+
+val uncertain_variables : t -> uncertain_memory:bool -> int
+(** Number of uncertain cost-model parameters: one per unbound selection
+    plus one if memory is uncertain — the x-axis of Figures 4-8. *)
+
+val host_var : int -> string
+(** ["hv<i>"]. *)

@@ -1,0 +1,133 @@
+(* Algebras: schemas, predicates, logical validation, physical
+   properties. *)
+
+module D = Dqep
+
+let col rel attr = D.Col.make ~rel ~attr
+
+let rel name =
+  D.Relation.make ~name ~cardinality:100 ~record_bytes:512
+    ~attributes:
+      [ D.Attribute.make ~name:"a" ~domain_size:10;
+        D.Attribute.make ~name:"j" ~domain_size:10 ]
+
+let catalog () =
+  D.Catalog.create ~relations:[ rel "R"; rel "S" ] ~indexes:[] ()
+
+let test_schema () =
+  let s = D.Schema.of_relation (rel "R") in
+  Alcotest.(check int) "width" 2 (D.Schema.width s);
+  Alcotest.(check int) "position" 1 (D.Schema.position_exn s (col "R" "j"));
+  Alcotest.(check bool) "mem" false (D.Schema.mem s (col "S" "a"));
+  let c = D.Schema.concat s (D.Schema.of_relation (rel "S")) in
+  Alcotest.(check int) "concat width" 4 (D.Schema.width c);
+  Alcotest.(check int) "concat position" 2 (D.Schema.position_exn c (col "S" "a"))
+
+let test_predicates () =
+  Alcotest.check_raises "bad selectivity"
+    (Invalid_argument "Predicate.select: selectivity out of [0, 1]") (fun () ->
+      ignore (D.Predicate.select ~rel:"R" ~attr:"a" (D.Predicate.Bound 1.5)));
+  let p = D.Predicate.select ~rel:"R" ~attr:"a" (D.Predicate.Host_var "h") in
+  Alcotest.(check (option string)) "host var" (Some "h") (D.Predicate.host_var p);
+  let b = D.Predicate.select ~rel:"R" ~attr:"a" (D.Predicate.Bound 0.3) in
+  Alcotest.(check (option string)) "bound has no var" None (D.Predicate.host_var b);
+  let e = D.Predicate.equi ~left:(col "R" "j") ~right:(col "S" "j") in
+  Alcotest.(check bool) "mirror equal" true
+    (D.Predicate.equi_equal e (D.Predicate.mirror e))
+
+let select_r = D.Predicate.select ~rel:"R" ~attr:"a" (D.Predicate.Host_var "h")
+let join_rs =
+  D.Predicate.equi ~left:(col "R" "j") ~right:(col "S" "j")
+
+let valid_query () =
+  D.Logical.Join
+    ( D.Logical.Select (D.Logical.Get_set "R", select_r),
+      D.Logical.Get_set "S",
+      [ join_rs ] )
+
+let test_logical_accessors () =
+  let q = valid_query () in
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ] (D.Logical.relations q);
+  Alcotest.(check int) "selections" 1 (List.length (D.Logical.selections q));
+  Alcotest.(check int) "join preds" 1 (List.length (D.Logical.join_predicates q));
+  Alcotest.(check (list string)) "host vars" [ "h" ] (D.Logical.host_vars q)
+
+let expect_error q msg =
+  match D.Logical.validate (catalog ()) q with
+  | Ok () -> Alcotest.failf "expected error: %s" msg
+  | Error e ->
+    Alcotest.(check bool) (Printf.sprintf "error mentions (%s): %s" msg e) true
+      (String.length e > 0)
+
+let test_validate () =
+  (match D.Logical.validate (catalog ()) (valid_query ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid query rejected: %s" e);
+  expect_error (D.Logical.Get_set "T") "unknown relation";
+  expect_error
+    (D.Logical.Select
+       ( D.Logical.Get_set "R",
+         D.Predicate.select ~rel:"S" ~attr:"a" (D.Predicate.Bound 0.5) ))
+    "selection targets other input";
+  expect_error
+    (D.Logical.Join (D.Logical.Get_set "R", D.Logical.Get_set "R", [ join_rs ]))
+    "duplicate relation";
+  expect_error
+    (D.Logical.Join (D.Logical.Get_set "R", D.Logical.Get_set "S", []))
+    "cross product";
+  expect_error
+    (D.Logical.Join
+       ( D.Logical.Get_set "R",
+         D.Logical.Get_set "S",
+         [ D.Predicate.equi ~left:(col "R" "j") ~right:(col "R" "a") ] ))
+    "join pred does not span"
+
+let test_props () =
+  (* The column list is an equivalence class of equal-valued majors (as a
+     merge join's two join columns), so every listed column satisfies a
+     sorted requirement. *)
+  let sorted = D.Props.ordered [ col "R" "j"; col "S" "j" ] in
+  Alcotest.(check bool) "any satisfied" true (D.Props.satisfies sorted D.Props.Any);
+  Alcotest.(check bool) "first major col" true
+    (D.Props.satisfies sorted (D.Props.Sorted (col "R" "j")));
+  Alcotest.(check bool) "equal-valued second major col" true
+    (D.Props.satisfies sorted (D.Props.Sorted (col "S" "j")));
+  Alcotest.(check bool) "unlisted col" false
+    (D.Props.satisfies sorted (D.Props.Sorted (col "R" "a")));
+  Alcotest.(check bool) "unordered fails sorted" false
+    (D.Props.satisfies D.Props.unordered (D.Props.Sorted (col "R" "j")));
+  Alcotest.(check bool) "required equality" true
+    (D.Props.required_equal (D.Props.Sorted (col "R" "j"))
+       (D.Props.Sorted (col "R" "j")));
+  Alcotest.check_raises "empty order" (Invalid_argument "Props.ordered: empty column list")
+    (fun () -> ignore (D.Props.ordered []))
+
+let test_physical_meta () =
+  let ops =
+    [ D.Physical.File_scan "R";
+      D.Physical.Btree_scan { rel = "R"; attr = "a" };
+      D.Physical.Filter select_r;
+      D.Physical.Filter_btree_scan { rel = "R"; attr = "a"; pred = select_r };
+      D.Physical.Hash_join [ join_rs ];
+      D.Physical.Merge_join [ join_rs ];
+      D.Physical.Index_join
+        { preds = [ join_rs ]; inner_rel = "S"; inner_attr = "j"; inner_filter = None };
+      D.Physical.Sort [ col "R" "j" ];
+      D.Physical.Choose_plan ]
+  in
+  (* Names match the paper's Table 1. *)
+  Alcotest.(check (list string)) "names"
+    [ "File-Scan"; "B-tree-Scan"; "Filter"; "Filter-B-tree-Scan"; "Hash-Join";
+      "Merge-Join"; "Index-Join"; "Sort"; "Choose-Plan" ]
+    (List.map D.Physical.name ops);
+  Alcotest.(check int) "two enforcers" 2
+    (List.length (List.filter D.Physical.is_enforcer ops))
+
+let suite =
+  ( "algebra",
+    [ Alcotest.test_case "schema" `Quick test_schema;
+      Alcotest.test_case "predicates" `Quick test_predicates;
+      Alcotest.test_case "logical accessors" `Quick test_logical_accessors;
+      Alcotest.test_case "validation" `Quick test_validate;
+      Alcotest.test_case "physical properties" `Quick test_props;
+      Alcotest.test_case "physical operators (Table 1)" `Quick test_physical_meta ] )

@@ -1,0 +1,119 @@
+(* Per-variable selectivity bounds (tighter uncertainty modelling) and
+   Graphviz plan rendering. *)
+
+module D = Dqep
+module I = D.Interval
+
+let optimize_exn ?options ~mode (q : D.Queries.t) =
+  Result.get_ok (D.Optimizer.optimize ?options ~mode q.D.Queries.catalog q.D.Queries.query)
+
+let with_bounds (q : D.Queries.t) lo hi =
+  { D.Optimizer.default_options with
+    D.Optimizer.selectivity_bounds =
+      List.map (fun v -> (v, I.make lo hi)) q.D.Queries.host_vars }
+
+let test_env_respects_bounds () =
+  let q = D.Queries.chain ~relations:1 in
+  let env =
+    D.Env.dynamic
+      ~selectivity_bounds:[ ("hv1", I.make 0.2 0.4) ]
+      q.D.Queries.catalog
+  in
+  let pred = D.Predicate.select ~rel:"R1" ~attr:"a" (D.Predicate.Host_var "hv1") in
+  let s = D.Env.selectivity env pred in
+  Alcotest.(check bool) "bounded" true (s.I.lo = 0.2 && s.I.hi = 0.4);
+  let other = D.Predicate.select ~rel:"R1" ~attr:"a" (D.Predicate.Host_var "zz") in
+  let s = D.Env.selectivity env other in
+  Alcotest.(check bool) "default [0,1]" true (s.I.lo = 0. && s.I.hi = 1.)
+
+let test_narrow_bounds_shrink_plans () =
+  let q = D.Queries.chain ~relations:4 in
+  let nodes lo hi =
+    D.Plan.node_count
+      (optimize_exn ~options:(with_bounds q lo hi)
+         ~mode:(D.Optimizer.dynamic ()) q)
+        .D.Optimizer.plan
+  in
+  let full = nodes 0. 1. in
+  let half = nodes 0.1 0.6 in
+  let tight = nodes 0.28 0.32 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone shrinkage (%d >= %d >= %d)" full half tight)
+    true
+    (full >= half && half >= tight);
+  Alcotest.(check bool) "tight bounds shrink substantially" true
+    (tight < full / 2)
+
+let test_bounded_plans_optimal_within_bounds () =
+  (* g = d (up to decision overhead) for bindings inside the declared
+     bounds. *)
+  let q = D.Queries.chain ~relations:3 in
+  let lo, hi = (0.1, 0.5) in
+  let dyn = optimize_exn ~options:(with_bounds q lo hi) ~mode:(D.Optimizer.dynamic ()) q in
+  let slack =
+    float_of_int (D.Plan.choose_count dyn.D.Optimizer.plan)
+    *. D.Device.default.D.Device.choose_plan_overhead
+  in
+  let bounds = List.map (fun v -> (v, I.make lo hi)) q.D.Queries.host_vars in
+  List.iter
+    (fun b ->
+      let env = D.Env.of_bindings q.D.Queries.catalog b in
+      let g = (D.Startup.resolve env dyn.D.Optimizer.plan).D.Startup.anticipated_cost in
+      let rt = optimize_exn ~mode:(D.Optimizer.Run_time b) q in
+      let d, _ = D.Startup.evaluate env rt.D.Optimizer.plan in
+      Alcotest.(check bool)
+        (Printf.sprintf "g=%f within slack of d=%f" g d)
+        true
+        (g <= d +. slack +. 1e-9 && d <= g +. 1e-9))
+    (D.Paramgen.bindings ~bounds ~seed:21 ~trials:10
+       ~host_vars:q.D.Queries.host_vars ~uncertain_memory:false ())
+
+let test_paramgen_respects_bounds () =
+  let bounds = [ ("a", I.make 0.2 0.4) ] in
+  let bs =
+    D.Paramgen.bindings ~bounds ~seed:3 ~trials:50 ~host_vars:[ "a"; "b" ]
+      ~uncertain_memory:false ()
+  in
+  List.iter
+    (fun (b : D.Bindings.t) ->
+      let a = List.assoc "a" b.D.Bindings.selectivities in
+      Alcotest.(check bool) "a within bounds" true (a >= 0.2 && a <= 0.4))
+    bs
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_to_dot () =
+  let q = D.Queries.chain ~relations:2 in
+  let dyn = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+  let dot = D.Plan.to_dot dyn.D.Optimizer.plan in
+  Alcotest.(check bool) "digraph" true (contains ~needle:"digraph plan" dot);
+  Alcotest.(check bool) "has choose diamonds" true (contains ~needle:"diamond" dot);
+  Alcotest.(check bool) "has dashed alternative edges" true
+    (contains ~needle:"style=dashed" dot);
+  (* One node statement per DAG node. *)
+  let node_lines =
+    String.split_on_char '\n' dot
+    |> List.filter (fun l -> contains ~needle:"[label=" l)
+  in
+  Alcotest.(check int) "node statements" (D.Plan.node_count dyn.D.Optimizer.plan)
+    (List.length node_lines);
+  (* Balanced quotes on every line (escaping sanity). *)
+  List.iter
+    (fun l ->
+      let quotes = String.fold_left (fun n c -> if c = '"' then n + 1 else n) 0 l in
+      Alcotest.(check int) "balanced quotes" 0 (quotes mod 2))
+    (String.split_on_char '\n' dot)
+
+let suite =
+  ( "bounds",
+    [ Alcotest.test_case "env respects bounds" `Quick test_env_respects_bounds;
+      Alcotest.test_case "narrow bounds shrink plans" `Quick
+        test_narrow_bounds_shrink_plans;
+      Alcotest.test_case "bounded plans optimal within bounds" `Quick
+        test_bounded_plans_optimal_within_bounds;
+      Alcotest.test_case "paramgen respects bounds" `Quick
+        test_paramgen_respects_bounds;
+      Alcotest.test_case "graphviz rendering" `Quick test_to_dot ] )

@@ -1,0 +1,91 @@
+(* Catalog metadata: relations, attributes, indexes, page math. *)
+
+module D = Dqep
+
+let mk_rel ?(name = "R") ?(cardinality = 1000) ?(record_bytes = 512) () =
+  D.Relation.make ~name ~cardinality ~record_bytes
+    ~attributes:
+      [ D.Attribute.make ~name:"a" ~domain_size:100;
+        D.Attribute.make ~name:"b" ~domain_size:50 ]
+
+let mk_catalog () =
+  D.Catalog.create
+    ~relations:[ mk_rel (); mk_rel ~name:"S" ~cardinality:10 () ]
+    ~indexes:[ D.Index.make ~relation:"R" ~attribute:"a" () ]
+    ()
+
+let test_attribute_validation () =
+  Alcotest.check_raises "bad domain"
+    (Invalid_argument "Attribute.make: domain_size <= 0") (fun () ->
+      ignore (D.Attribute.make ~name:"x" ~domain_size:0))
+
+let test_relation_validation () =
+  Alcotest.check_raises "dup attrs"
+    (Invalid_argument "Relation.make: duplicate attribute names") (fun () ->
+      ignore
+        (D.Relation.make ~name:"R" ~cardinality:1 ~record_bytes:8
+           ~attributes:
+             [ D.Attribute.make ~name:"a" ~domain_size:1;
+               D.Attribute.make ~name:"a" ~domain_size:2 ]))
+
+let test_pages () =
+  (* 512-byte records on 2048-byte pages: 4 per page. *)
+  Alcotest.(check int) "250 pages" 250
+    (D.Relation.pages ~page_bytes:2048 (mk_rel ()));
+  Alcotest.(check int) "at least one page" 1
+    (D.Relation.pages ~page_bytes:2048 (mk_rel ~cardinality:1 ()))
+
+let test_catalog_lookups () =
+  let c = mk_catalog () in
+  Alcotest.(check int) "page bytes" 2048 (D.Catalog.page_bytes c);
+  Alcotest.(check bool) "relation exists" true (D.Catalog.relation c "R" <> None);
+  Alcotest.(check bool) "unknown relation" true (D.Catalog.relation c "T" = None);
+  Alcotest.(check bool) "index on R.a" true (D.Catalog.has_index c ~rel:"R" ~attr:"a");
+  Alcotest.(check bool) "no index on R.b" false (D.Catalog.has_index c ~rel:"R" ~attr:"b");
+  Alcotest.(check int) "indexes of R" 1 (List.length (D.Catalog.indexes_of c "R"));
+  Alcotest.(check int) "domain size" 100 (D.Catalog.domain_size c ~rel:"R" ~attr:"a");
+  Alcotest.(check int) "pages" 250 (D.Catalog.pages c "R")
+
+let test_catalog_validation () =
+  Alcotest.check_raises "duplicate relations"
+    (Invalid_argument "Catalog.create: duplicate relation R") (fun () ->
+      ignore (D.Catalog.create ~relations:[ mk_rel (); mk_rel () ] ~indexes:[] ()));
+  Alcotest.check_raises "index on unknown relation"
+    (Invalid_argument "Catalog.create: index on unknown relation T") (fun () ->
+      ignore
+        (D.Catalog.create ~relations:[ mk_rel () ]
+           ~indexes:[ D.Index.make ~relation:"T" ~attribute:"a" () ]
+           ()))
+
+let test_paper_catalog () =
+  let c = D.Paper_catalog.make ~relations:10 in
+  Alcotest.(check int) "10 relations" 10 (List.length (D.Catalog.relations c));
+  List.iter
+    (fun (r : D.Relation.t) ->
+      Alcotest.(check bool)
+        (r.D.Relation.name ^ " cardinality in range")
+        true
+        (r.D.Relation.cardinality >= 100 && r.D.Relation.cardinality <= 1000);
+      Alcotest.(check int) "record bytes" 512 r.D.Relation.record_bytes;
+      (* Every attribute carries an unclustered B-tree, as in the paper. *)
+      List.iter
+        (fun (a : D.Attribute.t) ->
+          Alcotest.(check bool)
+            (r.D.Relation.name ^ "." ^ a.D.Attribute.name ^ " indexed")
+            true
+            (D.Catalog.has_index c ~rel:r.D.Relation.name ~attr:a.D.Attribute.name);
+          let card = float_of_int r.D.Relation.cardinality in
+          let dom = float_of_int a.D.Attribute.domain_size in
+          Alcotest.(check bool) "domain factor in [0.2, 1.25]" true
+            (dom >= (0.2 *. card) -. 1. && dom <= (1.25 *. card) +. 1.))
+        r.D.Relation.attributes)
+    (D.Catalog.relations c)
+
+let suite =
+  ( "catalog",
+    [ Alcotest.test_case "attribute validation" `Quick test_attribute_validation;
+      Alcotest.test_case "relation validation" `Quick test_relation_validation;
+      Alcotest.test_case "page math" `Quick test_pages;
+      Alcotest.test_case "lookups" `Quick test_catalog_lookups;
+      Alcotest.test_case "catalog validation" `Quick test_catalog_validation;
+      Alcotest.test_case "paper catalog distributions" `Quick test_paper_catalog ] )

@@ -1,0 +1,136 @@
+(* Additional cost-model coverage: spill thresholds, index-join scaling,
+   B-tree depth, device model, and two-corner interval evaluation. *)
+
+module D = Dqep
+module I = D.Interval
+
+let catalog () = D.Paper_catalog.make ~relations:2
+
+let join_pred =
+  D.Predicate.equi
+    ~left:(D.Col.make ~rel:"R1" ~attr:"jr")
+    ~right:(D.Col.make ~rel:"R2" ~attr:"jl")
+
+let env_mem mem =
+  D.Env.of_bindings (catalog ())
+    (D.Bindings.make ~selectivities:[] ~memory_pages:mem)
+
+let own env op ~inputs ~output_rows = D.Cost_model.own_cost env op ~inputs ~output_rows
+
+let input rows = { D.Cost_model.rows = I.point rows; bytes_per_row = 512 }
+
+let test_sort_spill_threshold () =
+  (* Below the memory budget a sort is pure CPU; above it, I/O appears. *)
+  let sort rows mem =
+    I.mid
+      (own (env_mem mem) (D.Physical.Sort [ D.Col.make ~rel:"R1" ~attr:"a" ])
+         ~inputs:[ input rows ] ~output_rows:(I.point rows))
+  in
+  (* 100 rows x 512B = 25 pages; fits in 64, spills at 8. *)
+  let in_memory = sort 100. 64 in
+  let spilled = sort 100. 8 in
+  Alcotest.(check bool) "spilling costs more" true (spilled > in_memory);
+  (* CPU-only cost scales ~ n log n. *)
+  let small = sort 100. 4096 and large = sort 10_000. 4096 in
+  Alcotest.(check bool) "superlinear growth" true (large > small *. 100.)
+
+let test_index_join_scales_with_outer () =
+  let env = env_mem 64 in
+  let op =
+    D.Physical.Index_join
+      { preds = [ join_pred ]; inner_rel = "R2"; inner_attr = "jl";
+        inner_filter = None }
+  in
+  let cost outer =
+    I.mid (own env op ~inputs:[ input outer ] ~output_rows:(I.point (outer /. 10.)))
+  in
+  Alcotest.(check bool) "linear-ish in outer" true
+    (cost 1000. > 9. *. cost 100.)
+
+let test_index_depth () =
+  let env = env_mem 64 in
+  let d1 = D.Cost_model.index_depth env "R1" in
+  Alcotest.(check bool) "small relation, shallow tree" true (d1 >= 2 && d1 <= 3);
+  (* A big relation needs more levels. *)
+  let big =
+    D.Relation.make ~name:"big" ~cardinality:5_000_000 ~record_bytes:64
+      ~attributes:[ D.Attribute.make ~name:"a" ~domain_size:100 ]
+  in
+  let cat = D.Catalog.create ~relations:[ big ] ~indexes:[] () in
+  let env_big = D.Env.static cat in
+  Alcotest.(check bool) "big relation, deeper tree" true
+    (D.Cost_model.index_depth env_big "big" > d1)
+
+let test_pages_for () =
+  let env = env_mem 64 in
+  Alcotest.(check (float 1e-9)) "250 pages" 250.
+    (D.Cost_model.pages_for env ~rows:1000. ~bytes_per_row:512);
+  Alcotest.(check (float 1e-9)) "minimum one page" 1.
+    (D.Cost_model.pages_for env ~rows:1. ~bytes_per_row:8)
+
+let test_device_model () =
+  let d = D.Device.default in
+  Alcotest.(check (float 1e-12)) "plan io time"
+    (float_of_int (100 * 128) /. 2e6)
+    (D.Device.plan_io_time d ~nodes:100);
+  Alcotest.(check bool) "random dearer than sequential" true
+    (d.D.Device.random_page_io > d.D.Device.seq_page_io)
+
+let test_two_corner_evaluation () =
+  (* Interval inputs produce interval costs whose corners match point
+     evaluations at the extremes (memory anti-monotone). *)
+  let cat = catalog () in
+  let env_interval =
+    D.Env.make ~catalog:cat ~device:D.Device.default
+      ~selectivity:(fun _ -> I.make 0. 1.)
+      ~memory_pages:(I.make 16. 112.)
+  in
+  let op = D.Physical.Hash_join [ join_pred ] in
+  let wide =
+    own env_interval op
+      ~inputs:
+        [ { D.Cost_model.rows = I.make 100. 800.; bytes_per_row = 512 };
+          { D.Cost_model.rows = I.make 100. 800.; bytes_per_row = 512 } ]
+      ~output_rows:(I.make 0. 400.)
+  in
+  let point rows mem out =
+    I.mid
+      (own (env_mem mem) op
+         ~inputs:[ input rows; input rows ]
+         ~output_rows:(I.point out))
+  in
+  Alcotest.(check (float 1e-9)) "lo corner = (low rows, high memory)"
+    wide.I.lo (point 100. 112 0.);
+  Alcotest.(check (float 1e-9)) "hi corner = (high rows, low memory)"
+    wide.I.hi (point 800. 16 400.)
+
+let test_merge_join_symmetric_cost () =
+  (* Merge join cost is symmetric in its inputs (the basis for the
+     paper's equal-cost merge-join pairs both being kept). *)
+  let env = env_mem 64 in
+  let cost a b =
+    I.mid
+      (own env (D.Physical.Merge_join [ join_pred ])
+         ~inputs:[ input a; input b ] ~output_rows:(I.point 50.))
+  in
+  Alcotest.(check (float 1e-12)) "symmetric" (cost 200. 700.) (cost 700. 200.)
+
+let test_choose_plan_requires_alternatives () =
+  let env = env_mem 64 in
+  Alcotest.check_raises "empty alternatives"
+    (Invalid_argument "Cost_model.choose_plan_cost: no alternatives") (fun () ->
+      ignore (D.Cost_model.choose_plan_cost env []))
+
+let suite =
+  ( "cost-extra",
+    [ Alcotest.test_case "sort spill threshold" `Quick test_sort_spill_threshold;
+      Alcotest.test_case "index join scales with outer" `Quick
+        test_index_join_scales_with_outer;
+      Alcotest.test_case "index depth" `Quick test_index_depth;
+      Alcotest.test_case "pages_for" `Quick test_pages_for;
+      Alcotest.test_case "device model" `Quick test_device_model;
+      Alcotest.test_case "two-corner interval evaluation" `Quick
+        test_two_corner_evaluation;
+      Alcotest.test_case "merge join symmetric" `Quick test_merge_join_symmetric_cost;
+      Alcotest.test_case "choose-plan needs alternatives" `Quick
+        test_choose_plan_requires_alternatives ] )

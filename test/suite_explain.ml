@@ -1,0 +1,135 @@
+(* Decision explanation, validation report, and random-operation
+   properties of the buffer pool. *)
+
+module D = Dqep
+
+let test_explain_decisions () =
+  let q = D.Queries.chain ~relations:2 in
+  let dyn =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  let b = D.Bindings.make ~selectivities:[ ("hv1", 0.02); ("hv2", 0.8) ] ~memory_pages:64 in
+  let env = D.Env.of_bindings q.D.Queries.catalog b in
+  let decisions = D.Startup.explain env dyn.D.Optimizer.plan in
+  Alcotest.(check int) "one decision per choose operator"
+    (D.Plan.choose_count dyn.D.Optimizer.plan)
+    (List.length decisions);
+  List.iter
+    (fun (d : D.Startup.decision) ->
+      Alcotest.(check bool) ">= 2 alternatives" true (List.length d.alternatives >= 2);
+      (* The chosen alternative has the minimal evaluated cost. *)
+      let _, _, chosen_cost =
+        List.find (fun (pid, _, _) -> pid = d.D.Startup.chosen_pid) d.alternatives
+      in
+      List.iter
+        (fun (_, _, c) ->
+          Alcotest.(check bool) "chosen is minimal" true (chosen_cost <= c +. 1e-12))
+        d.alternatives)
+    decisions;
+  (* Explanation agrees with resolution. *)
+  let r = D.Startup.resolve env dyn.D.Optimizer.plan in
+  List.iter
+    (fun (pid, alt) ->
+      match
+        List.find_opt (fun (d : D.Startup.decision) -> d.choose_pid = pid) decisions
+      with
+      | None -> Alcotest.failf "resolution chose at unknown operator %d" pid
+      | Some d -> Alcotest.(check int) "same alternative" d.chosen_pid alt)
+    r.D.Startup.choices;
+  (* Rendering produces non-empty text. *)
+  let text = Format.asprintf "@[<v>%a@]" D.Startup.pp_decisions decisions in
+  Alcotest.(check bool) "rendered" true (String.length text > 0)
+
+let test_validation_report () =
+  let r = D.Experiments.Validation.report ~relations_list:[ 1 ] ~trials:3 () in
+  Alcotest.(check int) "one row" 1 (List.length r.D.Experiments.Report.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "columns" (List.length r.D.Experiments.Report.header)
+        (List.length row))
+    r.D.Experiments.Report.rows
+
+let test_bounds_report () =
+  let r = D.Experiments.Ablations.bounds ~relations:2 ~trials:5 () in
+  Alcotest.(check int) "four widths" 4 (List.length r.D.Experiments.Report.rows)
+
+(* Random buffer-pool workload: arbitrary interleaving of pins, unpins
+   and dirty marks never evicts a pinned page, never exceeds capacity,
+   and never loses data. *)
+let prop_buffer_pool_random_ops =
+  let gen =
+    QCheck.Gen.(
+      let* capacity = int_range 2 6 in
+      let* pages = int_range 1 12 in
+      let* ops = list_size (int_range 1 200) (pair (int_range 0 2) (int_range 0 (pages - 1))) in
+      return (capacity, pages, ops))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (c, p, ops) ->
+        Printf.sprintf "capacity=%d pages=%d ops=%d" c p (List.length ops))
+      gen
+  in
+  QCheck.Test.make ~name:"buffer pool random operations" ~count:100 arb
+    (fun (capacity, pages, ops) ->
+      let disk = D.Disk.create () in
+      let pool = D.Buffer_pool.create ~frames:capacity disk in
+      let ids =
+        List.init pages (fun i ->
+            let page = D.Buffer_pool.new_page pool in
+            page.D.Page.payload <-
+              D.Page.Heap { tuples = Array.make 2 [| i |]; count = 1 };
+            D.Buffer_pool.unpin pool page.D.Page.id;
+            page.D.Page.id)
+      in
+      let pins = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iter
+        (fun (op, idx) ->
+          let id = List.nth ids idx in
+          let pinned = Option.value ~default:0 (Hashtbl.find_opt pins id) in
+          match op with
+          | 0 ->
+            (* Pin, unless the pool would deadlock (all frames pinned by
+               distinct pages). *)
+            let distinct_pinned = Hashtbl.length pins in
+            if pinned > 0 || distinct_pinned < capacity then begin
+              ignore (D.Buffer_pool.pin pool id);
+              Hashtbl.replace pins id (pinned + 1)
+            end
+          | 1 ->
+            if pinned > 0 then begin
+              D.Buffer_pool.unpin pool id;
+              if pinned = 1 then Hashtbl.remove pins id
+              else Hashtbl.replace pins id (pinned - 1)
+            end
+          | _ ->
+            if pinned > 0 then D.Buffer_pool.mark_dirty pool id)
+        ops;
+      (* Invariants after the workload: *)
+      if D.Buffer_pool.resident pool > capacity then ok := false;
+      (* Release outstanding pins so verification can fault pages in. *)
+      Hashtbl.iter
+        (fun id pins ->
+          for _ = 1 to pins do
+            D.Buffer_pool.unpin pool id
+          done)
+        pins;
+      (* Every page still holds its original data. *)
+      List.iteri
+        (fun i id ->
+          D.Buffer_pool.with_page pool id (fun p ->
+              match p.D.Page.payload with
+              | D.Page.Heap h -> if h.tuples.(0).(0) <> i then ok := false
+              | D.Page.Free | D.Page.Btree _ -> ok := false))
+        ids;
+      !ok)
+
+let suite =
+  ( "explain",
+    [ Alcotest.test_case "decision explanation" `Quick test_explain_decisions;
+      Alcotest.test_case "validation report smoke" `Quick test_validation_report;
+      Alcotest.test_case "bounds report smoke" `Quick test_bounds_report;
+      QCheck_alcotest.to_alcotest prop_buffer_pool_random_ops ] )

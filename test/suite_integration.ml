@@ -1,0 +1,111 @@
+(* Randomized whole-system properties: random queries (topology, size,
+   mix of bound and unbound predicates), random bindings, random data —
+   optimizer, start-up machinery, executor and reference evaluator must
+   all agree. *)
+
+module D = Dqep
+
+(* A random query generator over the experimental catalog. *)
+let gen_case =
+  QCheck.Gen.(
+    let* relations = int_range 1 4 in
+    let* topo_idx = int_range 0 2 in
+    let topology =
+      match topo_idx with
+      | 0 -> D.Queries.Chain
+      | 1 -> D.Queries.Star
+      | _ -> D.Queries.Cycle
+    in
+    let topology = if relations < 3 then D.Queries.Chain else topology in
+    let* seed = int_range 0 10_000 in
+    let* mem = int_range 16 112 in
+    let* sels = list_repeat relations (float_bound_inclusive 1.) in
+    return (topology, relations, seed, mem, sels))
+
+let print_case (topology, relations, seed, mem, sels) =
+  Printf.sprintf "topology=%s relations=%d seed=%d mem=%d sels=[%s]"
+    (match topology with
+    | D.Queries.Chain -> "chain"
+    | D.Queries.Star -> "star"
+    | D.Queries.Cycle -> "cycle")
+    relations seed mem
+    (String.concat ";" (List.map (Printf.sprintf "%.3f") sels))
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+let build_case (topology, relations, seed, mem, sels) =
+  let q = D.Queries.make ~topology ~relations () in
+  let db = D.Database.build ~seed q.D.Queries.catalog in
+  let bindings =
+    D.Bindings.make
+      ~selectivities:(List.combine q.D.Queries.host_vars sels)
+      ~memory_pages:mem
+  in
+  (q, db, bindings)
+
+let optimize_exn ~mode (q : D.Queries.t) =
+  Result.get_ok (D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query)
+
+(* All three strategies return the reference result on random inputs. *)
+let prop_strategies_agree_with_reference =
+  QCheck.Test.make ~name:"optimized plans compute the reference result"
+    ~count:25 arb_case (fun case ->
+      let q, db, b = build_case case in
+      let ref_schema, expected = D.Reference.eval db b q.D.Queries.query in
+      let normalized = D.Reference.normalize ref_schema expected in
+      List.for_all
+        (fun mode ->
+          let r = optimize_exn ~mode q in
+          let tuples, stats = D.Executor.run db b r.D.Optimizer.plan in
+          let schema =
+            D.Plan.schema q.D.Queries.catalog stats.D.Executor.resolved_plan
+          in
+          D.Reference.multiset_equal normalized (D.Reference.normalize schema tuples))
+        [ D.Optimizer.static;
+          D.Optimizer.dynamic ~uncertain_memory:true ();
+          D.Optimizer.Run_time b ])
+
+(* The dynamic plan resolves at least as cheap as the static plan under
+   every binding (both evaluated by the same cost model). *)
+let prop_dynamic_never_worse_than_static =
+  QCheck.Test.make ~name:"resolved dynamic cost <= static cost" ~count:40
+    arb_case (fun case ->
+      let q, _db, b = build_case case in
+      let env = D.Env.of_bindings q.D.Queries.catalog b in
+      let s = optimize_exn ~mode:D.Optimizer.static q in
+      let d = optimize_exn ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ()) q in
+      let static_cost, _ = D.Startup.evaluate env s.D.Optimizer.plan in
+      let dynamic_cost =
+        (D.Startup.resolve env d.D.Optimizer.plan).D.Startup.anticipated_cost
+      in
+      dynamic_cost <= static_cost +. 1e-9)
+
+(* Access modules round-trip for arbitrary dynamic plans. *)
+let prop_access_module_roundtrip =
+  QCheck.Test.make ~name:"access modules round-trip" ~count:25 arb_case
+    (fun case ->
+      let q, _db, _b = build_case case in
+      let d = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+      let encoded = D.Access_module.encode d.D.Optimizer.plan in
+      match D.Access_module.decode (D.Env.dynamic q.D.Queries.catalog) encoded with
+      | Error _ -> false
+      | Ok decoded -> D.Access_module.encode decoded = encoded)
+
+(* The compile-time cost interval brackets the evaluated cost at any
+   binding. *)
+let prop_interval_brackets_reality =
+  QCheck.Test.make ~name:"cost interval brackets evaluated cost" ~count:40
+    arb_case (fun case ->
+      let q, _db, b = build_case case in
+      let env = D.Env.of_bindings q.D.Queries.catalog b in
+      let d = optimize_exn ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ()) q in
+      let cost, _ = D.Startup.evaluate env d.D.Optimizer.plan in
+      let i = d.D.Optimizer.plan.D.Plan.total_cost in
+      cost >= i.D.Interval.lo -. 1e-6 && cost <= i.D.Interval.hi +. 1e-6)
+
+let suite =
+  ( "integration",
+    [ QCheck_alcotest.to_alcotest ~long:true prop_strategies_agree_with_reference;
+      QCheck_alcotest.to_alcotest prop_dynamic_never_worse_than_static;
+      QCheck_alcotest.to_alcotest prop_access_module_roundtrip;
+      QCheck_alcotest.to_alcotest prop_interval_brackets_reality ] )

@@ -1,0 +1,156 @@
+(* Mid-query adaptation (Section 7): skewed data generation, cardinality
+   overrides, shared-subplan discovery, and end-to-end adaptive runs. *)
+
+module D = Dqep
+
+let test_actual_selectivity () =
+  Alcotest.(check (float 1e-9)) "uniform" 0.3
+    (D.Database.actual_selectivity ~skew:1.0 0.3);
+  Alcotest.(check (float 1e-9)) "skew 3" (0.3 ** (1. /. 3.))
+    (D.Database.actual_selectivity ~skew:3.0 0.3);
+  Alcotest.(check (float 1e-9)) "zero" 0. (D.Database.actual_selectivity ~skew:3.0 0.)
+
+let test_skewed_data_matches_model () =
+  (* The realized matching fraction tracks s^(1/skew). *)
+  let q = D.Queries.chain ~relations:1 in
+  let skew = 3.0 in
+  let db = D.Database.build ~seed:7 ~skew q.D.Queries.catalog in
+  let card = (D.Catalog.relation_exn q.D.Queries.catalog "R1").D.Relation.cardinality in
+  let dom = D.Catalog.domain_size q.D.Queries.catalog ~rel:"R1" ~attr:"a" in
+  List.iter
+    (fun s ->
+      let cutoff = int_of_float (Float.round (s *. float_of_int dom)) in
+      let matching = ref 0 in
+      D.Heap_file.scan (D.Database.pool db) (D.Database.heap db "R1") (fun _ t ->
+          if t.(0) < cutoff then incr matching);
+      let fraction = float_of_int !matching /. float_of_int card in
+      let expected = D.Database.actual_selectivity ~skew s in
+      Alcotest.(check bool)
+        (Printf.sprintf "fraction near model at s=%.2f (got %.3f, want %.3f)" s
+           fraction expected)
+        true
+        (abs_float (fraction -. expected) < 0.1))
+    [ 0.05; 0.2; 0.5 ]
+
+let test_override_changes_costs () =
+  let q = D.Queries.chain ~relations:2 in
+  let dyn =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  let b =
+    D.Bindings.make ~selectivities:[ ("hv1", 0.05); ("hv2", 0.5) ] ~memory_pages:64
+  in
+  let env = D.Env.of_bindings q.D.Queries.catalog b in
+  match D.Midquery.shared_subplan dyn.D.Optimizer.plan with
+  | None -> Alcotest.fail "expected a shared subplan"
+  | Some sub ->
+    let base, _ = D.Startup.evaluate env dyn.D.Optimizer.plan in
+    (* Pretend the subplan produced far more rows than estimated. *)
+    let inflated, _ =
+      D.Startup.evaluate
+        ~overrides:[ (sub.D.Plan.pid, 10. *. (1. +. D.Startup.estimated_rows env sub)) ]
+        env dyn.D.Optimizer.plan
+    in
+    Alcotest.(check bool) "override moves the cost" true
+      (abs_float (inflated -. base) > 1e-9)
+
+let test_shared_subplan_none_for_static () =
+  let q = D.Queries.chain ~relations:2 in
+  let st =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:D.Optimizer.static q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  Alcotest.(check bool) "static plan has no shared subplan" true
+    (D.Midquery.shared_subplan st.D.Optimizer.plan = None)
+
+let test_adaptive_run_correct_results () =
+  (* Adaptation must never change the result, only the plan. *)
+  let q = D.Queries.chain ~relations:2 in
+  let db = D.Database.build ~seed:5 ~skew:3.0 q.D.Queries.catalog in
+  let dyn =
+    Result.get_ok
+      (D.Optimizer.optimize
+         ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ())
+         q.D.Queries.catalog q.D.Queries.query)
+  in
+  List.iter
+    (fun b ->
+      let tuples, stats = D.Midquery.run db b dyn.D.Optimizer.plan in
+      let schema =
+        D.Plan.schema q.D.Queries.catalog stats.D.Midquery.run.D.Executor.resolved_plan
+      in
+      let ref_schema, expected = D.Reference.eval db b q.D.Queries.query in
+      Alcotest.(check bool) "adaptive result matches reference" true
+        (D.Reference.multiset_equal
+           (D.Reference.normalize ref_schema expected)
+           (D.Reference.normalize schema tuples)))
+    (D.Paramgen.bindings ~seed:13 ~trials:5 ~host_vars:q.D.Queries.host_vars
+       ~uncertain_memory:true ())
+
+let test_adaptation_observes_skew () =
+  (* On skewed data the observed cardinality diverges from the estimate,
+     and across a spread of bindings adaptation switches plans at least
+     once while never choosing a worse plan than the default. *)
+  let q = D.Queries.chain ~relations:2 in
+  let skew = 4.0 in
+  let db = D.Database.build ~seed:5 ~skew q.D.Queries.catalog in
+  let dyn =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  let switched = ref 0 in
+  let observed_diverges = ref 0 in
+  List.iter
+    (fun s1 ->
+      let b =
+        D.Bindings.make
+          ~selectivities:[ ("hv1", s1); ("hv2", 0.3) ]
+          ~memory_pages:64
+      in
+      let _, stats = D.Midquery.run db b dyn.D.Optimizer.plan in
+      if stats.D.Midquery.switched then incr switched;
+      let est = stats.D.Midquery.estimated_rows in
+      if est > 0. && float_of_int stats.D.Midquery.observed_rows > 1.5 *. est then
+        incr observed_diverges;
+      Alcotest.(check bool) "adapted cost never higher" true
+        (stats.D.Midquery.adapted_cost <= stats.D.Midquery.default_cost +. 1e-9))
+    [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.4 ];
+  Alcotest.(check bool) "observation diverges from estimate on skewed data" true
+    (!observed_diverges >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptation switched at least once (%d switches)" !switched)
+    true (!switched >= 1)
+
+let test_plain_fallback () =
+  (* Without a choose-plan root there is nothing to observe; behaviour
+     degenerates to a plain run. *)
+  let q = D.Queries.chain ~relations:1 in
+  let db = D.Database.build ~seed:5 q.D.Queries.catalog in
+  let st =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:D.Optimizer.static q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  let b = D.Bindings.make ~selectivities:[ ("hv1", 0.2) ] ~memory_pages:64 in
+  let _, stats = D.Midquery.run db b st.D.Optimizer.plan in
+  Alcotest.(check bool) "nothing materialized" true
+    (stats.D.Midquery.materialized = None);
+  Alcotest.(check bool) "no switch" false stats.D.Midquery.switched
+
+let suite =
+  ( "midquery",
+    [ Alcotest.test_case "actual selectivity model" `Quick test_actual_selectivity;
+      Alcotest.test_case "skewed data matches model" `Quick
+        test_skewed_data_matches_model;
+      Alcotest.test_case "overrides change costs" `Quick test_override_changes_costs;
+      Alcotest.test_case "no shared subplan in static plans" `Quick
+        test_shared_subplan_none_for_static;
+      Alcotest.test_case "adaptive runs stay correct" `Quick
+        test_adaptive_run_correct_results;
+      Alcotest.test_case "adaptation observes skew and switches" `Quick
+        test_adaptation_observes_skew;
+      Alcotest.test_case "plain fallback" `Quick test_plain_fallback ] )

@@ -1,0 +1,177 @@
+(* Workload topologies (chain/star/cycle) and the optional optimizer
+   modes: left-deep-only search and Section 3's exhaustive plans. *)
+
+module D = Dqep
+module I = D.Interval
+
+let optimize_exn ?options ~mode (q : D.Queries.t) =
+  Result.get_ok (D.Optimizer.optimize ?options ~mode q.D.Queries.catalog q.D.Queries.query)
+
+let bindings_for (q : D.Queries.t) ?(seed = 11) n =
+  D.Paramgen.bindings ~seed ~trials:n ~host_vars:q.D.Queries.host_vars
+    ~uncertain_memory:true ()
+
+(* --- topologies ----------------------------------------------------------- *)
+
+let test_topologies_valid () =
+  List.iter
+    (fun q ->
+      match D.Logical.validate q.D.Queries.catalog q.D.Queries.query with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid: %s" e)
+    [ D.Queries.chain ~relations:4; D.Queries.star ~relations:4;
+      D.Queries.cycle ~relations:4 ]
+
+let test_star_has_more_alternatives () =
+  (* A star's join graph has more connected subsets than a chain's, so
+     the memo explores more logical alternatives. *)
+  let alts topology =
+    let q = D.Queries.make ~topology ~relations:5 () in
+    (optimize_exn ~mode:(D.Optimizer.dynamic ()) q).D.Optimizer.stats
+      .D.Optimizer.logical_alternatives
+  in
+  Alcotest.(check bool) "star > chain" true
+    (alts D.Queries.Star > alts D.Queries.Chain);
+  Alcotest.(check bool) "cycle >= chain" true
+    (alts D.Queries.Cycle >= alts D.Queries.Chain)
+
+let test_cycle_needs_three () =
+  Alcotest.check_raises "cycle of 2"
+    (Invalid_argument "Queries.make: a cycle needs >= 3 relations") (fun () ->
+      ignore (D.Queries.cycle ~relations:2))
+
+let test_topologies_execute_correctly () =
+  List.iter
+    (fun (label, q) ->
+      let db = D.Database.build ~seed:23 q.D.Queries.catalog in
+      let dyn = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+      List.iter
+        (fun b ->
+          let tuples, stats = D.Executor.run db b dyn.D.Optimizer.plan in
+          let schema =
+            D.Plan.schema q.D.Queries.catalog stats.D.Executor.resolved_plan
+          in
+          let ref_schema, expected = D.Reference.eval db b q.D.Queries.query in
+          Alcotest.(check bool)
+            (label ^ " matches reference")
+            true
+            (D.Reference.multiset_equal
+               (D.Reference.normalize ref_schema expected)
+               (D.Reference.normalize schema tuples)))
+        (bindings_for q 3))
+    [ ("star", D.Queries.star ~relations:3); ("cycle", D.Queries.cycle ~relations:3) ]
+
+let test_topologies_keep_optimality_guarantee () =
+  (* gi = di (up to decision overhead) holds on non-chain join graphs
+     too. *)
+  List.iter
+    (fun (label, q) ->
+      let dyn = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+      let slack =
+        float_of_int (D.Plan.choose_count dyn.D.Optimizer.plan)
+        *. D.Device.default.D.Device.choose_plan_overhead
+      in
+      List.iter
+        (fun b ->
+          let env = D.Env.of_bindings q.D.Queries.catalog b in
+          let g =
+            (D.Startup.resolve env dyn.D.Optimizer.plan).D.Startup.anticipated_cost
+          in
+          let rt = optimize_exn ~mode:(D.Optimizer.Run_time b) q in
+          let d, _ = D.Startup.evaluate env rt.D.Optimizer.plan in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: g=%f within slack of d=%f" label g d)
+            true
+            (g <= d +. slack +. 1e-9 && d <= g +. 1e-9))
+        (bindings_for q 8))
+    [ ("star", D.Queries.star ~relations:4); ("cycle", D.Queries.cycle ~relations:4) ]
+
+(* --- left-deep ------------------------------------------------------------ *)
+
+let left_deep_options =
+  { D.Optimizer.default_options with D.Optimizer.left_deep = true }
+
+let rec join_right_children_are_base (p : D.Plan.t) =
+  let self =
+    match p.D.Plan.op with
+    | D.Physical.Hash_join _ | D.Physical.Merge_join _ -> (
+      match p.D.Plan.inputs with
+      | [ _; right ] -> List.length right.D.Plan.rels = 1
+      | _ -> false)
+    | D.Physical.Index_join _ | D.Physical.File_scan _ | D.Physical.Btree_scan _
+    | D.Physical.Filter _ | D.Physical.Filter_btree_scan _ | D.Physical.Sort _
+    | D.Physical.Choose_plan -> true
+  in
+  self && List.for_all join_right_children_are_base p.D.Plan.inputs
+
+let test_left_deep_shape () =
+  let q = D.Queries.chain ~relations:5 in
+  let r = optimize_exn ~options:left_deep_options ~mode:D.Optimizer.static q in
+  Alcotest.(check bool) "every inner input is one relation" true
+    (join_right_children_are_base r.D.Optimizer.plan)
+
+let test_left_deep_never_cheaper () =
+  List.iter
+    (fun n ->
+      let q = D.Queries.chain ~relations:n in
+      let bushy = optimize_exn ~mode:D.Optimizer.static q in
+      let ld = optimize_exn ~options:left_deep_options ~mode:D.Optimizer.static q in
+      Alcotest.(check bool)
+        (Printf.sprintf "left-deep >= bushy (n=%d)" n)
+        true
+        (I.mid ld.D.Optimizer.plan.D.Plan.total_cost
+         >= I.mid bushy.D.Optimizer.plan.D.Plan.total_cost -. 1e-9))
+    [ 3; 4; 5; 6 ]
+
+(* --- exhaustive plans ------------------------------------------------------ *)
+
+let exhaustive_options =
+  { D.Optimizer.default_options with D.Optimizer.exhaustive = true }
+
+let test_exhaustive_contains_dynamic () =
+  let q = D.Queries.chain ~relations:3 in
+  let dyn = optimize_exn ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ()) q in
+  let ex =
+    optimize_exn ~options:exhaustive_options
+      ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ())
+      q
+  in
+  Alcotest.(check bool) "exhaustive is larger" true
+    (D.Plan.node_count ex.D.Optimizer.plan > D.Plan.node_count dyn.D.Optimizer.plan)
+
+let test_exhaustive_is_exactly_optimal () =
+  (* "Because it includes all plans, it must also include the optimal one
+     for each set of run-time bindings" (Section 3) — equality with
+     run-time optimization is exact, no pruning slack. *)
+  let q = D.Queries.chain ~relations:3 in
+  let ex =
+    optimize_exn ~options:exhaustive_options
+      ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ())
+      q
+  in
+  List.iter
+    (fun b ->
+      let env = D.Env.of_bindings q.D.Queries.catalog b in
+      let g = (D.Startup.resolve env ex.D.Optimizer.plan).D.Startup.anticipated_cost in
+      let rt = optimize_exn ~mode:(D.Optimizer.Run_time b) q in
+      let d, _ = D.Startup.evaluate env rt.D.Optimizer.plan in
+      Alcotest.(check (float 1e-9)) "gi = di exactly" d g)
+    (bindings_for q 10)
+
+let suite =
+  ( "modes",
+    [ Alcotest.test_case "topologies validate" `Quick test_topologies_valid;
+      Alcotest.test_case "star explores more alternatives" `Quick
+        test_star_has_more_alternatives;
+      Alcotest.test_case "cycle needs >= 3" `Quick test_cycle_needs_three;
+      Alcotest.test_case "topologies execute correctly" `Quick
+        test_topologies_execute_correctly;
+      Alcotest.test_case "optimality guarantee across topologies" `Slow
+        test_topologies_keep_optimality_guarantee;
+      Alcotest.test_case "left-deep shape" `Quick test_left_deep_shape;
+      Alcotest.test_case "left-deep never cheaper than bushy" `Quick
+        test_left_deep_never_cheaper;
+      Alcotest.test_case "exhaustive contains dynamic" `Quick
+        test_exhaustive_contains_dynamic;
+      Alcotest.test_case "exhaustive plans exactly optimal" `Slow
+        test_exhaustive_is_exactly_optimal ] )

@@ -1,0 +1,68 @@
+(* Interesting-orders equivalence: a merge join's output is sorted on
+   both join columns, so a star query can chain merge joins on the hub
+   column without re-sorting. *)
+
+module D = Dqep
+
+let test_merge_join_chain_without_resort () =
+  (* Star query: R1 is the hub; both joins use R1.jr on the outer side.
+     The dynamic plan must contain a merge join whose left input is
+     (directly) another merge join — no Sort enforcer in between. *)
+  let q = D.Queries.star ~relations:3 in
+  let dyn =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  let found = ref false in
+  D.Plan.iter
+    (fun p ->
+      match p.D.Plan.op with
+      | D.Physical.Merge_join _ -> (
+        match p.D.Plan.inputs with
+        | [ left; _ ] -> (
+          match left.D.Plan.op with
+          | D.Physical.Merge_join _ -> found := true
+          | D.Physical.Choose_plan ->
+            (* Or via a choose whose alternatives include a merge join. *)
+            if
+              List.exists
+                (fun (alt : D.Plan.t) ->
+                  match alt.D.Plan.op with
+                  | D.Physical.Merge_join _ -> true
+                  | _ -> false)
+                left.D.Plan.inputs
+            then found := true
+          | _ -> ())
+        | _ -> ())
+      | _ -> ())
+    dyn.D.Optimizer.plan;
+  Alcotest.(check bool) "merge join consumes merge join order directly" true !found
+
+let test_merge_join_props_cover_both_columns () =
+  let q = D.Queries.chain ~relations:2 in
+  let dyn =
+    Result.get_ok
+      (D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  let checked = ref 0 in
+  D.Plan.iter
+    (fun p ->
+      match p.D.Plan.op with
+      | D.Physical.Merge_join (pred :: _) ->
+        incr checked;
+        Alcotest.(check bool) "sorted on left join col" true
+          (D.Props.satisfies p.D.Plan.props (D.Props.Sorted pred.D.Predicate.left));
+        Alcotest.(check bool) "sorted on right join col too" true
+          (D.Props.satisfies p.D.Plan.props (D.Props.Sorted pred.D.Predicate.right))
+      | _ -> ())
+    dyn.D.Optimizer.plan;
+  Alcotest.(check bool) "saw merge joins" true (!checked > 0)
+
+let suite =
+  ( "orders",
+    [ Alcotest.test_case "merge-join chain without resort (star)" `Quick
+        test_merge_join_chain_without_resort;
+      Alcotest.test_case "merge join sorted on both columns" `Quick
+        test_merge_join_props_cover_both_columns ] )

@@ -1,0 +1,129 @@
+(* Plan DAGs: hash-consing/sharing, traversal, choose-plan wrapping,
+   cost composition, schemas. *)
+
+module D = Dqep
+module I = D.Interval
+
+let catalog () = D.Paper_catalog.make ~relations:2
+
+let builder () =
+  let env = D.Env.dynamic (catalog ()) in
+  (env, D.Plan.Builder.create env)
+
+let scan b name rows =
+  D.Plan.Builder.operator b (D.Physical.File_scan name) ~inputs:[] ~rels:[ name ]
+    ~rows:(I.point rows) ~bytes_per_row:512 ~props:D.Props.unordered
+
+let test_hash_consing () =
+  let _, b = builder () in
+  let s1 = scan b "R1" 467. in
+  let s2 = scan b "R1" 467. in
+  Alcotest.(check int) "same pid" s1.D.Plan.pid s2.D.Plan.pid;
+  Alcotest.(check int) "one node created" 1 (D.Plan.Builder.created b);
+  let s3 = scan b "R2" 834. in
+  Alcotest.(check bool) "different op, new node" true (s3.D.Plan.pid <> s1.D.Plan.pid)
+
+let join_pred =
+  D.Predicate.equi
+    ~left:(D.Col.make ~rel:"R1" ~attr:"jr")
+    ~right:(D.Col.make ~rel:"R2" ~attr:"jl")
+
+let join b l r =
+  D.Plan.Builder.operator b (D.Physical.Hash_join [ join_pred ]) ~inputs:[ l; r ]
+    ~rels:[ "R1"; "R2" ] ~rows:(I.point 100.) ~bytes_per_row:1024
+    ~props:D.Props.unordered
+
+let test_total_cost_composition () =
+  let _, b = builder () in
+  let l = scan b "R1" 467. in
+  let r = scan b "R2" 834. in
+  let j = join b l r in
+  let expected =
+    I.mid j.D.Plan.own_cost +. I.mid l.D.Plan.total_cost +. I.mid r.D.Plan.total_cost
+  in
+  Alcotest.(check (float 1e-9)) "total = own + children" expected
+    (I.mid j.D.Plan.total_cost)
+
+let test_choose_wrapping () =
+  let env, b = builder () in
+  let l = scan b "R1" 467. in
+  let r = scan b "R2" 834. in
+  Alcotest.check_raises "needs 2+"
+    (Invalid_argument "Plan.Builder.choose: needs >= 2 alternatives") (fun () ->
+      ignore (D.Plan.Builder.choose b [ l ]));
+  let c = D.Plan.Builder.choose b [ l; r ] in
+  Alcotest.(check bool) "is choose" true (c.D.Plan.op = D.Physical.Choose_plan);
+  let overhead = (D.Env.device env).D.Device.choose_plan_overhead in
+  Alcotest.(check (float 1e-9)) "min-combination + overhead"
+    (Float.min l.D.Plan.total_cost.I.lo r.D.Plan.total_cost.I.lo +. overhead)
+    c.D.Plan.total_cost.I.lo
+
+let test_dag_counting () =
+  let _, b = builder () in
+  let shared = scan b "R1" 467. in
+  let r = scan b "R2" 834. in
+  let j1 = join b shared r in
+  let j2 = join b r shared in
+  let c = D.Plan.Builder.choose b [ j1; j2 ] in
+  (* Nodes: shared scan, r scan, two joins, choose = 5 distinct. *)
+  Alcotest.(check int) "node_count respects sharing" 5 (D.Plan.node_count c);
+  (* Expanded: choose(1) + 2 * (join(1) + 2 scans) = 7... each join
+     expands to 3 nodes. *)
+  Alcotest.(check (float 0.)) "expanded count" 7. (D.Plan.expanded_count c);
+  Alcotest.(check int) "choose count" 1 (D.Plan.choose_count c);
+  Alcotest.(check bool) "contains choose" true (D.Plan.contains_choose c);
+  Alcotest.(check bool) "plain plan has no choose" false (D.Plan.contains_choose j1);
+  Alcotest.(check int) "modelled size" (5 * 128)
+    (D.Plan.size_bytes D.Device.default c)
+
+let test_iter_visits_once () =
+  let _, b = builder () in
+  let shared = scan b "R1" 467. in
+  let j = join b shared (scan b "R2" 834.) in
+  let j2 = join b (scan b "R2" 834.) shared in
+  let c = D.Plan.Builder.choose b [ j; j2 ] in
+  let visits = ref [] in
+  D.Plan.iter (fun p -> visits := p.D.Plan.pid :: !visits) c;
+  let sorted = List.sort compare !visits in
+  Alcotest.(check bool) "no duplicates" true
+    (List.sort_uniq compare sorted = sorted);
+  (* Children precede parents. *)
+  let pos pid =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if x = pid then i else go (i + 1) rest
+    in
+    go 0 (List.rev !visits)
+  in
+  Alcotest.(check bool) "topological" true
+    (pos shared.D.Plan.pid < pos j.D.Plan.pid && pos j.D.Plan.pid < pos c.D.Plan.pid)
+
+let test_schema () =
+  let _, b = builder () in
+  let j = join b (scan b "R1" 467.) (scan b "R2" 834.) in
+  let s = D.Plan.schema (catalog ()) j in
+  Alcotest.(check int) "join schema width" 6 (D.Schema.width s);
+  Alcotest.(check int) "left cols first" 0
+    (D.Schema.position_exn s (D.Col.make ~rel:"R1" ~attr:"a"))
+
+let test_copy_node () =
+  let _, b = builder () in
+  let l = scan b "R1" 467. in
+  let r = scan b "R2" 834. in
+  let j = join b l r in
+  let j' = D.Plan.Builder.copy_node b j ~inputs:[ r; l ] in
+  Alcotest.(check bool) "new structure, new pid" true (j'.D.Plan.pid <> j.D.Plan.pid);
+  Alcotest.(check bool) "same op" true (j'.D.Plan.op = j.D.Plan.op);
+  (* Copying with identical inputs hash-conses back to the original. *)
+  let j'' = D.Plan.Builder.copy_node b j ~inputs:[ l; r ] in
+  Alcotest.(check int) "hash-consed" j.D.Plan.pid j''.D.Plan.pid
+
+let suite =
+  ( "plan",
+    [ Alcotest.test_case "hash-consing" `Quick test_hash_consing;
+      Alcotest.test_case "total cost composition" `Quick test_total_cost_composition;
+      Alcotest.test_case "choose-plan wrapping" `Quick test_choose_wrapping;
+      Alcotest.test_case "DAG counting" `Quick test_dag_counting;
+      Alcotest.test_case "iter visits once, topologically" `Quick test_iter_visits_once;
+      Alcotest.test_case "schema" `Quick test_schema;
+      Alcotest.test_case "copy_node" `Quick test_copy_node ] )

@@ -1,0 +1,226 @@
+(* Start-up-time machinery: decision procedures, memoized evaluation,
+   resolution, plan shrinking, access-module round-trips. *)
+
+module D = Dqep
+module I = D.Interval
+
+let query relations = D.Queries.chain ~relations
+
+let dynamic_plan (q : D.Queries.t) =
+  (Result.get_ok
+     (D.Optimizer.optimize
+        ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ())
+        q.D.Queries.catalog q.D.Queries.query))
+    .D.Optimizer.plan
+
+let bindings_for (q : D.Queries.t) ?(seed = 5) n =
+  D.Paramgen.bindings ~seed ~trials:n ~host_vars:q.D.Queries.host_vars
+    ~uncertain_memory:true ()
+
+let test_resolution_removes_choose () =
+  let q = query 3 in
+  let plan = dynamic_plan q in
+  Alcotest.(check bool) "dynamic plan has choose" true (D.Plan.contains_choose plan);
+  List.iter
+    (fun b ->
+      let env = D.Env.of_bindings q.D.Queries.catalog b in
+      let r = D.Startup.resolve env plan in
+      Alcotest.(check bool) "no choose after resolve" false
+        (D.Plan.contains_choose r.D.Startup.plan);
+      Alcotest.(check bool) "resolved plan is smaller" true
+        (D.Plan.node_count r.D.Startup.plan <= D.Plan.node_count plan);
+      (* Choices are recorded only for choose operators on chosen paths:
+         nested alternatives under an unchosen branch decide nothing. *)
+      Alcotest.(check bool) "at least one choice" true
+        (List.length r.D.Startup.choices >= 1);
+      Alcotest.(check bool) "no more choices than operators" true
+        (List.length r.D.Startup.choices <= D.Plan.choose_count plan))
+    (bindings_for q 5)
+
+let test_evaluation_memoized () =
+  (* Every DAG node's cost function is evaluated exactly once (paper,
+     Section 4): evaluations = non-choose nodes. *)
+  let q = query 3 in
+  let plan = dynamic_plan q in
+  let b = List.hd (bindings_for q 1) in
+  let env = D.Env.of_bindings q.D.Queries.catalog b in
+  let _, stats = D.Startup.evaluate env plan in
+  let nodes = D.Plan.node_count plan in
+  let chooses = D.Plan.choose_count plan in
+  Alcotest.(check int) "all nodes visited" nodes stats.D.Startup.nodes_evaluated;
+  Alcotest.(check int) "one evaluation per operator node" (nodes - chooses)
+    stats.D.Startup.cost_evaluations;
+  Alcotest.(check int) "one decision per choose node" chooses
+    stats.D.Startup.choose_decisions
+
+let test_resolution_is_minimal () =
+  (* The resolved plan's cost equals the evaluated cost of the dynamic
+     plan minus decision overheads: the decision procedure picked the
+     cheapest alternative everywhere. *)
+  let q = query 3 in
+  let plan = dynamic_plan q in
+  List.iter
+    (fun b ->
+      let env = D.Env.of_bindings q.D.Queries.catalog b in
+      let r = D.Startup.resolve env plan in
+      let direct, _ = D.Startup.evaluate env r.D.Startup.plan in
+      Alcotest.(check (float 1e-9)) "anticipated = evaluate(resolved)"
+        r.D.Startup.anticipated_cost direct)
+    (bindings_for q 10)
+
+let test_static_plan_resolves_to_itself () =
+  let q = query 2 in
+  let static =
+    (Result.get_ok
+       (D.Optimizer.optimize ~mode:D.Optimizer.static q.D.Queries.catalog
+          q.D.Queries.query))
+      .D.Optimizer.plan
+  in
+  let b = List.hd (bindings_for q 1) in
+  let env = D.Env.of_bindings q.D.Queries.catalog b in
+  let r = D.Startup.resolve env static in
+  Alcotest.(check int) "same plan" static.D.Plan.pid r.D.Startup.plan.D.Plan.pid;
+  Alcotest.(check (list (pair int int))) "no choices" [] r.D.Startup.choices
+
+(* --- access modules ------------------------------------------------------ *)
+
+let test_access_module_roundtrip () =
+  let q = query 3 in
+  let plan = dynamic_plan q in
+  let encoded = D.Access_module.encode plan in
+  let env = D.Env.dynamic q.D.Queries.catalog in
+  match D.Access_module.decode env encoded with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok decoded ->
+    Alcotest.(check int) "node count preserved" (D.Plan.node_count plan)
+      (D.Plan.node_count decoded);
+    Alcotest.(check int) "choose count preserved" (D.Plan.choose_count plan)
+      (D.Plan.choose_count decoded);
+    Alcotest.(check bool) "total cost preserved" true
+      (I.equal plan.D.Plan.total_cost decoded.D.Plan.total_cost);
+    (* Round-trip is the identity on the encoding. *)
+    Alcotest.(check string) "stable encoding" encoded (D.Access_module.encode decoded);
+    (* The decoded plan resolves identically. *)
+    List.iter
+      (fun b ->
+        let env = D.Env.of_bindings q.D.Queries.catalog b in
+        let a = D.Startup.resolve env plan in
+        let d = D.Startup.resolve env decoded in
+        Alcotest.(check (float 1e-9)) "same resolution cost"
+          a.D.Startup.anticipated_cost d.D.Startup.anticipated_cost)
+      (bindings_for q 5)
+
+let test_access_module_escaping () =
+  (* Names with spaces, percent signs and unicode survive. *)
+  let rel =
+    D.Relation.make ~name:"weird rel%name" ~cardinality:10 ~record_bytes:64
+      ~attributes:[ D.Attribute.make ~name:"a b" ~domain_size:5 ]
+  in
+  let catalog = D.Catalog.create ~relations:[ rel ] ~indexes:[] () in
+  let query =
+    D.Logical.Select
+      ( D.Logical.Get_set "weird rel%name",
+        D.Predicate.select ~rel:"weird rel%name" ~attr:"a b"
+          (D.Predicate.Host_var "host var") )
+  in
+  let r =
+    Result.get_ok (D.Optimizer.optimize ~mode:(D.Optimizer.dynamic ()) catalog query)
+  in
+  let encoded = D.Access_module.encode r.D.Optimizer.plan in
+  match D.Access_module.decode (D.Env.dynamic catalog) encoded with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok decoded ->
+    Alcotest.(check string) "stable" encoded (D.Access_module.encode decoded)
+
+let test_access_module_rejects_garbage () =
+  let env = D.Env.dynamic (query 1).D.Queries.catalog in
+  (match D.Access_module.decode env "not a module" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  match D.Access_module.decode env "dqep-access-module 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted empty module"
+
+let test_sizes () =
+  let q = query 2 in
+  let plan = dynamic_plan q in
+  Alcotest.(check int) "modelled bytes"
+    (128 * D.Plan.node_count plan)
+    (D.Access_module.modelled_bytes D.Device.default plan);
+  Alcotest.(check bool) "real encoding is non-trivial" true
+    (D.Access_module.encoded_bytes plan > 100);
+  let io = D.Access_module.activation_io_time D.Device.default plan in
+  Alcotest.(check (float 1e-12)) "io time at 2MB/s"
+    (float_of_int (128 * D.Plan.node_count plan) /. 2e6)
+    io
+
+(* --- shrinking ------------------------------------------------------------ *)
+
+let test_shrink_keeps_used_choices () =
+  let q = query 3 in
+  let plan = dynamic_plan q in
+  let catalog = q.D.Queries.catalog in
+  let adapt = D.Adapt.create plan in
+  let bindings = bindings_for q 50 in
+  List.iter
+    (fun b ->
+      let env = D.Env.of_bindings catalog b in
+      D.Adapt.record adapt (D.Startup.resolve env plan))
+    bindings;
+  Alcotest.(check int) "invocations counted" 50 (D.Adapt.invocations adapt);
+  let shrunk = D.Adapt.shrink (D.Env.dynamic catalog) adapt in
+  Alcotest.(check bool) "shrunk not larger" true
+    (D.Plan.node_count shrunk <= D.Plan.node_count plan);
+  (* On the training bindings the shrunk plan must resolve to exactly the
+     same costs: every used alternative was kept. *)
+  List.iter
+    (fun b ->
+      let env = D.Env.of_bindings catalog b in
+      let full = (D.Startup.resolve env plan).D.Startup.anticipated_cost in
+      let small = (D.Startup.resolve env shrunk).D.Startup.anticipated_cost in
+      Alcotest.(check (float 1e-9)) "no regret on trained bindings" full small)
+    bindings
+
+let test_shrink_without_stats_keeps_all () =
+  let q = query 2 in
+  let plan = dynamic_plan q in
+  let adapt = D.Adapt.create plan in
+  let shrunk = D.Adapt.shrink (D.Env.dynamic q.D.Queries.catalog) adapt in
+  Alcotest.(check int) "unchanged without statistics" (D.Plan.node_count plan)
+    (D.Plan.node_count shrunk)
+
+let test_maybe_replace_threshold () =
+  let q = query 2 in
+  let plan = dynamic_plan q in
+  let catalog = q.D.Queries.catalog in
+  let adapt = D.Adapt.create plan in
+  let env_dyn = D.Env.dynamic catalog in
+  Alcotest.(check bool) "below threshold" false
+    (D.Adapt.maybe_replace ~threshold:1 env_dyn adapt);
+  let b = List.hd (bindings_for q 1) in
+  D.Adapt.record adapt (D.Startup.resolve (D.Env.of_bindings catalog b) plan);
+  Alcotest.(check bool) "at threshold" true
+    (D.Adapt.maybe_replace ~threshold:1 env_dyn adapt);
+  Alcotest.(check int) "stats reset" 0 (D.Adapt.invocations adapt)
+
+let suite =
+  ( "startup",
+    [ Alcotest.test_case "resolution removes choose" `Quick
+        test_resolution_removes_choose;
+      Alcotest.test_case "evaluation memoized per node" `Quick
+        test_evaluation_memoized;
+      Alcotest.test_case "resolution picks the minimum" `Quick
+        test_resolution_is_minimal;
+      Alcotest.test_case "static plans resolve to themselves" `Quick
+        test_static_plan_resolves_to_itself;
+      Alcotest.test_case "access module round-trip" `Quick
+        test_access_module_roundtrip;
+      Alcotest.test_case "access module escaping" `Quick test_access_module_escaping;
+      Alcotest.test_case "access module rejects garbage" `Quick
+        test_access_module_rejects_garbage;
+      Alcotest.test_case "access module sizes" `Quick test_sizes;
+      Alcotest.test_case "shrink keeps used choices" `Quick
+        test_shrink_keeps_used_choices;
+      Alcotest.test_case "shrink without stats keeps all" `Quick
+        test_shrink_without_stats_keeps_all;
+      Alcotest.test_case "maybe_replace threshold" `Quick test_maybe_replace_threshold ] )

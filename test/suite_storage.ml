@@ -1,0 +1,173 @@
+(* Storage engine: disk, buffer pool (LRU, pinning, I/O accounting),
+   heap files. *)
+
+module D = Dqep
+
+let fresh ?(frames = 4) () =
+  let disk = D.Disk.create () in
+  (disk, D.Buffer_pool.create ~frames disk)
+
+let heap_page pool =
+  let page = D.Buffer_pool.new_page pool in
+  page.D.Page.payload <- D.Page.Heap { tuples = Array.make 4 [||]; count = 0 };
+  D.Buffer_pool.unpin pool page.D.Page.id;
+  page.D.Page.id
+
+let test_disk_allocation () =
+  let disk = D.Disk.create () in
+  let ids = List.init 100 (fun _ -> (D.Disk.allocate disk).D.Page.id) in
+  Alcotest.(check (list int)) "sequential ids" (List.init 100 Fun.id) ids;
+  Alcotest.(check int) "page count" 100 (D.Disk.page_count disk);
+  Alcotest.check_raises "unallocated" (Invalid_argument "Disk.get: unallocated page id")
+    (fun () -> ignore (D.Disk.get disk 100))
+
+let test_pool_counts_io () =
+  let _, pool = fresh () in
+  let p1 = heap_page pool and p2 = heap_page pool in
+  D.Buffer_pool.reset_stats pool;
+  (* First access after reset: pages are resident (new_page pinned them in). *)
+  D.Buffer_pool.with_page pool p1 ignore;
+  D.Buffer_pool.with_page pool p2 ignore;
+  let s = D.Buffer_pool.stats pool in
+  Alcotest.(check int) "logical" 2 s.D.Buffer_pool.logical_reads;
+  Alcotest.(check int) "no physical (resident)" 0 s.D.Buffer_pool.physical_reads
+
+let test_pool_lru_eviction () =
+  let _, pool = fresh ~frames:2 () in
+  let pages = List.init 3 (fun _ -> heap_page pool) in
+  match pages with
+  | [ a; b; c ] ->
+    D.Buffer_pool.reset_stats pool;
+    (* Pool holds 2 frames; after touching a then b, touching c evicts the
+       LRU page a. *)
+    D.Buffer_pool.with_page pool a ignore;
+    D.Buffer_pool.with_page pool b ignore;
+    D.Buffer_pool.with_page pool c ignore;
+    let before = (D.Buffer_pool.stats pool).D.Buffer_pool.physical_reads in
+    D.Buffer_pool.with_page pool b ignore;
+    (* b stayed resident. *)
+    let after_b = (D.Buffer_pool.stats pool).D.Buffer_pool.physical_reads in
+    Alcotest.(check int) "b resident" before after_b;
+    D.Buffer_pool.with_page pool a ignore;
+    let after_a = (D.Buffer_pool.stats pool).D.Buffer_pool.physical_reads in
+    Alcotest.(check int) "a was evicted" (before + 1) after_a
+  | _ -> assert false
+
+let test_pool_pinned_not_evicted () =
+  let _, pool = fresh ~frames:2 () in
+  let a = heap_page pool and b = heap_page pool and c = heap_page pool in
+  ignore (D.Buffer_pool.pin pool a);
+  D.Buffer_pool.with_page pool b ignore;
+  D.Buffer_pool.with_page pool c ignore;
+  (* a must still be resident: pinned pages cannot be evicted. *)
+  D.Buffer_pool.reset_stats pool;
+  D.Buffer_pool.with_page pool a ignore;
+  Alcotest.(check int) "pinned page resident" 0
+    (D.Buffer_pool.stats pool).D.Buffer_pool.physical_reads;
+  D.Buffer_pool.unpin pool a
+
+let test_pool_dirty_writeback () =
+  let _, pool = fresh ~frames:2 () in
+  let a = heap_page pool in
+  let _b = heap_page pool in
+  D.Buffer_pool.with_page pool a (fun _ -> D.Buffer_pool.mark_dirty pool a);
+  D.Buffer_pool.reset_stats pool;
+  (* Force a's eviction by filling the pool. *)
+  let _c = heap_page pool in
+  let _d = heap_page pool in
+  Alcotest.(check bool) "dirty eviction wrote" true
+    ((D.Buffer_pool.stats pool).D.Buffer_pool.physical_writes >= 1)
+
+let test_pool_unpin_errors () =
+  let _, pool = fresh () in
+  let a = heap_page pool in
+  Alcotest.check_raises "double unpin"
+    (Invalid_argument "Buffer_pool.unpin: page not pinned") (fun () ->
+      D.Buffer_pool.unpin pool a)
+
+let test_pool_resize () =
+  let _, pool = fresh ~frames:8 () in
+  let _pages = List.init 8 (fun _ -> heap_page pool) in
+  D.Buffer_pool.resize pool 2;
+  Alcotest.(check bool) "shrunk" true (D.Buffer_pool.resident pool <= 2);
+  Alcotest.check_raises "bad resize"
+    (Invalid_argument "Buffer_pool.resize: capacity <= 0") (fun () ->
+      D.Buffer_pool.resize pool 0)
+
+let test_heap_roundtrip () =
+  let _, pool = fresh ~frames:16 () in
+  let tuples = Array.init 100 (fun i -> [| i; i * 2 |]) in
+  let heap = D.Heap_file.of_tuples pool ~tuples_per_page:4 tuples in
+  Alcotest.(check int) "tuple count" 100 (D.Heap_file.tuple_count heap);
+  Alcotest.(check int) "page count" 25 (D.Heap_file.page_count heap);
+  let seen = ref [] in
+  D.Heap_file.scan pool heap (fun _ t -> seen := t :: !seen);
+  Alcotest.(check int) "scanned all" 100 (List.length !seen);
+  Alcotest.(check bool) "scan order" true
+    (List.rev !seen = Array.to_list tuples)
+
+let test_heap_fetch_by_rid () =
+  let _, pool = fresh ~frames:16 () in
+  let heap = D.Heap_file.create pool ~tuples_per_page:4 in
+  let rids =
+    List.init 10 (fun i -> D.Heap_file.append pool heap [| i; 100 + i |])
+  in
+  List.iteri
+    (fun i rid ->
+      let t = D.Heap_file.fetch pool rid in
+      Alcotest.(check int) "fetched value" i t.(0))
+    rids
+
+let test_heap_capacity_math () =
+  Alcotest.(check int) "4 per page" 4
+    (D.Heap_file.tuples_per_page ~page_bytes:2048 ~record_bytes:512);
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Heap_file.tuples_per_page: record larger than page")
+    (fun () -> ignore (D.Heap_file.tuples_per_page ~page_bytes:512 ~record_bytes:2048))
+
+let test_database_build () =
+  let catalog = D.Paper_catalog.make ~relations:2 in
+  let db = D.Database.build ~seed:1 catalog in
+  List.iter
+    (fun (r : D.Relation.t) ->
+      let heap = D.Database.heap db r.D.Relation.name in
+      Alcotest.(check int)
+        (r.D.Relation.name ^ " loaded")
+        r.D.Relation.cardinality
+        (D.Heap_file.tuple_count heap);
+      (* Every value is within its attribute's domain. *)
+      let pool = D.Database.pool db in
+      D.Heap_file.scan pool heap (fun _ t ->
+          List.iteri
+            (fun i (a : D.Attribute.t) ->
+              Alcotest.(check bool) "value in domain" true
+                (t.(i) >= 0 && t.(i) < a.D.Attribute.domain_size))
+            r.D.Relation.attributes))
+    (D.Catalog.relations catalog)
+
+let test_database_deterministic () =
+  let catalog = D.Paper_catalog.make ~relations:1 in
+  let collect seed =
+    let db = D.Database.build ~seed catalog in
+    let acc = ref [] in
+    D.Heap_file.scan (D.Database.pool db) (D.Database.heap db "R1") (fun _ t ->
+        acc := Array.to_list t :: !acc);
+    !acc
+  in
+  Alcotest.(check bool) "same seed, same data" true (collect 5 = collect 5);
+  Alcotest.(check bool) "different seed, different data" false (collect 5 = collect 6)
+
+let suite =
+  ( "storage",
+    [ Alcotest.test_case "disk allocation" `Quick test_disk_allocation;
+      Alcotest.test_case "pool counts I/O" `Quick test_pool_counts_io;
+      Alcotest.test_case "pool LRU eviction" `Quick test_pool_lru_eviction;
+      Alcotest.test_case "pinned pages stay" `Quick test_pool_pinned_not_evicted;
+      Alcotest.test_case "dirty write-back" `Quick test_pool_dirty_writeback;
+      Alcotest.test_case "unpin errors" `Quick test_pool_unpin_errors;
+      Alcotest.test_case "pool resize" `Quick test_pool_resize;
+      Alcotest.test_case "heap round-trip" `Quick test_heap_roundtrip;
+      Alcotest.test_case "heap fetch by rid" `Quick test_heap_fetch_by_rid;
+      Alcotest.test_case "heap capacity math" `Quick test_heap_capacity_math;
+      Alcotest.test_case "database build" `Quick test_database_build;
+      Alcotest.test_case "database deterministic" `Quick test_database_deterministic ] )

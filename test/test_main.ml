@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "dqep"
+    [ Suite_interval.suite;
+      Suite_util.suite;
+      Suite_catalog.suite;
+      Suite_storage.suite;
+      Suite_btree.suite;
+      Suite_algebra.suite;
+      Suite_cost.suite;
+      Suite_plan.suite;
+      Suite_startup.suite;
+      Suite_optimizer.suite;
+      Suite_exec.suite;
+      Suite_experiments.suite;
+      Suite_sql.suite;
+      Suite_modes.suite;
+      Suite_midquery.suite;
+      Suite_validate.suite;
+      Suite_integration.suite;
+      Suite_bounds.suite;
+      Suite_exec_edge.suite;
+      Suite_explain.suite;
+      Suite_cost_extra.suite;
+      Suite_orders.suite ]
