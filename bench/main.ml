@@ -30,6 +30,53 @@ let measurements () =
     (fun u -> List.map (fun q -> E.Common.measure ~trials q u) queries)
     [ E.Common.Sel_only; E.Common.Sel_and_memory ]
 
+(* Availability under injected storage faults: the same dynamic plan run
+   over several fault schedules, unsupervised vs supervised.  Not part of
+   the paper's evaluation — it quantifies this implementation's
+   choose-plan failover. *)
+let availability () =
+  let q = D.Queries.chain ~relations:2 in
+  let plan =
+    (Result.get_ok
+       (D.Optimizer.optimize
+          ~mode:(D.Optimizer.dynamic ())
+          q.D.Queries.catalog q.D.Queries.query))
+      .D.Optimizer.plan
+  in
+  let bindings =
+    D.Bindings.make
+      ~selectivities:(List.map (fun hv -> (hv, 0.3)) q.D.Queries.host_vars)
+      ~memory_pages:64
+  in
+  let schedules = 10 in
+  let rate = 0.0005 in
+  let completed = ref 0 in
+  let retries = ref 0 in
+  let failovers = ref 0 in
+  for seed = 1 to schedules do
+    let db = D.Database.build ~seed:1 q.D.Queries.catalog in
+    D.Disk.set_faults
+      (D.Buffer_pool.disk (D.Database.pool db))
+      (Some
+         (D.Fault.create
+            (D.Fault.config ~read_fault_rate:rate ~write_fault_rate:rate ~seed
+               ())));
+    let result, stats =
+      D.Resilience.run
+        ~config:(D.Resilience.config ~max_retries:4 ())
+        db bindings plan
+    in
+    (match result with Ok _ -> incr completed | Error _ -> ());
+    retries := !retries + stats.D.Resilience.retries;
+    failovers := !failovers + stats.D.Resilience.failovers
+  done;
+  Format.printf
+    "=== availability under faults (rate %.4f/IO, %d schedules) ===@."
+    rate schedules;
+  Format.printf
+    "supervised runs completed: %d/%d (%d retries, %d failovers)@.@."
+    !completed schedules !retries !failovers
+
 let reproduce () =
   Format.printf
     "=== dqep: reproduction of 'Dynamic Query Evaluation Plans' ===@.";
@@ -40,7 +87,8 @@ let reproduce () =
   let ms = measurements () in
   List.iter (E.Report.render Format.std_formatter) (E.Figures.all ms);
   List.iter (E.Report.render Format.std_formatter) (E.Ablations.all ms);
-  E.Report.render Format.std_formatter (E.Validation.report ())
+  E.Report.render Format.std_formatter (E.Validation.report ());
+  availability ()
 
 (* --- part 2: bechamel micro-benchmarks ---------------------------------- *)
 
@@ -104,7 +152,21 @@ let bench_tests () =
       (Staged.stage (fun () ->
            let adapt = D.Adapt.create dyn3 in
            D.Adapt.record adapt (D.Startup.resolve env3 dyn3);
-           ignore (D.Adapt.shrink (D.Env.dynamic q3.D.Queries.catalog) adapt))) ]
+           ignore (D.Adapt.shrink (D.Env.dynamic q3.D.Queries.catalog) adapt)));
+    (* Resilience: the supervisor's fault-free overhead over a plain run —
+       validation, budget arming and the failover bookkeeping. *)
+    (let q1 = D.Queries.chain ~relations:1 in
+     let plan1 =
+       (optimize_exn ~mode:(D.Optimizer.dynamic ()) q1).D.Optimizer.plan
+     in
+     let db1 = D.Database.build ~seed:1 q1.D.Queries.catalog in
+     let b1 =
+       D.Bindings.make
+         ~selectivities:(List.map (fun hv -> (hv, 0.3)) q1.D.Queries.host_vars)
+         ~memory_pages:64
+     in
+     Test.make ~name:"resilience_supervised_run"
+       (Staged.stage (fun () -> ignore (D.Resilience.run db1 b1 plan1)))) ]
 
 let run_benchmarks () =
   Format.printf "=== micro-benchmarks (Bechamel, monotonic clock) ===@.";

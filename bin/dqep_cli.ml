@@ -187,7 +187,26 @@ let run_cmd =
              ~doc:"Comma-separated selectivities for hv1..hvN, e.g. 0.1,0.9. \
                    Default: random per seed.")
   in
-  let run relations seed memory sels =
+  let fault_rate =
+    Arg.(value & opt float 0. & info [ "fault-rate" ]
+           ~doc:"Transient fault probability per physical read/write.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 42 & info [ "fault-seed" ]
+           ~doc:"Seed of the fault schedule (with --fault-rate > 0).")
+  in
+  let retries =
+    Arg.(value & opt int 2 & info [ "retries" ]
+           ~doc:"Transient-fault retries per chosen plan before failing over.")
+  in
+  let io_budget_factor =
+    Arg.(value & opt (some float) None & info [ "io-budget-factor" ]
+           ~doc:"Abort a run whose physical I/O exceeds the anticipated cost \
+                 by this factor and fail over to another alternative. \
+                 Default: guard off.")
+  in
+  let run relations seed memory sels fault_rate fault_seed retries
+      io_budget_factor =
     let q = D.Queries.chain ~relations in
     let bindings =
       match sels with
@@ -209,28 +228,64 @@ let run_cmd =
           ~selectivities:(List.combine q.D.Queries.host_vars parts)
           ~memory_pages:memory
     in
+    if fault_rate < 0. || fault_rate > 1. then begin
+      Printf.eprintf "dqep: --fault-rate must be in [0, 1] (got %g)\n"
+        fault_rate;
+      exit 2
+    end;
     let db = D.Database.build ~seed q.D.Queries.catalog in
+    if fault_rate > 0. then
+      D.Disk.set_faults
+        (D.Buffer_pool.disk (D.Database.pool db))
+        (Some
+           (D.Fault.create
+              (D.Fault.config ~read_fault_rate:fault_rate
+                 ~write_fault_rate:fault_rate ~seed:fault_seed ())));
+    let config =
+      (* The guard defaults off here so a plain `dqep run` matches the
+         unsupervised executor's behavior. *)
+      D.Resilience.config ~max_retries:retries
+        ~io_budget_factor:(Option.value ~default:0. io_budget_factor)
+        ()
+    in
     Format.printf "bindings: %a@." D.Bindings.pp bindings;
     let show label mode =
       match D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query with
       | Error e -> Printf.eprintf "%s: %s\n" label e
-      | Ok r ->
-        let tuples, stats = D.Executor.run db bindings r.D.Optimizer.plan in
-        Format.printf
-          "%-8s: %5d tuples, %5d physical reads, %5d writes, %.4fs CPU@." label
-          (List.length tuples) stats.D.Executor.io.D.Buffer_pool.physical_reads
-          stats.D.Executor.io.D.Buffer_pool.physical_writes
-          stats.D.Executor.cpu_seconds;
-        Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
-          stats.D.Executor.resolved_plan
+      | Ok r -> (
+        match D.Resilience.run ~config db bindings r.D.Optimizer.plan with
+        | Ok (tuples, stats), rstats ->
+          Format.printf
+            "%-8s: %5d tuples, %5d physical reads, %5d writes, %.4fs CPU@."
+            label (List.length tuples)
+            stats.D.Executor.io.D.Buffer_pool.physical_reads
+            stats.D.Executor.io.D.Buffer_pool.physical_writes
+            stats.D.Executor.cpu_seconds;
+          Format.printf
+            "  resilience: %d retries, %d faults absorbed, %d budget aborts, \
+             %d failovers@."
+            stats.D.Executor.retries stats.D.Executor.faults_absorbed
+            stats.D.Executor.budget_aborts stats.D.Executor.failovers;
+          ignore rstats;
+          Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
+            stats.D.Executor.resolved_plan
+        | Error failure, rstats ->
+          Format.printf
+            "%-8s: failed (%a) after %d attempts, %d retries, %d budget \
+             aborts, %d failovers@."
+            label D.Resilience.pp_failure failure rstats.D.Resilience.attempts
+            rstats.D.Resilience.retries rstats.D.Resilience.budget_aborts
+            rstats.D.Resilience.failovers)
     in
     show "static" D.Optimizer.static;
     show "dynamic" (D.Optimizer.dynamic ~uncertain_memory:true ())
   in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Execute a chain query on synthetic data with static and dynamic plans.")
-    Term.(const run $ relations_arg $ seed $ memory $ sels)
+       ~doc:"Execute a chain query on synthetic data with static and dynamic \
+             plans, optionally under injected storage faults.")
+    Term.(const run $ relations_arg $ seed $ memory $ sels $ fault_rate
+          $ fault_seed $ retries $ io_budget_factor)
 
 (* --- sql ----------------------------------------------------------------- *)
 

@@ -35,6 +35,7 @@ module Catalog = Dqep_catalog.Catalog
 
 module Rid = Dqep_storage.Rid
 module Page = Dqep_storage.Page
+module Fault = Dqep_storage.Fault
 module Disk = Dqep_storage.Disk
 module Buffer_pool = Dqep_storage.Buffer_pool
 module Heap_file = Dqep_storage.Heap_file
@@ -87,6 +88,7 @@ module Pred_eval = Dqep_exec.Pred_eval
 module Executor = Dqep_exec.Executor
 module Reference = Dqep_exec.Reference
 module Midquery = Dqep_exec.Midquery
+module Resilience = Dqep_exec.Resilience
 
 (** {1 Workloads and experiments} *)
 

@@ -7,38 +7,58 @@ type t = {
   selectivity : string -> Interval.t;
   memory_pages : Interval.t;
   point : bool;
+  io_budget_factor : float;
 }
 
-let make ~catalog ~device ~selectivity ~memory_pages =
-  { catalog; device; selectivity; memory_pages; point = false }
+(* The resilient executor aborts a run whose observed physical I/O
+   exceeds the anticipated cost by this factor.  Overridable per process
+   (DQEP_IO_BUDGET_FACTOR) or per environment; 0 disables the guard. *)
+let default_io_budget_factor =
+  match Sys.getenv_opt "DQEP_IO_BUDGET_FACTOR" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f when f >= 0. -> f
+    | Some _ | None -> 4.)
+  | None -> 4.
+
+let make ?(io_budget_factor = default_io_budget_factor) ~catalog ~device
+    ~selectivity ~memory_pages () =
+  { catalog; device; selectivity; memory_pages; point = false; io_budget_factor }
 
 let dynamic ?(memory = Interval.point 64.) ?(selectivity_bounds = [])
-    ?(device = Device.default) catalog =
+    ?(device = Device.default)
+    ?(io_budget_factor = default_io_budget_factor) catalog =
   let selectivity var =
     match List.assoc_opt var selectivity_bounds with
     | Some bounds -> bounds
     | None -> Interval.make 0. 1.
   in
-  { catalog; device; selectivity; memory_pages = memory; point = false }
+  { catalog; device; selectivity; memory_pages = memory; point = false;
+    io_budget_factor }
 
 let static ?(default_selectivity = 0.05) ?(memory_pages = 64)
-    ?(device = Device.default) catalog =
+    ?(device = Device.default)
+    ?(io_budget_factor = default_io_budget_factor) catalog =
   { catalog;
     device;
     selectivity = (fun _ -> Interval.point default_selectivity);
     memory_pages = Interval.point (float_of_int memory_pages);
-    point = true }
+    point = true;
+    io_budget_factor }
 
-let of_bindings ?(device = Device.default) catalog bindings =
+let of_bindings ?(device = Device.default)
+    ?(io_budget_factor = default_io_budget_factor) catalog bindings =
   { catalog;
     device;
     selectivity = (fun v -> Interval.point (Bindings.selectivity bindings v));
     memory_pages = Interval.point (float_of_int bindings.Bindings.memory_pages);
-    point = true }
+    point = true;
+    io_budget_factor }
 
 let catalog t = t.catalog
 let device t = t.device
 let memory_pages t = t.memory_pages
+let io_budget_factor t = t.io_budget_factor
 
 let selectivity t (p : Predicate.select) =
   match p.selectivity with

@@ -16,16 +16,19 @@ module Interval = Dqep_util.Interval
 type t
 
 val make :
+  ?io_budget_factor:float ->
   catalog:Dqep_catalog.Catalog.t ->
   device:Device.t ->
   selectivity:(string -> Interval.t) ->
   memory_pages:Interval.t ->
+  unit ->
   t
 
 val dynamic :
   ?memory:Interval.t ->
   ?selectivity_bounds:(string * Interval.t) list ->
   ?device:Device.t ->
+  ?io_budget_factor:float ->
   Dqep_catalog.Catalog.t ->
   t
 (** Unbound selectivities span [\[0, 1\]] unless [selectivity_bounds]
@@ -40,18 +43,32 @@ val static :
   ?default_selectivity:float ->
   ?memory_pages:int ->
   ?device:Device.t ->
+  ?io_budget_factor:float ->
   Dqep_catalog.Catalog.t ->
   t
 (** Expected-value environment: defaults 0.05 and 64 pages, per the
     paper's Section 6. *)
 
-val of_bindings : ?device:Device.t -> Dqep_catalog.Catalog.t -> Bindings.t -> t
+val of_bindings :
+  ?device:Device.t ->
+  ?io_budget_factor:float ->
+  Dqep_catalog.Catalog.t ->
+  Bindings.t ->
+  t
 (** Point environment from actual bindings; unlisted host variables
     raise [Not_found] when consulted. *)
 
 val catalog : t -> Dqep_catalog.Catalog.t
 val device : t -> Device.t
 val memory_pages : t -> Interval.t
+
+val io_budget_factor : t -> float
+(** How far observed physical I/O may exceed the anticipated cost before
+    the resilient executor aborts the run ({!Dqep_exec.Resilience}):
+    defaults to the [DQEP_IO_BUDGET_FACTOR] process variable, else 4.0;
+    [0.] disables the guard. *)
+
+val default_io_budget_factor : float
 
 val selectivity : t -> Dqep_algebra.Predicate.select -> Interval.t
 (** Selectivity of a selection predicate: the bound value as a point, or

@@ -18,10 +18,41 @@ type run_stats = {
   io : Buffer_pool.stats;
   cpu_seconds : float;
   resolved_plan : Plan.t;
+  retries : int;
+  faults_absorbed : int;
+  budget_aborts : int;
+  failovers : int;
 }
+
+exception Infeasible of Dqep_plans.Validate.problem list
+
+let () =
+  Printexc.register_printer (function
+    | Infeasible problems ->
+      Some
+        (Format.asprintf "Executor.Infeasible(%a)"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+              Dqep_plans.Validate.pp_problem)
+           problems)
+    | _ -> None)
 
 let memory_pages env =
   Int.max 2 (int_of_float (Interval.mid (Env.memory_pages env)))
+
+(* Activation-time feasibility check (paper, Section 2): the catalog may
+   have changed between compile-time and run-time.  A plan referencing a
+   dropped object either loses only some choose-plan alternatives — then
+   the pruned plan runs — or is truly dead, and fails up front with a
+   typed error instead of an arbitrary [Invalid_argument] mid-iteration. *)
+let check_feasible db env plan =
+  let catalog = Database.catalog db in
+  match Dqep_plans.Validate.check catalog plan with
+  | Ok () -> plan
+  | Error problems -> (
+    match Dqep_plans.Validate.prune_infeasible env catalog plan with
+    | Some pruned -> pruned
+    | None -> raise (Infeasible problems))
 
 (* --- helpers ------------------------------------------------------------ *)
 
@@ -448,6 +479,7 @@ let compile db env plan = compile_with db env plan
 
 let run db bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
+  let plan = check_feasible db env plan in
   let resolved =
     if Plan.contains_choose plan then (Startup.resolve env plan).Startup.plan
     else plan
@@ -458,9 +490,12 @@ let run db bindings plan =
   let it = compile_node db env [] resolved in
   let tuples, cpu_seconds = Timer.cpu (fun () -> Iterator.consume it) in
   let after = Buffer_pool.stats pool in
-  let io =
-    { Buffer_pool.logical_reads = after.Buffer_pool.logical_reads - before.Buffer_pool.logical_reads;
-      physical_reads = after.Buffer_pool.physical_reads - before.Buffer_pool.physical_reads;
-      physical_writes = after.Buffer_pool.physical_writes - before.Buffer_pool.physical_writes }
-  in
-  (tuples, { tuples = List.length tuples; io; cpu_seconds; resolved_plan = resolved })
+  ( tuples,
+    { tuples = List.length tuples;
+      io = Buffer_pool.diff ~before ~after;
+      cpu_seconds;
+      resolved_plan = resolved;
+      retries = 0;
+      faults_absorbed = 0;
+      budget_aborts = 0;
+      failovers = 0 } )

@@ -15,7 +15,28 @@ type run_stats = {
   io : Dqep_storage.Buffer_pool.stats;  (** physical I/O delta of the run *)
   cpu_seconds : float;
   resolved_plan : Dqep_plans.Plan.t;  (** after choose-plan decisions *)
+  retries : int;  (** attempts repeated after a transient fault *)
+  faults_absorbed : int;  (** injected faults survived without failing the run *)
+  budget_aborts : int;  (** attempts aborted by the I/O budget guard *)
+  failovers : int;  (** re-resolutions onto another choose-plan alternative *)
 }
+(** The resilience counters are zero for a plain {!run}; they are filled
+    in by {!Resilience.run}. *)
+
+exception Infeasible of Dqep_plans.Validate.problem list
+(** The plan references catalog objects that no longer exist and pruning
+    infeasible choose-plan alternatives left nothing runnable — a full
+    re-optimization is needed (paper, Section 2). *)
+
+val check_feasible :
+  Dqep_storage.Database.t ->
+  Dqep_cost.Env.t ->
+  Dqep_plans.Plan.t ->
+  Dqep_plans.Plan.t
+(** Activation-time validation ({!Dqep_plans.Validate}): returns the plan
+    unchanged when it checks out, a pruned plan when only some
+    alternatives are infeasible.
+    @raise Infeasible when nothing feasible remains. *)
 
 val compile :
   Dqep_storage.Database.t -> Dqep_cost.Env.t -> Dqep_plans.Plan.t -> Iterator.t

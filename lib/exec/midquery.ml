@@ -78,45 +78,58 @@ let plain_run db bindings plan =
       switched = false;
       run } )
 
+type observation = {
+  observed_rows : int;
+  overrides : (int * float) list;
+  materialized : (int * Iterator.tuple list) list;
+}
+
+let observe db env plan ~sub =
+  (* Evaluate the shared subplan into a temporary and propagate the
+     observation to every subplan computing the same logical result (same
+     relations and selections — witnessed by an identical compile-time
+     cardinality interval): alternatives that access the observed input
+     through a different physical path are costed against reality too. *)
+  let temp = Iterator.consume (Executor.compile db env sub) in
+  let observed = List.length temp in
+  let equivalent =
+    Plan.fold
+      (fun acc (node : Plan.t) ->
+        if
+          node.Plan.rels = sub.Plan.rels
+          && Dqep_util.Interval.equal node.Plan.rows sub.Plan.rows
+        then node :: acc
+        else acc)
+      [] plan
+  in
+  let overrides =
+    List.map (fun (n : Plan.t) -> (n.Plan.pid, float_of_int observed)) equivalent
+  in
+  (* The temporary is unordered: only splice it in where no sort order
+     is promised; ordered equivalents re-execute their own path. *)
+  let materialized =
+    List.filter_map
+      (fun (n : Plan.t) ->
+        match n.Plan.props.Dqep_algebra.Props.order with
+        | Dqep_algebra.Props.Unordered -> Some (n.Plan.pid, temp)
+        | Dqep_algebra.Props.Ordered _ -> None)
+      equivalent
+  in
+  { observed_rows = observed; overrides; materialized }
+
 let run db bindings plan =
+  let env = Env.of_bindings (Database.catalog db) bindings in
+  let plan = Executor.check_feasible db env plan in
   match shared_subplan plan with
   | None -> plain_run db bindings plan
   | Some sub ->
-    let env = Env.of_bindings (Database.catalog db) bindings in
     let pool = Database.pool db in
     Buffer_pool.resize pool (Executor.memory_pages env);
     let before = Buffer_pool.stats pool in
     let start = Sys.time () in
     (* Phase 1: evaluate the shared subplan into a temporary. *)
-    let temp = Iterator.consume (Executor.compile db env sub) in
-    let observed = List.length temp in
-    (* Propagate the observation to every subplan computing the same
-       logical result (same relations and selections — witnessed by an
-       identical compile-time cardinality interval): alternatives that
-       access the observed input through a different physical path are
-       costed against reality too. *)
-    let equivalent =
-      Plan.fold
-        (fun acc (node : Plan.t) ->
-          if
-            node.Plan.rels = sub.Plan.rels
-            && Dqep_util.Interval.equal node.Plan.rows sub.Plan.rows
-          then node :: acc
-          else acc)
-        [] plan
-    in
-    let overrides =
-      List.map (fun (n : Plan.t) -> (n.Plan.pid, float_of_int observed)) equivalent
-    in
-    (* The temporary is unordered: only splice it in where no sort order
-       is promised; ordered equivalents re-execute their own path. *)
-    let materialized =
-      List.filter_map
-        (fun (n : Plan.t) ->
-          match n.Plan.props.Dqep_algebra.Props.order with
-          | Dqep_algebra.Props.Unordered -> Some (n.Plan.pid, temp)
-          | Dqep_algebra.Props.Ordered _ -> None)
-        equivalent
+    let { observed_rows = observed; overrides; materialized } =
+      observe db env plan ~sub
     in
     (* Phase 2: decide with the observation, execute with the temporary. *)
     let default_resolution = Startup.resolve env plan in
@@ -132,14 +145,6 @@ let run db bindings plan =
     in
     let cpu_seconds = Sys.time () -. start in
     let after = Buffer_pool.stats pool in
-    let io =
-      { Buffer_pool.logical_reads =
-          after.Buffer_pool.logical_reads - before.Buffer_pool.logical_reads;
-        physical_reads =
-          after.Buffer_pool.physical_reads - before.Buffer_pool.physical_reads;
-        physical_writes =
-          after.Buffer_pool.physical_writes - before.Buffer_pool.physical_writes }
-    in
     ( tuples,
       { materialized = Some sub;
         estimated_rows = Startup.estimated_rows env sub;
@@ -153,6 +158,10 @@ let run db bindings plan =
           <> Dqep_plans.Access_module.encode adapted.Startup.plan;
         run =
           { Executor.tuples = List.length tuples;
-            io;
+            io = Buffer_pool.diff ~before ~after;
             cpu_seconds;
-            resolved_plan = adapted.Startup.plan } } )
+            resolved_plan = adapted.Startup.plan;
+            retries = 0;
+            faults_absorbed = 0;
+            budget_aborts = 0;
+            failovers = 0 } } )

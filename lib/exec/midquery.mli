@@ -32,6 +32,26 @@ val shared_subplan : Dqep_plans.Plan.t -> Dqep_plans.Plan.t option
     root choose-plan operator; [None] if the root is not a choose-plan
     or nothing is shared. *)
 
+type observation = {
+  observed_rows : int;  (** actual cardinality of the shared subplan *)
+  overrides : (int * float) list;
+      (** pid -> observed cardinality, for {!Dqep_plans.Startup.resolve} *)
+  materialized : (int * Iterator.tuple list) list;
+      (** pid -> temporary result, for {!Executor.compile_with} *)
+}
+
+val observe :
+  Dqep_storage.Database.t ->
+  Dqep_cost.Env.t ->
+  Dqep_plans.Plan.t ->
+  sub:Dqep_plans.Plan.t ->
+  observation
+(** Materialize [sub] (a subplan of the plan, typically from
+    {!shared_subplan}) and translate its observed cardinality into
+    decision-procedure overrides and execution-time splices for every
+    equivalent node of the plan.  Also used by {!Resilience} to carry
+    observed cardinalities into failover re-resolution. *)
+
 val run :
   Dqep_storage.Database.t ->
   Dqep_cost.Bindings.t ->

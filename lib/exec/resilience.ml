@@ -1,0 +1,180 @@
+module Env = Dqep_cost.Env
+module Device = Dqep_cost.Device
+module Startup = Dqep_plans.Startup
+module Database = Dqep_storage.Database
+module Buffer_pool = Dqep_storage.Buffer_pool
+module Fault = Dqep_storage.Fault
+module Timer = Dqep_util.Timer
+
+type config = {
+  max_retries : int;
+  backoff_base : float;
+  io_budget_factor : float option;
+  max_failovers : int;
+  observe_on_failover : bool;
+}
+
+let config ?(max_retries = 2) ?(backoff_base = 0.01) ?io_budget_factor
+    ?(max_failovers = 8) ?(observe_on_failover = true) () =
+  if max_retries < 0 then invalid_arg "Resilience.config: max_retries < 0";
+  if max_failovers < 0 then invalid_arg "Resilience.config: max_failovers < 0";
+  { max_retries; backoff_base; io_budget_factor; max_failovers;
+    observe_on_failover }
+
+let default = config ()
+
+type failure =
+  | Infeasible of Dqep_plans.Validate.problem list
+  | Exhausted of { excluded : int list; last_error : exn }
+
+let pp_failure ppf = function
+  | Infeasible problems ->
+    Format.fprintf ppf "@[<hov 2>infeasible:@ %a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         Dqep_plans.Validate.pp_problem)
+      problems
+  | Exhausted { excluded; last_error } ->
+    Format.fprintf ppf
+      "@[<hov 2>exhausted after excluding alternatives [%a]:@ %s@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         Format.pp_print_int)
+      excluded
+      (Printexc.to_string last_error)
+
+type stats = {
+  retries : int;
+  faults_absorbed : int;
+  budget_aborts : int;
+  failovers : int;
+  backoff_seconds : float;
+  attempts : int;
+}
+
+(* The budget is stated in cost units (the cost model's seconds); the
+   pool counts page I/Os.  Convert via the device's sequential page cost
+   and keep a floor so tiny plans are not aborted by rounding. *)
+let budget_pages env ~factor ~anticipated_cost =
+  if factor <= 0. then None
+  else begin
+    let d = Env.device env in
+    let pages = factor *. anticipated_cost /. d.Device.seq_page_io in
+    Some (Int.max 16 (int_of_float (Float.ceil pages)))
+  end
+
+let run ?(config = default) db bindings plan =
+  let env = Env.of_bindings (Database.catalog db) bindings in
+  let pool = Database.pool db in
+  let retries = ref 0 in
+  let faults = ref 0 in
+  let budget_aborts = ref 0 in
+  let failovers = ref 0 in
+  let backoff = ref 0. in
+  let attempts = ref 0 in
+  let snapshot () =
+    { retries = !retries;
+      faults_absorbed = !faults;
+      budget_aborts = !budget_aborts;
+      failovers = !failovers;
+      backoff_seconds = !backoff;
+      attempts = !attempts }
+  in
+  match Executor.check_feasible db env plan with
+  | exception Executor.Infeasible problems ->
+    (Error (Infeasible problems), snapshot ())
+  | plan ->
+    Buffer_pool.resize pool (Executor.memory_pages env);
+    let factor =
+      match config.io_budget_factor with
+      | Some f -> f
+      | None -> Env.io_budget_factor env
+    in
+    let excluded = ref [] in
+    let overrides = ref [] in
+    let materialized = ref [] in
+    let observed = ref false in
+    (* Best-effort: re-deciding with observed cardinalities is an
+       optimization of the failover, never a reason to fail it. *)
+    let try_observe () =
+      if config.observe_on_failover && not !observed then begin
+        observed := true;
+        match Midquery.shared_subplan plan with
+        | None -> ()
+        | Some sub -> (
+          match Midquery.observe db env plan ~sub with
+          | obs ->
+            overrides := obs.Midquery.overrides;
+            materialized := obs.Midquery.materialized
+          | exception (Fault.Io_fault _ | Buffer_pool.Io_budget_exceeded _) ->
+            ())
+      end
+    in
+    let exhausted last_error =
+      Error (Exhausted { excluded = !excluded; last_error })
+    in
+    let rec attempt (resolution : Startup.resolution) attempt_no =
+      let before = Buffer_pool.stats pool in
+      Buffer_pool.set_io_limit pool
+        (Option.map
+           (fun pages ->
+             before.Buffer_pool.physical_reads
+             + before.Buffer_pool.physical_writes + pages)
+           (budget_pages env ~factor
+              ~anticipated_cost:resolution.Startup.anticipated_cost));
+      incr attempts;
+      match
+        Timer.cpu (fun () ->
+          Iterator.consume
+            (Executor.compile_with db env ~materialized:!materialized
+               resolution.Startup.plan))
+      with
+      | tuples, cpu_seconds ->
+        let after = Buffer_pool.stats pool in
+        Ok
+          ( tuples,
+            { Executor.tuples = List.length tuples;
+              io = Buffer_pool.diff ~before ~after;
+              cpu_seconds;
+              resolved_plan = resolution.Startup.plan;
+              retries = !retries;
+              faults_absorbed = !faults;
+              budget_aborts = !budget_aborts;
+              failovers = !failovers } )
+      | exception Fault.Io_fault { kind = Fault.Transient; _ }
+        when attempt_no < config.max_retries ->
+        incr retries;
+        incr faults;
+        backoff := !backoff +. (config.backoff_base *. (2. ** float_of_int attempt_no));
+        attempt resolution (attempt_no + 1)
+      | exception (Fault.Io_fault _ as error) ->
+        incr faults;
+        fail_over resolution error
+      | exception (Buffer_pool.Io_budget_exceeded _ as error) ->
+        incr budget_aborts;
+        fail_over resolution error
+    and fail_over resolution error =
+      (* A static plan (no choose-plan decisions) has nothing to fall
+         back onto; likewise when the fallback budget is spent. *)
+      if resolution.Startup.choices = [] || !failovers >= config.max_failovers
+      then exhausted error
+      else begin
+        incr failovers;
+        excluded :=
+          List.map snd resolution.Startup.choices @ !excluded;
+        try_observe ();
+        resolve_and_attempt ()
+      end
+    and resolve_and_attempt () =
+      match
+        Startup.resolve ~overrides:!overrides ~excluded:!excluded env plan
+      with
+      | resolution -> attempt resolution 0
+      | exception (Startup.Exhausted _ as error) -> exhausted error
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Buffer_pool.set_io_limit pool None)
+        resolve_and_attempt
+    in
+    (result, snapshot ())

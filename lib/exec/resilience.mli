@@ -1,0 +1,79 @@
+(** A resilient execution supervisor: bounded retry, an I/O budget
+    guard, and graceful degradation through choose-plan alternatives.
+
+    Dynamic plans keep several cost-incomparable alternatives until
+    run-time ({!Dqep_plans.Startup}); this module exploits the same
+    structure for fault tolerance.  When the chosen alternative fails —
+    a transient fault persists past the retry budget, a page is truly
+    broken, or the run's physical I/O blows past its anticipated cost —
+    the supervisor re-enters the decision procedure with the failed
+    alternative excluded and carries any observed cardinalities along
+    ({!Midquery.observe}), falling back through the plan DAG until an
+    alternative completes or all are exhausted.
+
+    Backoff between retries is deterministic and {e modeled}, not slept:
+    the accumulated delay is reported in {!stats.backoff_seconds} so
+    tests and benchmarks stay fast and reproducible. *)
+
+type config = {
+  max_retries : int;
+      (** transient-fault retries per chosen plan before failing over
+          (default 2) *)
+  backoff_base : float;
+      (** modeled delay before retry [n] is [backoff_base *. 2. ** n]
+          seconds (default 0.01) *)
+  io_budget_factor : float option;
+      (** observed physical I/O may exceed the anticipated cost by this
+          factor before the attempt is aborted; [None] defers to
+          {!Dqep_cost.Env.io_budget_factor}, [Some 0.] disables the
+          guard *)
+  max_failovers : int;
+      (** bound on re-resolutions onto other alternatives (default 8) *)
+  observe_on_failover : bool;
+      (** materialize the plan's shared subplan on first failover so the
+          re-resolution decides with observed cardinalities
+          (default true; best-effort — observation failures are
+          swallowed) *)
+}
+
+val config :
+  ?max_retries:int ->
+  ?backoff_base:float ->
+  ?io_budget_factor:float ->
+  ?max_failovers:int ->
+  ?observe_on_failover:bool ->
+  unit ->
+  config
+
+val default : config
+
+type failure =
+  | Infeasible of Dqep_plans.Validate.problem list
+      (** activation-time validation failed and pruning left no feasible
+          plan *)
+  | Exhausted of { excluded : int list; last_error : exn }
+      (** no surviving choose-plan alternative completes; [excluded]
+          lists the alternative pids ruled out along the way and
+          [last_error] is the error that ended the final attempt *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type stats = {
+  retries : int;  (** attempts repeated after a transient fault *)
+  faults_absorbed : int;  (** injected faults caught by the supervisor *)
+  budget_aborts : int;  (** attempts aborted by the I/O budget guard *)
+  failovers : int;  (** re-resolutions onto another alternative *)
+  backoff_seconds : float;  (** total modeled backoff delay *)
+  attempts : int;  (** executions started, including the successful one *)
+}
+
+val run :
+  ?config:config ->
+  Dqep_storage.Database.t ->
+  Dqep_cost.Bindings.t ->
+  Dqep_plans.Plan.t ->
+  (Iterator.tuple list * Executor.run_stats, failure) result * stats
+(** Supervised execution.  On success the embedded
+    {!Executor.run_stats} has its resilience counters filled in and its
+    I/O window covers the final (successful) attempt.  [stats] is
+    reported in both arms, so failed runs are observable too. *)

@@ -73,7 +73,7 @@ let make_sample_envs config n =
       Env.make
         ~catalog:(Env.catalog config.env)
         ~device:(Env.device config.env)
-        ~selectivity ~memory_pages:mem)
+        ~selectivity ~memory_pages:mem ())
 
 let create config memo =
   { config;

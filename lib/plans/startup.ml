@@ -14,9 +14,20 @@ type stats = {
 
 type node_value = { rows : Interval.t; total : float }
 
+exception Exhausted of int
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted pid ->
+      Some
+        (Printf.sprintf
+           "Startup.Exhausted(choose-plan #%d has no surviving alternative)" pid)
+    | _ -> None)
+
 type eval_state = {
   env : Env.t;
   overrides : (int * float) list;
+  excluded : int list;
   memo : (int, node_value) Hashtbl.t;
   mutable cost_evaluations : int;
   mutable choose_decisions : int;
@@ -80,9 +91,14 @@ let rec eval_node st (p : Plan.t) =
       match p.Plan.op with
       | Physical.Choose_plan ->
         st.choose_decisions <- st.choose_decisions + 1;
+        (* Excluded alternatives (failed at run-time, see Resilience)
+           cost infinity: the minimum falls on a surviving one. *)
         let best =
-          List.fold_left (fun acc v -> Float.min acc v.total) Float.infinity
-            input_values
+          List.fold_left2
+            (fun acc (alt : Plan.t) v ->
+              if List.mem alt.Plan.pid st.excluded then acc
+              else Float.min acc v.total)
+            Float.infinity p.Plan.inputs input_values
         in
         best +. (Env.device st.env).Dqep_cost.Device.choose_plan_overhead
       | _ ->
@@ -103,9 +119,9 @@ let rec eval_node st (p : Plan.t) =
     Hashtbl.add st.memo p.Plan.pid v;
     v
 
-let evaluate ?(overrides = []) env plan =
+let evaluate ?(overrides = []) ?(excluded = []) env plan =
   let st =
-    { env; overrides; memo = Hashtbl.create 256; cost_evaluations = 0;
+    { env; overrides; excluded; memo = Hashtbl.create 256; cost_evaluations = 0;
       choose_decisions = 0 }
   in
   let v, cpu_seconds = Timer.cpu (fun () -> eval_node st plan) in
@@ -121,9 +137,9 @@ type decision = {
   chosen_pid : int;
 }
 
-let explain ?(overrides = []) env plan =
+let explain ?(overrides = []) ?(excluded = []) env plan =
   let st =
-    { env; overrides; memo = Hashtbl.create 256; cost_evaluations = 0;
+    { env; overrides; excluded; memo = Hashtbl.create 256; cost_evaluations = 0;
       choose_decisions = 0 }
   in
   ignore (eval_node st plan);
@@ -133,13 +149,17 @@ let explain ?(overrides = []) env plan =
       match p.Plan.op with
       | Physical.Choose_plan when not (List.mem_assoc p.Plan.pid overrides) ->
         let alternatives =
-          List.map
+          List.filter_map
             (fun (alt : Plan.t) ->
-              ( alt.Plan.pid,
-                Physical.name alt.Plan.op,
-                (Hashtbl.find st.memo alt.Plan.pid).total ))
+              if List.mem alt.Plan.pid excluded then None
+              else
+                Some
+                  ( alt.Plan.pid,
+                    Physical.name alt.Plan.op,
+                    (Hashtbl.find st.memo alt.Plan.pid).total ))
             p.Plan.inputs
         in
+        if alternatives = [] then raise (Exhausted p.Plan.pid);
         let chosen_pid, _, _ =
           List.fold_left
             (fun ((_, _, best) as acc) ((_, _, c) as alt) ->
@@ -166,8 +186,8 @@ let pp_decisions ppf decisions =
 
 let estimated_rows ?(overrides = []) env plan =
   let st =
-    { env; overrides; memo = Hashtbl.create 64; cost_evaluations = 0;
-      choose_decisions = 0 }
+    { env; overrides; excluded = []; memo = Hashtbl.create 64;
+      cost_evaluations = 0; choose_decisions = 0 }
   in
   Interval.mid (eval_node st plan).rows
 
@@ -178,9 +198,9 @@ type resolution = {
   stats : stats;
 }
 
-let resolve ?(overrides = []) env plan =
+let resolve ?(overrides = []) ?(excluded = []) env plan =
   let st =
-    { env; overrides; memo = Hashtbl.create 256; cost_evaluations = 0;
+    { env; overrides; excluded; memo = Hashtbl.create 256; cost_evaluations = 0;
       choose_decisions = 0 }
   in
   let (), cpu_seconds = Timer.cpu (fun () -> ignore (eval_node st plan)) in
@@ -200,6 +220,12 @@ let resolve ?(overrides = []) env plan =
              is kept verbatim (the executor splices the temp in by pid). *)
           p
         | Physical.Choose_plan ->
+          let viable =
+            List.filter
+              (fun (alt : Plan.t) -> not (List.mem alt.Plan.pid st.excluded))
+              p.Plan.inputs
+          in
+          if viable = [] then raise (Exhausted p.Plan.pid);
           let best =
             List.fold_left
               (fun acc (alt : Plan.t) ->
@@ -207,7 +233,7 @@ let resolve ?(overrides = []) env plan =
                 match acc with
                 | Some (_, best_total) when best_total <= v.total -> acc
                 | _ -> Some (alt, v.total))
-              None p.Plan.inputs
+              None viable
           in
           (match best with
           | None -> invalid_arg "Startup.resolve: empty choose node"

@@ -16,8 +16,18 @@ type stats = {
   cpu_seconds : float;  (** measured CPU time of the evaluation *)
 }
 
+exception Exhausted of int
+(** Raised (with the choose-plan pid) when every alternative of a
+    required choose-plan operator is excluded: the dynamic plan has no
+    surviving way to compute the query and a full re-optimization is
+    needed. *)
+
 val evaluate :
-  ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> float * stats
+  ?overrides:(int * float) list ->
+  ?excluded:int list ->
+  Dqep_cost.Env.t ->
+  Plan.t ->
+  float * stats
 (** Anticipated total execution cost of the plan under the (point)
     environment.  Choose-plan nodes contribute the minimum of their
     alternatives plus the decision overhead.
@@ -26,7 +36,12 @@ val evaluate :
     of already-materialized subplans (the paper's Section 7 direction:
     "when a subplan has been evaluated into a temporary result, its
     logical and physical properties are known").  An overridden node's
-    cost becomes the cost of rescanning its temporary result. *)
+    cost becomes the cost of rescanning its temporary result.
+
+    [excluded] lists pids of choose-plan {e alternatives} that must not
+    be chosen — alternatives that failed at run-time
+    ({!Dqep_exec.Resilience}'s failover) cost infinity, so the decision
+    falls on a surviving one. *)
 
 val estimated_rows :
   ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> float
@@ -44,10 +59,16 @@ type resolution = {
 }
 
 val resolve :
-  ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> resolution
+  ?overrides:(int * float) list ->
+  ?excluded:int list ->
+  Dqep_cost.Env.t ->
+  Plan.t ->
+  resolution
 (** Evaluate all decision procedures and extract the chosen static plan.
     On a plan without choose nodes this returns the plan itself.
-    [overrides] as in {!evaluate}. *)
+    [overrides] and [excluded] as in {!evaluate}.
+    @raise Exhausted if exclusion leaves a reached choose-plan operator
+    with no alternative. *)
 
 (** One choose-plan operator's decision, for explanation output. *)
 type decision = {
@@ -58,9 +79,14 @@ type decision = {
 }
 
 val explain :
-  ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> decision list
+  ?overrides:(int * float) list ->
+  ?excluded:int list ->
+  Dqep_cost.Env.t ->
+  Plan.t ->
+  decision list
 (** Every choose-plan operator's decision under the environment, in
     bottom-up order — the human-readable version of what {!resolve}
-    does. *)
+    does.  Excluded alternatives are omitted from the listing.
+    @raise Exhausted as in {!resolve}. *)
 
 val pp_decisions : Format.formatter -> decision list -> unit

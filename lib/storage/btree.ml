@@ -72,7 +72,10 @@ let insert pool t key rid =
   (* Returns [Some (separator, new_right_page)] if the visited node split. *)
   let rec go page_id =
     let page = Buffer_pool.pin pool page_id in
-    let result =
+    (* Unpin also when a child pin faults mid-descent: a leaked pin would
+       wedge the pool for every later run. *)
+    Fun.protect ~finally:(fun () -> Buffer_pool.unpin pool page_id)
+    @@ fun () ->
       match node_of page with
       | Page.Leaf l ->
         let i = lower_bound l.keys key in
@@ -115,9 +118,6 @@ let insert pool t key rid =
             node.children <- Array.sub node.children 0 midc;
             Some (up, right)
           end)
-    in
-    Buffer_pool.unpin pool page_id;
-    result
   in
   match go t.root with
   | None -> ()

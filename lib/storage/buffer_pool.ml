@@ -9,7 +9,19 @@ type stats = {
   logical_reads : int;
   physical_reads : int;
   physical_writes : int;
+  read_faults : int;
+  write_faults : int;
 }
+
+exception Io_budget_exceeded of { limit : int; observed : int }
+
+let () =
+  Printexc.register_printer (function
+    | Io_budget_exceeded { limit; observed } ->
+      Some
+        (Printf.sprintf "Buffer_pool.Io_budget_exceeded(limit %d, observed %d)"
+           limit observed)
+    | _ -> None)
 
 type t = {
   disk : Disk.t;
@@ -19,6 +31,9 @@ type t = {
   mutable logical_reads : int;
   mutable physical_reads : int;
   mutable physical_writes : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable io_limit : int option;
 }
 
 let create ?(frames = 64) disk =
@@ -29,10 +44,23 @@ let create ?(frames = 64) disk =
     clock = 0;
     logical_reads = 0;
     physical_reads = 0;
-    physical_writes = 0 }
+    physical_writes = 0;
+    read_faults = 0;
+    write_faults = 0;
+    io_limit = None }
 
 let disk t = t.disk
 let frames t = t.capacity
+
+let set_io_limit t limit = t.io_limit <- limit
+let io_limit t = t.io_limit
+
+let check_io_limit t =
+  match t.io_limit with
+  | Some limit ->
+    let observed = t.physical_reads + t.physical_writes in
+    if observed > limit then raise (Io_budget_exceeded { limit; observed })
+  | None -> ()
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -53,8 +81,17 @@ let evict_one t =
   match victim with
   | None -> failwith "Buffer_pool: all frames pinned"
   | Some (id, f) ->
-    if f.dirty then t.physical_writes <- t.physical_writes + 1;
-    Hashtbl.remove t.table id
+    if f.dirty then begin
+      (* A faulted write leaves the frame resident and dirty: nothing was
+         evicted, the retry sees a consistent pool. *)
+      (try Disk.write t.disk id
+       with Fault.Io_fault _ as e ->
+         t.write_faults <- t.write_faults + 1;
+         raise e);
+      t.physical_writes <- t.physical_writes + 1
+    end;
+    Hashtbl.remove t.table id;
+    if f.dirty then check_io_limit t
 
 let ensure_room t =
   while Hashtbl.length t.table >= t.capacity do
@@ -81,11 +118,22 @@ let pin t id =
     f.last_use <- tick t;
     f.page
   | None ->
-    t.physical_reads <- t.physical_reads + 1;
+    (* Fault checks first: a failed read performs no I/O and leaves the
+       pool unchanged, so a supervisor can simply re-pin. *)
+    let page =
+      try Disk.read t.disk id
+      with Fault.Io_fault _ as e ->
+        t.read_faults <- t.read_faults + 1;
+        raise e
+    in
     ensure_room t;
-    let page = Disk.get t.disk id in
-    let f = { page; pins = 1; dirty = false; last_use = tick t } in
+    t.physical_reads <- t.physical_reads + 1;
+    (* Pin only after the budget check: if the limit fires here, the page
+       is resident but unpinned, so an aborted run leaks no pins. *)
+    let f = { page; pins = 0; dirty = false; last_use = tick t } in
     Hashtbl.add t.table id f;
+    check_io_limit t;
+    f.pins <- 1;
     page
 
 let unpin t id =
@@ -113,21 +161,37 @@ let new_page t =
 
 let flush_all t =
   Hashtbl.iter
-    (fun _ f ->
+    (fun id f ->
       if f.dirty then begin
+        (try Disk.write t.disk id
+         with Fault.Io_fault _ as e ->
+           t.write_faults <- t.write_faults + 1;
+           raise e);
         t.physical_writes <- t.physical_writes + 1;
-        f.dirty <- false
+        f.dirty <- false;
+        check_io_limit t
       end)
     t.table
 
 let stats t =
   { logical_reads = t.logical_reads;
     physical_reads = t.physical_reads;
-    physical_writes = t.physical_writes }
+    physical_writes = t.physical_writes;
+    read_faults = t.read_faults;
+    write_faults = t.write_faults }
+
+let diff ~(before : stats) ~(after : stats) =
+  { logical_reads = after.logical_reads - before.logical_reads;
+    physical_reads = after.physical_reads - before.physical_reads;
+    physical_writes = after.physical_writes - before.physical_writes;
+    read_faults = after.read_faults - before.read_faults;
+    write_faults = after.write_faults - before.write_faults }
 
 let reset_stats t =
   t.logical_reads <- 0;
   t.physical_reads <- 0;
-  t.physical_writes <- 0
+  t.physical_writes <- 0;
+  t.read_faults <- 0;
+  t.write_faults <- 0
 
 let resident t = Hashtbl.length t.table

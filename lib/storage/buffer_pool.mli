@@ -2,7 +2,14 @@
 
     The pool is where physical I/O is counted: a page access that misses
     the pool is a physical read; evicting a dirty page is a physical
-    write.  Pinned pages are never evicted. *)
+    write.  Pinned pages are never evicted.
+
+    The pool is also where fault injection and I/O budgets surface: a
+    physical access that the disk's {!Fault} schedule fails raises
+    {!Fault.Io_fault} (counted in {!stats}) and leaves the pool
+    unchanged, and when an I/O limit is set with {!set_io_limit}, the
+    physical access that exceeds it raises {!Io_budget_exceeded} — the
+    mechanism behind the execution supervisor's cost-budget guard. *)
 
 type t
 
@@ -10,7 +17,13 @@ type stats = {
   logical_reads : int;
   physical_reads : int;
   physical_writes : int;
+  read_faults : int;  (** physical reads failed by the fault schedule *)
+  write_faults : int;  (** physical writes failed by the fault schedule *)
 }
+
+exception Io_budget_exceeded of { limit : int; observed : int }
+(** Raised by the physical access that pushes [physical_reads +
+    physical_writes] past the configured limit. *)
 
 val create : ?frames:int -> Disk.t -> t
 (** [create ~frames disk] is a pool holding at most [frames] pages
@@ -21,13 +34,26 @@ val disk : t -> Disk.t
 val frames : t -> int
 val resize : t -> int -> unit
 (** Change the frame budget (evicting as needed); used when a run-time
-    memory binding differs from the default.
+    memory binding differs from the default.  Pinned pages are never
+    evicted: shrinking below the number of currently pinned pages is
+    refused rather than honoured silently.
     @raise Invalid_argument if the new size is [<= 0] or smaller than the
-    number of currently pinned pages. *)
+    number of currently pinned pages (the pool is left unchanged). *)
+
+val set_io_limit : t -> int option -> unit
+(** Arm or disarm the I/O budget: with [Some limit], the physical access
+    that makes [physical_reads + physical_writes] exceed [limit] raises
+    {!Io_budget_exceeded}.  The limit is against the absolute counters
+    (compare with {!stats} taken when arming). *)
+
+val io_limit : t -> int option
 
 val pin : t -> int -> Page.t
 (** [pin t id] fetches page [id], counting a physical read on a miss,
-    and pins it. *)
+    and pins it.
+    @raise Fault.Io_fault if the disk fails the read (no I/O is counted,
+    the pool is unchanged, the page is not pinned).
+    @raise Io_budget_exceeded per {!set_io_limit}. *)
 
 val unpin : t -> int -> unit
 (** @raise Invalid_argument if the page is not resident or not pinned. *)
@@ -43,9 +69,18 @@ val new_page : t -> Page.t
     until evicted dirty). *)
 
 val flush_all : t -> unit
-(** Write out all dirty pages. *)
+(** Write out all dirty pages.
+    @raise Fault.Io_fault if the disk fails one of the writes; pages
+    flushed before the fault stay clean, the faulted one stays dirty. *)
 
 val stats : t -> stats
+
+val diff : before:stats -> after:stats -> stats
+(** Per-field difference, for windowed I/O accounting of one run. *)
+
 val reset_stats : t -> unit
 val resident : t -> int
 (** Number of pages currently held. *)
+
+val pinned_count : t -> int
+(** Number of resident pages with at least one pin. *)

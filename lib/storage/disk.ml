@@ -1,6 +1,13 @@
-type t = { mutable pages : Page.t array; mutable used : int }
+type t = {
+  mutable pages : Page.t array;
+  mutable used : int;
+  mutable faults : Fault.t option;
+}
 
-let create () = { pages = Array.make 64 { Page.id = -1; payload = Page.Free }; used = 0 }
+let create () =
+  { pages = Array.make 64 { Page.id = -1; payload = Page.Free };
+    used = 0;
+    faults = None }
 
 let allocate t =
   if t.used = Array.length t.pages then begin
@@ -16,5 +23,16 @@ let allocate t =
 let get t id =
   if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
   t.pages.(id)
+
+let read t id =
+  if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
+  (match t.faults with Some f -> Fault.on_read f ~page:id | None -> ());
+  t.pages.(id)
+
+let write t id =
+  match t.faults with Some f -> Fault.on_write f ~page:id | None -> ()
+
+let set_faults t f = t.faults <- f
+let faults t = t.faults
 
 let page_count t = t.used

@@ -1,7 +1,10 @@
 (** Simulated disk: a growable array of pages.
 
     The disk is the stable home of every page; the {!Buffer_pool} in
-    front of it decides which accesses count as physical I/O. *)
+    front of it decides which accesses count as physical I/O.  An
+    optional {!Fault} injector makes those physical accesses fallible:
+    {!read} and {!write} consult the schedule and raise
+    {!Fault.Io_fault} when the device misbehaves. *)
 
 type t
 
@@ -11,6 +14,24 @@ val allocate : t -> Page.t
 (** Allocate a fresh [Free] page. *)
 
 val get : t -> int -> Page.t
-(** @raise Invalid_argument on an unallocated page id. *)
+(** Raw access, never faulted — used by inspection and tests.
+    @raise Invalid_argument on an unallocated page id. *)
+
+val read : t -> int -> Page.t
+(** A physical read: like {!get}, but consults the fault schedule first.
+    @raise Fault.Io_fault when the schedule fails this read.
+    @raise Invalid_argument on an unallocated page id. *)
+
+val write : t -> int -> unit
+(** A physical write of a page already in memory (the simulated disk
+    shares page structures with the pool, so the write itself is a
+    no-op; only the fault schedule and I/O accounting observe it).
+    @raise Fault.Io_fault when the schedule fails this write. *)
+
+val set_faults : t -> Fault.t option -> unit
+(** Install or remove a fault injector.  [None] restores the infallible
+    disk. *)
+
+val faults : t -> Fault.t option
 
 val page_count : t -> int

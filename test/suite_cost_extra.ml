@@ -83,7 +83,7 @@ let test_two_corner_evaluation () =
   let env_interval =
     D.Env.make ~catalog:cat ~device:D.Device.default
       ~selectivity:(fun _ -> I.make 0. 1.)
-      ~memory_pages:(I.make 16. 112.)
+      ~memory_pages:(I.make 16. 112.) ()
   in
   let op = D.Physical.Hash_join [ join_pred ] in
   let wide =

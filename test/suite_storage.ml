@@ -94,6 +94,124 @@ let test_pool_resize () =
     (Invalid_argument "Buffer_pool.resize: capacity <= 0") (fun () ->
       D.Buffer_pool.resize pool 0)
 
+let test_pool_resize_refuses_below_pinned () =
+  (* Shrinking below the pinned count must fail loudly, not evict pinned
+     pages silently; the failed resize leaves the pool untouched. *)
+  let _, pool = fresh ~frames:8 () in
+  let pinned = List.init 3 (fun _ -> heap_page pool) in
+  List.iter (fun id -> ignore (D.Buffer_pool.pin pool id)) pinned;
+  Alcotest.(check int) "pinned count" 3 (D.Buffer_pool.pinned_count pool);
+  Alcotest.check_raises "shrink below pinned"
+    (Invalid_argument "Buffer_pool.resize: smaller than pinned pages")
+    (fun () -> D.Buffer_pool.resize pool 2);
+  Alcotest.(check int) "capacity unchanged" 8 (D.Buffer_pool.frames pool);
+  D.Buffer_pool.reset_stats pool;
+  (* The pinned pages are still resident... *)
+  List.iter (fun id -> D.Buffer_pool.with_page pool id ignore) pinned;
+  Alcotest.(check int) "pinned pages still resident" 0
+    (D.Buffer_pool.stats pool).D.Buffer_pool.physical_reads;
+  (* ...and the pool remains fully usable: shrinking to exactly the
+     pinned count is allowed, as is unpinning and shrinking further. *)
+  D.Buffer_pool.resize pool 3;
+  Alcotest.(check int) "exact fit allowed" 3 (D.Buffer_pool.frames pool);
+  List.iter (fun id -> D.Buffer_pool.unpin pool id) pinned;
+  D.Buffer_pool.resize pool 1;
+  Alcotest.(check bool) "shrunk after unpin" true
+    (D.Buffer_pool.resident pool <= 1)
+
+(* --- fault injection ----------------------------------------------------- *)
+
+let test_fault_config_validation () =
+  Alcotest.check_raises "rate > 1"
+    (Invalid_argument "Fault.config: read_fault_rate outside [0, 1]")
+    (fun () -> ignore (D.Fault.config ~read_fault_rate:1.5 ~seed:1 ()))
+
+let test_fault_schedule_deterministic () =
+  (* Two injectors with the same seed produce the same fault pattern. *)
+  let pattern () =
+    let f =
+      D.Fault.create (D.Fault.config ~read_fault_rate:0.3 ~seed:21 ())
+    in
+    List.init 200 (fun page ->
+        match D.Fault.on_read f ~page with
+        | () -> false
+        | exception D.Fault.Io_fault _ -> true)
+  in
+  let a = pattern () and b = pattern () in
+  Alcotest.(check bool) "same trace" true (a = b);
+  Alcotest.(check bool) "some faults fired" true (List.mem true a);
+  Alcotest.(check bool) "some reads survived" true (List.mem false a)
+
+let test_faulted_read_leaves_pool_unchanged () =
+  (* A failed physical read counts as a fault, not as I/O, and the page
+     is neither resident nor pinned afterwards — a retry is clean. *)
+  let disk, pool = fresh ~frames:4 () in
+  let a = heap_page pool in
+  D.Buffer_pool.resize pool 1;
+  let _b = heap_page pool in
+  D.Buffer_pool.reset_stats pool;
+  D.Disk.set_faults disk
+    (Some (D.Fault.create (D.Fault.config ~broken_pages:[ (a, D.Fault.Transient) ] ~seed:1 ())));
+  (match D.Buffer_pool.pin pool a with
+  | _ -> Alcotest.fail "broken page read succeeded"
+  | exception D.Fault.Io_fault { kind = D.Fault.Transient; op = D.Fault.Read; page } ->
+    Alcotest.(check int) "faulted page id" a page);
+  let s = D.Buffer_pool.stats pool in
+  Alcotest.(check int) "fault counted" 1 s.D.Buffer_pool.read_faults;
+  Alcotest.(check int) "no physical read counted" 0 s.D.Buffer_pool.physical_reads;
+  Alcotest.(check int) "nothing pinned" 0 (D.Buffer_pool.pinned_count pool);
+  (* Clearing the schedule makes the same pin succeed. *)
+  D.Disk.set_faults disk None;
+  D.Buffer_pool.with_page pool a ignore;
+  Alcotest.(check int) "retry succeeded" 1
+    (D.Buffer_pool.stats pool).D.Buffer_pool.physical_reads
+
+let test_faulted_eviction_keeps_page_dirty () =
+  (* A write fault during eviction keeps the dirty page resident so no
+     update is lost; clearing the fault lets flush succeed. *)
+  let disk, pool = fresh ~frames:1 () in
+  let a = heap_page pool in
+  D.Buffer_pool.with_page pool a (fun _ -> D.Buffer_pool.mark_dirty pool a);
+  D.Disk.set_faults disk
+    (Some (D.Fault.create (D.Fault.config ~broken_pages:[ (a, D.Fault.Transient) ] ~seed:1 ())));
+  (match heap_page pool with
+  | _ -> Alcotest.fail "eviction write succeeded"
+  | exception D.Fault.Io_fault { op = D.Fault.Write; _ } -> ());
+  Alcotest.(check int) "write fault counted" 1
+    (D.Buffer_pool.stats pool).D.Buffer_pool.write_faults;
+  D.Disk.set_faults disk None;
+  D.Buffer_pool.flush_all pool;
+  Alcotest.(check int) "flush wrote the page" 1
+    (D.Buffer_pool.stats pool).D.Buffer_pool.physical_writes
+
+let test_fail_after_schedule () =
+  let f = D.Fault.create (D.Fault.config ~fail_after:(2, D.Fault.Permanent) ~seed:1 ()) in
+  D.Fault.on_read f ~page:0;
+  D.Fault.on_write f ~page:1;
+  (match D.Fault.on_read f ~page:2 with
+  | () -> Alcotest.fail "third I/O should fault"
+  | exception D.Fault.Io_fault { kind = D.Fault.Permanent; _ } -> ());
+  Alcotest.(check int) "attempts counted" 3 (D.Fault.ios_attempted f);
+  Alcotest.(check int) "faults counted" 1 (D.Fault.injected f)
+
+let test_io_budget_limit () =
+  (* The physical access that exceeds the armed limit raises; disarming
+     restores unbounded I/O. *)
+  let _, pool = fresh ~frames:1 () in
+  let pages = List.init 4 (fun _ -> heap_page pool) in
+  D.Buffer_pool.reset_stats pool;
+  let base = (D.Buffer_pool.stats pool).D.Buffer_pool.physical_reads in
+  D.Buffer_pool.set_io_limit pool (Some (base + 2));
+  (match
+     List.iter (fun id -> D.Buffer_pool.with_page pool id ignore) pages
+   with
+  | () -> Alcotest.fail "limit never hit"
+  | exception D.Buffer_pool.Io_budget_exceeded { limit; observed } ->
+    Alcotest.(check int) "limit echoed" (base + 2) limit;
+    Alcotest.(check bool) "observed beyond limit" true (observed > limit));
+  D.Buffer_pool.set_io_limit pool None;
+  List.iter (fun id -> D.Buffer_pool.with_page pool id ignore) pages
+
 let test_heap_roundtrip () =
   let _, pool = fresh ~frames:16 () in
   let tuples = Array.init 100 (fun i -> [| i; i * 2 |]) in
@@ -166,6 +284,17 @@ let suite =
       Alcotest.test_case "dirty write-back" `Quick test_pool_dirty_writeback;
       Alcotest.test_case "unpin errors" `Quick test_pool_unpin_errors;
       Alcotest.test_case "pool resize" `Quick test_pool_resize;
+      Alcotest.test_case "resize refuses to evict pinned pages" `Quick
+        test_pool_resize_refuses_below_pinned;
+      Alcotest.test_case "fault config validation" `Quick test_fault_config_validation;
+      Alcotest.test_case "fault schedule deterministic" `Quick
+        test_fault_schedule_deterministic;
+      Alcotest.test_case "faulted read leaves pool unchanged" `Quick
+        test_faulted_read_leaves_pool_unchanged;
+      Alcotest.test_case "faulted eviction keeps page dirty" `Quick
+        test_faulted_eviction_keeps_page_dirty;
+      Alcotest.test_case "fail-after schedule" `Quick test_fail_after_schedule;
+      Alcotest.test_case "I/O budget limit" `Quick test_io_budget_limit;
       Alcotest.test_case "heap round-trip" `Quick test_heap_roundtrip;
       Alcotest.test_case "heap fetch by rid" `Quick test_heap_fetch_by_rid;
       Alcotest.test_case "heap capacity math" `Quick test_heap_capacity_math;

@@ -16,6 +16,7 @@ let () =
       Suite_modes.suite;
       Suite_midquery.suite;
       Suite_validate.suite;
+      Suite_resilience.suite;
       Suite_integration.suite;
       Suite_bounds.suite;
       Suite_exec_edge.suite;
