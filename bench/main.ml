@@ -141,6 +141,12 @@ let bench_tests () =
     Test.make ~name:"fig8_runtime_optimize_6way"
       (Staged.stage (fun () ->
            ignore (optimize_exn ~mode:(D.Optimizer.Run_time b4) q4)));
+    (* Static analysis: the full verifier pass over the largest dynamic
+       plan — what `dqep analyze` and the executor's activation hook pay
+       per plan. *)
+    Test.make ~name:"verify_plan_10way"
+      (Staged.stage (fun () ->
+           ignore (D.Verify.plan ~catalog:q5.D.Queries.catalog dyn5)));
     (* Break-even: one complete dynamic-plan invocation (activation
        decision + execution-cost evaluation). *)
     Test.make ~name:"breakeven_dynamic_invocation"

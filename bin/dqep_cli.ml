@@ -319,6 +319,139 @@ let sql_cmd =
              optimize it dynamically.")
     Term.(const run $ relations_arg $ stmt)
 
+(* --- analyze ------------------------------------------------------------- *)
+
+(* Static analysis over the whole query corpus: logical validation, an
+   optimizer run with winner verification, and a verification of the
+   resolved plan under sample bindings — all without executing anything. *)
+let analyze_cmd =
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero if any error-severity diagnostic is found.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+  in
+  let modes_arg =
+    Arg.(value & opt string "static,dynamic,dynamic-mem"
+         & info [ "modes" ]
+             ~doc:"Comma-separated optimizer modes to analyze under: any of \
+                   static, dynamic, dynamic-mem.")
+  in
+  let names =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"QUERY"
+             ~doc:"Corpus queries to analyze (default: all). See `dqep \
+                   analyze --list`.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the corpus and exit.")
+  in
+  let run strict json modes names list_flag verbose =
+    setup_verbosity verbose;
+    let corpus = D.Queries.corpus () in
+    if list_flag then begin
+      List.iter (fun (name, _) -> print_endline name) corpus;
+      exit 0
+    end;
+    let corpus =
+      match names with
+      | [] -> corpus
+      | names ->
+        List.iter
+          (fun n ->
+            if not (List.mem_assoc n corpus) then begin
+              Printf.eprintf "unknown query %s (try --list)\n" n;
+              exit 2
+            end)
+          names;
+        List.filter (fun (n, _) -> List.mem n names) corpus
+    in
+    let modes =
+      String.split_on_char ',' modes
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun m ->
+             match m with
+             | "static" -> (m, D.Optimizer.static)
+             | "dynamic" -> (m, D.Optimizer.dynamic ())
+             | "dynamic-mem" -> (m, D.Optimizer.dynamic ~uncertain_memory:true ())
+             | m ->
+               Printf.eprintf "unknown mode %s\n" m;
+               exit 2)
+    in
+    let findings = ref [] in
+    let report name mode phase diags =
+      List.iter (fun d -> findings := (name, mode, phase, d) :: !findings) diags
+    in
+    let analyze_one name (q : D.Queries.t) (mode_name, mode) =
+      (match D.Logical.validate q.D.Queries.catalog q.D.Queries.query with
+      | Ok () -> ()
+      | Error diags -> report name mode_name "logical" diags);
+      let options = { D.Optimizer.default_options with verify = true } in
+      match D.Optimizer.optimize ~options ~mode q.D.Queries.catalog q.D.Queries.query with
+      | exception D.Verify.Failed diags -> report name mode_name "optimize" diags
+      | Error e ->
+        report name mode_name "optimize"
+          [ D.Diagnostic.make ~site:D.Diagnostic.Query
+              D.Diagnostic.Rels_mismatch
+              (Printf.sprintf "optimization failed: %s" e) ]
+      | Ok r ->
+        report name mode_name "optimize" r.D.Optimizer.diagnostics;
+        (* Resolve under a selective and an unselective binding and
+           verify the start-up-time plan too. *)
+        List.iter
+          (fun sel ->
+            let bindings =
+              D.Bindings.make
+                ~selectivities:
+                  (List.map (fun hv -> (hv, sel)) q.D.Queries.host_vars)
+                ~memory_pages:64
+            in
+            let env = D.Env.of_bindings q.D.Queries.catalog bindings in
+            let resolution = D.Startup.resolve env r.D.Optimizer.plan in
+            report name mode_name
+              (Printf.sprintf "resolved sel=%g" sel)
+              (D.Verify.plan ~catalog:q.D.Queries.catalog
+                 resolution.D.Startup.plan))
+          [ 0.05; 0.9 ]
+    in
+    List.iter
+      (fun (name, q) -> List.iter (analyze_one name q) modes)
+      corpus;
+    let findings = List.rev !findings in
+    let errors =
+      List.length (List.filter (fun (_, _, _, d) -> D.Diagnostic.is_error d) findings)
+    in
+    let warnings = List.length findings - errors in
+    if json then begin
+      let record (name, mode, phase, d) =
+        Printf.sprintf
+          {|{"query":"%s","mode":"%s","phase":"%s","diagnostic":%s}|} name mode
+          phase (D.Diagnostic.to_json d)
+      in
+      print_endline ("[" ^ String.concat "," (List.map record findings) ^ "]")
+    end
+    else begin
+      List.iter
+        (fun (name, mode, phase, d) ->
+          Format.printf "%s [%s, %s]: %a@." name mode phase D.Diagnostic.pp d)
+        findings;
+      Format.printf "analyzed %d queries x %d modes: %d error(s), %d warning(s)@."
+        (List.length corpus) (List.length modes) errors warnings
+    end;
+    if strict && errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the static plan verifier over the query corpus: logical \
+             validation, optimization with winner verification, and \
+             verification of resolved plans.")
+    Term.(const run $ strict $ json $ modes_arg $ names $ list_flag
+          $ verbose_arg)
+
 (* --- catalog ------------------------------------------------------------- *)
 
 let catalog_cmd =
@@ -332,4 +465,5 @@ let catalog_cmd =
 let () =
   let doc = "Dynamic query evaluation plans: optimizer, executor, experiments." in
   let info = Cmd.info "dqep" ~doc in
-  exit (Cmd.eval (Cmd.group info [ report_cmd; optimize_cmd; run_cmd; sql_cmd; catalog_cmd ]))
+  exit (Cmd.eval (Cmd.group info
+       [ report_cmd; optimize_cmd; run_cmd; analyze_cmd; sql_cmd; catalog_cmd ]))

@@ -26,62 +26,71 @@ let host_vars t =
   |> List.filter_map Predicate.host_var
   |> List.sort_uniq String.compare
 
+(* Validation accumulates every problem instead of stopping at the first:
+   the traversal carries the relation list of each subtree (unknown
+   relations included, so structural checks still apply to them) and
+   appends typed diagnostics as it goes. *)
 let validate catalog t =
-  let ( let* ) = Result.bind in
+  let module D = Dqep_util.Diagnostic in
+  let diags = ref [] in
+  let add code fmt =
+    Format.kasprintf
+      (fun msg -> diags := D.make ~site:D.Query code msg :: !diags)
+      fmt
+  in
   let check_col (c : Col.t) =
     match Catalog.relation catalog c.rel with
-    | None -> Error (Printf.sprintf "unknown relation %s" c.rel)
+    | None -> add D.Unknown_relation "unknown relation %s" c.rel
     | Some r ->
       if Relation.attribute r c.attr = None then
-        Error (Printf.sprintf "unknown attribute %s" (Col.to_string c))
-      else Ok ()
+        add D.Unknown_attribute "unknown attribute %s" (Col.to_string c)
   in
   let rec go = function
     | Get_set r ->
       if Catalog.relation catalog r = None then
-        Error (Printf.sprintf "unknown relation %s" r)
-      else Ok [ r ]
+        add D.Unknown_relation "unknown relation %s" r;
+      [ r ]
     | Select (e, p) ->
-      let* rels = go e in
-      let* () = check_col p.target in
+      let rels = go e in
+      check_col p.target;
       (match p.selectivity with
       | Predicate.Bound s when s < 0. || s > 1. ->
-        Error "selection selectivity out of [0, 1]"
-      | Predicate.Bound _ | Predicate.Host_var _ ->
-        if List.mem p.target.rel rels then Ok rels
-        else
-          Error
-            (Printf.sprintf "selection on %s does not target its input"
-               (Col.to_string p.target)))
+        add D.Selectivity_range "selection selectivity %g out of [0, 1]" s
+      | Predicate.Bound _ | Predicate.Host_var _ -> ());
+      if not (List.mem p.target.rel rels) then
+        add D.Selection_target "selection on %s does not target its input"
+          (Col.to_string p.target);
+      rels
     | Join (l, r, ps) ->
-      let* left = go l in
-      let* right = go r in
+      let left = go l in
+      let right = go r in
       (match List.find_opt (fun rel -> List.mem rel right) left with
-      | Some rel -> Error (Printf.sprintf "relation %s occurs on both sides" rel)
-      | None ->
-        let rec check_preds = function
-          | [] -> Ok (left @ right)
-          | (p : Predicate.equi) :: rest ->
-            let* () = check_col p.left in
-            let* () = check_col p.right in
-            let spans =
-              (List.mem p.left.rel left && List.mem p.right.rel right)
-              || (List.mem p.left.rel right && List.mem p.right.rel left)
-            in
-            if spans then check_preds rest
-            else
-              Error
-                (Format.asprintf "join predicate %a does not span its inputs"
-                   Predicate.pp_equi p)
-        in
-        if ps = [] then Error "cross products are not supported"
-        else check_preds ps)
+      | Some rel ->
+        add D.Duplicate_relation "relation %s occurs on both sides of a join"
+          rel
+      | None -> ());
+      if ps = [] then add D.Cross_product "cross products are not supported";
+      List.iter
+        (fun (p : Predicate.equi) ->
+          check_col p.left;
+          check_col p.right;
+          let spans =
+            (List.mem p.left.rel left && List.mem p.right.rel right)
+            || (List.mem p.left.rel right && List.mem p.right.rel left)
+          in
+          if not spans then
+            add D.Join_span "join predicate %s does not span its inputs"
+              (Format.asprintf "%a" Predicate.pp_equi p))
+        ps;
+      left @ right
   in
-  let* rels = go t in
+  let rels = go t in
   let uniq = List.sort_uniq String.compare rels in
-  if List.length uniq <> List.length rels then
-    Error "a relation occurs more than once in the query"
-  else Ok ()
+  if
+    List.length uniq <> List.length rels
+    && not (List.exists (fun d -> d.D.code = D.Duplicate_relation) !diags)
+  then add D.Duplicate_relation "a relation occurs more than once in the query";
+  match List.rev !diags with [] -> Ok () | ds -> Error ds
 
 let rec pp ppf = function
   | Get_set r -> Format.fprintf ppf "Get-Set %s" r

@@ -18,9 +18,12 @@ val join_predicates : t -> Predicate.equi list
 val host_vars : t -> string list
 (** Sorted, de-duplicated host variables of all unbound predicates. *)
 
-val validate : Dqep_catalog.Catalog.t -> t -> (unit, string) result
+val validate :
+  Dqep_catalog.Catalog.t -> t -> (unit, Dqep_util.Diagnostic.t list) result
 (** Check that all relations and attributes exist, every relation occurs
     at most once, each selection targets a relation of its input, and
-    each join predicate spans its two inputs. *)
+    each join predicate spans its two inputs.  Collects {e every}
+    violation as a typed diagnostic (codes DQEP001-DQEP007), in
+    traversal order. *)
 
 val pp : Format.formatter -> t -> unit

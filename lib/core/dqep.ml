@@ -23,6 +23,7 @@ module Interval = Dqep_util.Interval
 module Rng = Dqep_util.Rng
 module Stats = Dqep_util.Stats
 module Timer = Dqep_util.Timer
+module Diagnostic = Dqep_util.Diagnostic
 
 (** {1 Catalog} *)
 
@@ -66,6 +67,10 @@ module Startup = Dqep_plans.Startup
 module Access_module = Dqep_plans.Access_module
 module Adapt = Dqep_plans.Adapt
 module Validate = Dqep_plans.Validate
+
+(** {1 Static analysis} *)
+
+module Verify = Dqep_analysis.Verify
 
 (** {1 Optimizer} *)
 

@@ -25,6 +25,7 @@ type run_stats = {
 }
 
 exception Infeasible of Dqep_plans.Validate.problem list
+exception Invalid_plan of Dqep_util.Diagnostic.t list
 
 let () =
   Printexc.register_printer (function
@@ -35,18 +36,32 @@ let () =
               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
               Dqep_plans.Validate.pp_problem)
            problems)
+    | Invalid_plan diags ->
+      Some
+        (Format.asprintf "Executor.Invalid_plan(%s)"
+           (Dqep_util.Diagnostic.list_to_string diags))
     | _ -> None)
 
 let memory_pages env =
   Int.max 2 (int_of_float (Interval.mid (Env.memory_pages env)))
 
-(* Activation-time feasibility check (paper, Section 2): the catalog may
-   have changed between compile-time and run-time.  A plan referencing a
-   dropped object either loses only some choose-plan alternatives — then
-   the pruned plan runs — or is truly dead, and fails up front with a
-   typed error instead of an arbitrary [Invalid_argument] mid-iteration. *)
+(* Activation-time validation (paper, Section 2).  The full static
+   verifier runs first: corruption — broken DAG identity, inverted cost
+   intervals, non-equivalent choose alternatives — is unrecoverable and
+   raises [Invalid_plan] up front.  Catalog drift (the feasibility subset
+   of diagnostics, equivalent to [Validate.check]) is survivable: a plan
+   referencing a dropped object either loses only some choose-plan
+   alternatives — then the pruned plan runs — or is truly dead and raises
+   [Infeasible] instead of an arbitrary [Invalid_argument] mid-iteration. *)
 let check_feasible db env plan =
   let catalog = Database.catalog db in
+  let corrupt =
+    Dqep_analysis.Verify.plan ~catalog plan
+    |> Dqep_util.Diagnostic.errors
+    |> List.filter (fun (d : Dqep_util.Diagnostic.t) ->
+           not (Dqep_util.Diagnostic.is_feasibility d.Dqep_util.Diagnostic.code))
+  in
+  if corrupt <> [] then raise (Invalid_plan corrupt);
   match Dqep_plans.Validate.check catalog plan with
   | Ok () -> plan
   | Error problems -> (

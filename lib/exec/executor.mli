@@ -28,14 +28,24 @@ exception Infeasible of Dqep_plans.Validate.problem list
     infeasible choose-plan alternatives left nothing runnable — a full
     re-optimization is needed (paper, Section 2). *)
 
+exception Invalid_plan of Dqep_util.Diagnostic.t list
+(** The static verifier found corruption beyond catalog drift — a broken
+    DAG, ill-formed cost intervals, non-equivalent choose alternatives.
+    Unlike {!Infeasible}, nothing can be pruned around this. *)
+
 val check_feasible :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
   Dqep_plans.Plan.t ->
   Dqep_plans.Plan.t
-(** Activation-time validation ({!Dqep_plans.Validate}): returns the plan
-    unchanged when it checks out, a pruned plan when only some
+(** Activation-time validation, the executor's pre-activation hook into
+    the static analysis pass ({!Dqep_analysis.Verify}): the full verifier
+    runs first and rejects corrupt plans; catalog-drift findings then
+    take the classic path ({!Dqep_plans.Validate}) — the plan is returned
+    unchanged when it checks out, pruned when only some choose-plan
     alternatives are infeasible.
+    @raise Invalid_plan on error-severity diagnostics outside the
+    feasibility subset.
     @raise Infeasible when nothing feasible remains. *)
 
 val compile :

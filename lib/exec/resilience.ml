@@ -25,6 +25,7 @@ let default = config ()
 
 type failure =
   | Infeasible of Dqep_plans.Validate.problem list
+  | Rejected of Dqep_util.Diagnostic.t list
   | Exhausted of { excluded : int list; last_error : exn }
 
 let pp_failure ppf = function
@@ -34,6 +35,9 @@ let pp_failure ppf = function
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
          Dqep_plans.Validate.pp_problem)
       problems
+  | Rejected diags ->
+    Format.fprintf ppf "@[<hov 2>rejected by the plan verifier:@ %a@]"
+      Dqep_util.Diagnostic.pp_list diags
   | Exhausted { excluded; last_error } ->
     Format.fprintf ppf
       "@[<hov 2>exhausted after excluding alternatives [%a]:@ %s@]"
@@ -83,6 +87,8 @@ let run ?(config = default) db bindings plan =
   match Executor.check_feasible db env plan with
   | exception Executor.Infeasible problems ->
     (Error (Infeasible problems), snapshot ())
+  | exception Executor.Invalid_plan diags ->
+    (Error (Rejected diags), snapshot ())
   | plan ->
     Buffer_pool.resize pool (Executor.memory_pages env);
     let factor =

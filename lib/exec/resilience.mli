@@ -51,6 +51,9 @@ type failure =
   | Infeasible of Dqep_plans.Validate.problem list
       (** activation-time validation failed and pruning left no feasible
           plan *)
+  | Rejected of Dqep_util.Diagnostic.t list
+      (** the static plan verifier found corruption beyond catalog drift
+          ({!Executor.Invalid_plan}); the plan never started *)
   | Exhausted of { excluded : int list; last_error : exn }
       (** no surviving choose-plan alternative completes; [excluded]
           lists the alternative pids ruled out along the way and

@@ -162,6 +162,29 @@ let ingest t query =
   in
   go query
 
+(* Plain-data projection for the static verifier: the analysis library
+   must not depend on the optimizer (the search engine calls it), so the
+   memo crosses the boundary as data. *)
+let to_view t : Dqep_analysis.Verify.memo_view =
+  List.init t.used (fun id ->
+      let g = t.groups.(id) in
+      { Dqep_analysis.Verify.gid = g.id;
+        rels = g.rels;
+        exprs =
+          List.map
+            (fun (e : Lmexpr.t) ->
+              { Dqep_analysis.Verify.label =
+                  (match e.Lmexpr.op with
+                  | Lmexpr.Get _ -> "get"
+                  | Lmexpr.Select _ -> "select"
+                  | Lmexpr.Join _ -> "join");
+                base =
+                  (match e.Lmexpr.op with
+                  | Lmexpr.Get rel -> Some rel
+                  | Lmexpr.Select _ | Lmexpr.Join _ -> None);
+                children = Array.to_list e.Lmexpr.children })
+            g.lexprs })
+
 let logical_tree_count t root =
   let memo = Hashtbl.create 32 in
   let rec count id =

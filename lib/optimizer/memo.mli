@@ -49,6 +49,10 @@ val make_join_lexpr : t -> int -> int -> Lmexpr.t option
 (** The canonical join expression over two child groups, [None] if they
     are not connected. *)
 
+val to_view : t -> Dqep_analysis.Verify.memo_view
+(** Plain-data projection of all groups for the static verifier
+    ({!Dqep_analysis.Verify.memo}). *)
+
 val logical_tree_count : t -> int -> float
 (** Number of distinct complete logical expression trees represented for
     a group — the paper's "logical alternatives" count.  Float because it

@@ -23,6 +23,7 @@ type options = {
   selectivity_bounds : (string * Interval.t) list;
   sample_domination : int option;
   sample_seed : int;
+  verify : bool;
 }
 
 let default_options =
@@ -34,7 +35,8 @@ let default_options =
     exhaustive = false;
     selectivity_bounds = [];
     sample_domination = None;
-    sample_seed = 42 }
+    sample_seed = 42;
+    verify = false }
 
 type stats = {
   cpu_seconds : float;
@@ -52,6 +54,7 @@ type result = {
   plan : Plan.t;
   env : Env.t;
   stats : stats;
+  diagnostics : Dqep_util.Diagnostic.t list;
 }
 
 let env_of_mode options catalog = function
@@ -67,7 +70,7 @@ let env_of_mode options catalog = function
 
 let optimize ?(options = default_options) ~mode catalog query =
   match Logical.validate catalog query with
-  | Error e -> Error e
+  | Error diags -> Error (Dqep_util.Diagnostic.list_to_string diags)
   | Ok () ->
     let env = env_of_mode options catalog mode in
     let keep_equal_alternatives =
@@ -80,7 +83,7 @@ let optimize ?(options = default_options) ~mode catalog query =
         ~use_index_join:options.use_index_join ~left_deep_only:options.left_deep
         ~force_incomparable:options.exhaustive
         ~sample_domination:options.sample_domination
-        ~sample_seed:options.sample_seed env
+        ~sample_seed:options.sample_seed ~verify_winners:options.verify env
     in
     let memo = Memo.create env in
     let search_result, cpu_seconds =
@@ -95,9 +98,15 @@ let optimize ?(options = default_options) ~mode catalog query =
     | None -> Error "optimization produced no plan"
     | Some plan ->
       let s = Search.stats search in
+      let diagnostics =
+        if options.verify then
+          Dqep_analysis.Verify.plan ~catalog plan @ Search.verify search
+        else []
+      in
       Ok
         { plan;
           env;
+          diagnostics;
           stats =
             { cpu_seconds;
               groups = Memo.group_count memo;

@@ -43,6 +43,11 @@ type options = {
           (dynamic mode); unlisted variables default to [\[0, 1\]] *)
   sample_domination : int option;
   sample_seed : int;
+  verify : bool;
+      (** run the static analysis pass ({!Dqep_analysis.Verify}): every
+          winner is verified as it is memoized (raising
+          {!Dqep_analysis.Verify.Failed} on corruption), and the final
+          plan and memo are re-checked into {!result.diagnostics} *)
 }
 
 val default_options : options
@@ -63,6 +68,9 @@ type result = {
   plan : Plan.t;
   env : Dqep_cost.Env.t;  (** environment the plan was optimized under *)
   stats : stats;
+  diagnostics : Dqep_util.Diagnostic.t list;
+      (** static-analysis findings over the plan and memo; always empty
+          unless {!options.verify} is set *)
 }
 
 val optimize :

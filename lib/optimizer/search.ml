@@ -25,14 +25,15 @@ type config = {
   force_incomparable : bool;
   sample_domination : int option;
   sample_seed : int;
+  verify_winners : bool;
 }
 
 let config ?(keep_equal_alternatives = true) ?(prune = true)
     ?(use_index_join = true) ?(left_deep_only = false)
     ?(force_incomparable = false) ?(sample_domination = None)
-    ?(sample_seed = 42) env =
+    ?(sample_seed = 42) ?(verify_winners = false) env =
   { env; keep_equal_alternatives; prune; use_index_join; left_deep_only;
-    force_incomparable; sample_domination; sample_seed }
+    force_incomparable; sample_domination; sample_seed; verify_winners }
 
 type stats = {
   goals : int;
@@ -206,6 +207,19 @@ let rec optimize t gid required ~limit =
              ~none:(fun ppf () -> Format.pp_print_string ppf "none")
              (fun ppf (p : Plan.t) -> Interval.pp ppf p.Plan.total_cost))
           best);
+    (* Debug flag: statically verify the winner before memoizing it, so a
+       corrupt plan fails at its construction site, not downstream. *)
+    (match best with
+    | Some p when t.config.verify_winners -> (
+      let diags =
+        Dqep_analysis.Verify.winner
+          ~catalog:(Env.catalog t.config.env)
+          ~group_rels:g.Memo.rels ~required p
+      in
+      match Dqep_util.Diagnostic.errors diags with
+      | [] -> ()
+      | errs -> raise (Dqep_analysis.Verify.Failed errs))
+    | Some _ | None -> ());
     store_entry t gid required { bound = limit; best };
     best
 
@@ -332,3 +346,25 @@ and implementations t (_g : Memo.group) (e : Lmexpr.t) ~mk ~own_of ~child_limit
               end)
             preds)
     end
+
+(* Post-hoc static analysis of the whole search state: memo-group
+   consistency plus a full check of every memoized winner. *)
+let verify t =
+  let catalog = Env.catalog t.config.env in
+  let memo_diags = Dqep_analysis.Verify.memo (Memo.to_view t.memo) in
+  let winner_diags =
+    Hashtbl.fold
+      (fun gid entries acc ->
+        let g = Memo.group t.memo gid in
+        List.fold_left
+          (fun acc (required, e) ->
+            match e.best with
+            | None -> acc
+            | Some p ->
+              Dqep_analysis.Verify.winner ~catalog ~group_rels:g.Memo.rels
+                ~required p
+              @ acc)
+          acc entries)
+      t.winners []
+  in
+  memo_diags @ winner_diags

@@ -33,6 +33,10 @@ type config = {
       (** Section 3's heuristic: drop a plan whose cost is no better at
           each of N sampled parameter settings *)
   sample_seed : int;
+  verify_winners : bool;
+      (** debug: run the static verifier ({!Dqep_analysis.Verify.winner})
+          on every winner before memoizing it, raising
+          {!Dqep_analysis.Verify.Failed} on error-severity diagnostics *)
 }
 
 val config :
@@ -43,6 +47,7 @@ val config :
   ?force_incomparable:bool ->
   ?sample_domination:int option ->
   ?sample_seed:int ->
+  ?verify_winners:bool ->
   Dqep_cost.Env.t ->
   config
 
@@ -67,3 +72,9 @@ val optimize : t -> int -> Props.required -> limit:float -> Plan.t option
 
 val stats : t -> stats
 val memo : t -> Memo.t
+
+val verify : t -> Dqep_util.Diagnostic.t list
+(** Static analysis of the whole search state: memo-group consistency
+    ({!Dqep_analysis.Verify.memo}) plus a full verification of every
+    memoized winner against its goal.  Independent of the
+    [verify_winners] flag; intended after a completed search. *)

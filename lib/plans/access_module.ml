@@ -38,13 +38,17 @@ let float_tok v = Printf.sprintf "%h" v
 let float_of_tok s = float_of_string s
 let interval_tok (i : Interval.t) = float_tok i.Interval.lo ^ ":" ^ float_tok i.Interval.hi
 
+(* Decoding is purely syntactic: bounds are taken as written, even if
+   ill-formed.  Semantic validation of decoded plans belongs to the
+   static verifier ([Dqep_analysis.Verify]), which the executor runs
+   before activating any plan. *)
 let interval_of_tok s =
   match String.index_opt s ':' with
   | None -> failwith "bad interval"
   | Some i ->
-    Interval.make
-      (float_of_tok (String.sub s 0 i))
-      (float_of_tok (String.sub s (i + 1) (String.length s - i - 1)))
+    Interval.unchecked
+      ~lo:(float_of_tok (String.sub s 0 i))
+      ~hi:(float_of_tok (String.sub s (i + 1) (String.length s - i - 1)))
 
 let sel_toks (p : Predicate.select) =
   let v =

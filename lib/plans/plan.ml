@@ -17,6 +17,16 @@ type t = {
   props : Props.t;
 }
 
+exception Invalid_choose of Dqep_util.Diagnostic.t
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_choose d ->
+      Some
+        (Format.asprintf "Plan.Invalid_choose(%s)"
+           (Dqep_util.Diagnostic.to_string d))
+    | _ -> None)
+
 module Builder = struct
   type plan = t
 
@@ -89,7 +99,23 @@ module Builder = struct
   let choose b alternatives =
     match alternatives with
     | [] | [ _ ] -> invalid_arg "Plan.Builder.choose: needs >= 2 alternatives"
-    | first :: _ ->
+    | first :: rest ->
+      let rel_set p = List.sort_uniq String.compare p.rels in
+      (match
+         List.find_opt (fun p -> rel_set p <> rel_set first) rest
+       with
+      | Some bad ->
+        let show p = "{" ^ String.concat ", " (rel_set p) ^ "}" in
+        raise
+          (Invalid_choose
+             (Dqep_util.Diagnostic.make
+                ~site:(Dqep_util.Diagnostic.Node bad.pid)
+                Dqep_util.Diagnostic.Choose_rels_mismatch
+                (Printf.sprintf
+                   "choose-plan alternatives cover different relation sets: \
+                    #%d %s vs #%d %s"
+                   first.pid (show first) bad.pid (show bad))))
+      | None -> ());
       let total_cost =
         Cost_model.choose_plan_cost b.env (List.map (fun p -> p.total_cost) alternatives)
       in

@@ -26,6 +26,10 @@ type t = private {
   props : Props.t;
 }
 
+exception Invalid_choose of Dqep_util.Diagnostic.t
+(** A choose-plan node would have been unsound: its alternatives cover
+    different relation sets (diagnostic code DQEP307). *)
+
 (** Hash-consing constructor: structurally identical nodes get the same
     [pid], so equal subplans are physically shared. *)
 module Builder : sig
@@ -48,7 +52,9 @@ module Builder : sig
 
   val choose : t -> plan list -> plan
   (** Wrap two or more equivalent alternatives in a choose-plan node.
-      @raise Invalid_argument on fewer than two alternatives. *)
+      @raise Invalid_argument on fewer than two alternatives.
+      @raise Invalid_choose if the alternatives cover different relation
+      sets — they cannot be logically equivalent. *)
 
   val copy_node : t -> plan -> inputs:plan list -> plan
   (** Rebuild a node with different inputs, keeping its operator, row

@@ -8,6 +8,12 @@ let make lo hi =
   { lo; hi }
 
 let point v = make v v
+let unchecked ~lo ~hi = { lo; hi }
+
+let is_valid a =
+  (not (Float.is_nan a.lo)) && (not (Float.is_nan a.hi)) && a.lo >= 0.
+  && a.lo <= a.hi
+
 let zero = { lo = 0.; hi = 0. }
 let is_point a = a.lo = a.hi
 let width a = a.hi -. a.lo

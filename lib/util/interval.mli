@@ -20,6 +20,18 @@ val make : float -> float -> t
 val point : float -> t
 (** [point v] is the degenerate interval [\[v, v\]]. *)
 
+val unchecked : lo:float -> hi:float -> t
+(** [unchecked ~lo ~hi] builds the interval {e without} validating the
+    bounds — the only way to obtain an ill-formed value of this type.
+    Exists so the static plan verifier ({!is_valid}, [Dqep_analysis]) and
+    its tests can represent corrupt data; never use it in cost
+    computations. *)
+
+val is_valid : t -> bool
+(** Whether the interval satisfies the type's invariant: no NaN bounds,
+    [lo >= 0] and [lo <= hi].  [true] for everything except values built
+    by {!unchecked}. *)
+
 val zero : t
 
 val is_point : t -> bool

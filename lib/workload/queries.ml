@@ -83,3 +83,73 @@ let paper_queries () =
 
 let uncertain_variables t ~uncertain_memory =
   List.length t.host_vars + if uncertain_memory then 1 else 0
+
+(* --- the example queries, as workload entries ----------------------------- *)
+
+module Relation = Dqep_catalog.Relation
+module Attribute = Dqep_catalog.Attribute
+module Index = Dqep_catalog.Index
+module Catalog = Dqep_catalog.Catalog
+
+(* The paper's Figure 1 (examples/quickstart.ml): one relation, one
+   unbound selection, an index on the selected attribute. *)
+let fig1 () =
+  let emp =
+    Relation.make ~name:"emp" ~cardinality:10_000 ~record_bytes:512
+      ~attributes:[ Attribute.make ~name:"salary" ~domain_size:10_000 ]
+  in
+  let catalog =
+    Catalog.create ~relations:[ emp ]
+      ~indexes:[ Index.make ~relation:"emp" ~attribute:"salary" () ]
+      ()
+  in
+  let query =
+    Logical.Select
+      ( Logical.Get_set "emp",
+        Predicate.select ~rel:"emp" ~attr:"salary" (Predicate.Host_var "limit")
+      )
+  in
+  { id = 0; relations = 1; query; host_vars = [ "limit" ]; catalog }
+
+(* The paper's Figure 2 (examples/embedded_query.ml): R filtered by a
+   user variable, hash-joined with the predictable S. *)
+let fig2 () =
+  let r =
+    Relation.make ~name:"R" ~cardinality:20_000 ~record_bytes:256
+      ~attributes:
+        [ Attribute.make ~name:"a" ~domain_size:20_000;
+          Attribute.make ~name:"j" ~domain_size:4_000 ]
+  in
+  let s =
+    Relation.make ~name:"S" ~cardinality:4_000 ~record_bytes:256
+      ~attributes:[ Attribute.make ~name:"j" ~domain_size:4_000 ]
+  in
+  let catalog =
+    Catalog.create ~relations:[ r; s ]
+      ~indexes:
+        [ Index.make ~relation:"R" ~attribute:"a" ();
+          Index.make ~relation:"R" ~attribute:"j" ();
+          Index.make ~relation:"S" ~attribute:"j" () ]
+      ()
+  in
+  let query =
+    Logical.Join
+      ( Logical.Select
+          ( Logical.Get_set "R",
+            Predicate.select ~rel:"R" ~attr:"a" (Predicate.Host_var "user_var")
+          ),
+        Logical.Get_set "S",
+        [ Predicate.equi
+            ~left:(Col.make ~rel:"R" ~attr:"j")
+            ~right:(Col.make ~rel:"S" ~attr:"j") ] )
+  in
+  { id = 0; relations = 2; query; host_vars = [ "user_var" ]; catalog }
+
+let corpus () =
+  List.map
+    (fun q -> (Printf.sprintf "q%d-chain%d" q.id q.relations, q))
+    (paper_queries ())
+  @ [ ("star4", star ~relations:4);
+      ("cycle4", cycle ~relations:4);
+      ("fig1-selection", fig1 ());
+      ("fig2-join", fig2 ()) ]

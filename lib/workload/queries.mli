@@ -40,3 +40,16 @@ val uncertain_variables : t -> uncertain_memory:bool -> int
 
 val host_var : int -> string
 (** ["hv<i>"]. *)
+
+val fig1 : unit -> t
+(** The paper's Figure 1 query (as in [examples/quickstart.ml]): a single
+    unbound selection over an indexed relation. *)
+
+val fig2 : unit -> t
+(** The paper's Figure 2 query (as in [examples/embedded_query.ml]): a
+    filtered [R] joined with a predictable [S]. *)
+
+val corpus : unit -> (string * t) list
+(** Every query the repository ships, under a stable name: the five paper
+    queries, the star and cycle topologies, and the example queries
+    ({!fig1}, {!fig2}).  Drives [dqep analyze]. *)

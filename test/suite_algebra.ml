@@ -52,35 +52,39 @@ let test_logical_accessors () =
   Alcotest.(check int) "join preds" 1 (List.length (D.Logical.join_predicates q));
   Alcotest.(check (list string)) "host vars" [ "h" ] (D.Logical.host_vars q)
 
-let expect_error q msg =
+let expect_code q code =
   match D.Logical.validate (catalog ()) q with
-  | Ok () -> Alcotest.failf "expected error: %s" msg
-  | Error e ->
-    Alcotest.(check bool) (Printf.sprintf "error mentions (%s): %s" msg e) true
-      (String.length e > 0)
+  | Ok () -> Alcotest.failf "expected %s" (D.Diagnostic.id code)
+  | Error diags ->
+    Alcotest.(check bool)
+      (Printf.sprintf "emits %s: %s" (D.Diagnostic.id code)
+         (D.Diagnostic.list_to_string diags))
+      true
+      (List.exists (fun d -> d.D.Diagnostic.code = code) diags)
 
 let test_validate () =
   (match D.Logical.validate (catalog ()) (valid_query ()) with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "valid query rejected: %s" e);
-  expect_error (D.Logical.Get_set "T") "unknown relation";
-  expect_error
+  | Error diags ->
+    Alcotest.failf "valid query rejected: %s" (D.Diagnostic.list_to_string diags));
+  expect_code (D.Logical.Get_set "T") D.Diagnostic.Unknown_relation;
+  expect_code
     (D.Logical.Select
        ( D.Logical.Get_set "R",
          D.Predicate.select ~rel:"S" ~attr:"a" (D.Predicate.Bound 0.5) ))
-    "selection targets other input";
-  expect_error
+    D.Diagnostic.Selection_target;
+  expect_code
     (D.Logical.Join (D.Logical.Get_set "R", D.Logical.Get_set "R", [ join_rs ]))
-    "duplicate relation";
-  expect_error
+    D.Diagnostic.Duplicate_relation;
+  expect_code
     (D.Logical.Join (D.Logical.Get_set "R", D.Logical.Get_set "S", []))
-    "cross product";
-  expect_error
+    D.Diagnostic.Cross_product;
+  expect_code
     (D.Logical.Join
        ( D.Logical.Get_set "R",
          D.Logical.Get_set "S",
          [ D.Predicate.equi ~left:(col "R" "j") ~right:(col "R" "a") ] ))
-    "join pred does not span"
+    D.Diagnostic.Join_span
 
 let test_props () =
   (* The column list is an equivalence class of equal-valued majors (as a

@@ -1,0 +1,421 @@
+(* The static plan verifier: every diagnostic code fired on a
+   deliberately corrupted plan, clean plans passing, the executor's
+   activation-time hook, and property tests for the interval and
+   hash-consing invariants the verifier assumes. *)
+
+module D = Dqep
+module I = D.Interval
+module Dg = D.Diagnostic
+
+let col rel attr = D.Col.make ~rel ~attr
+
+let rel name =
+  D.Relation.make ~name ~cardinality:100 ~record_bytes:512
+    ~attributes:
+      [ D.Attribute.make ~name:"a" ~domain_size:10;
+        D.Attribute.make ~name:"j" ~domain_size:10 ]
+
+let catalog () =
+  D.Catalog.create ~relations:[ rel "R"; rel "S" ]
+    ~indexes:[ D.Index.make ~relation:"R" ~attribute:"a" () ]
+    ()
+
+let builder () =
+  let c = catalog () in
+  (c, D.Plan.Builder.create (D.Env.dynamic c))
+
+let scan b name =
+  D.Plan.Builder.operator b (D.Physical.File_scan name) ~inputs:[]
+    ~rels:[ name ] ~rows:(I.point 100.) ~bytes_per_row:512
+    ~props:D.Props.unordered
+
+let raw_scan b ?(rows = I.point 100.) ?(bytes = 512) ?(own = I.point 10.)
+    ?total name =
+  let total = Option.value ~default:own total in
+  D.Plan.Builder.raw b ~op:(D.Physical.File_scan name) ~inputs:[]
+    ~rels:[ name ] ~rows ~bytes_per_row:bytes ~own_cost:own ~total_cost:total
+    ~props:D.Props.unordered
+
+let raw_choose b ?(props = D.Props.unordered) alts =
+  let first = List.hd alts in
+  let total =
+    List.fold_left
+      (fun acc (p : D.Plan.t) -> I.combine_min acc p.D.Plan.total_cost)
+      (List.hd alts).D.Plan.total_cost (List.tl alts)
+  in
+  D.Plan.Builder.raw b ~op:D.Physical.Choose_plan ~inputs:alts
+    ~rels:first.D.Plan.rels ~rows:first.D.Plan.rows
+    ~bytes_per_row:first.D.Plan.bytes_per_row ~own_cost:(I.point 0.)
+    ~total_cost:total ~props
+
+let fires name code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires %s: %s" name (Dg.id code)
+       (Dg.list_to_string diags))
+    true
+    (List.exists (fun d -> d.Dg.code = code) diags)
+
+let no_errors name diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s is clean: %s" name (Dg.list_to_string diags))
+    true
+    (Dg.errors diags = [])
+
+(* --- acceptance trio: corrupted plans fire their codes ------------------- *)
+
+let test_inverted_cost_interval () =
+  let c, b = builder () in
+  let bad = I.unchecked ~lo:5. ~hi:1. in
+  let p = raw_scan b ~own:bad ~total:bad "R" in
+  let diags = D.Verify.plan ~catalog:c p in
+  fires "inverted interval" Dg.Cost_interval_inverted diags;
+  Alcotest.(check bool) "it is an error" true (Dg.has_errors diags)
+
+let test_single_alternative_choose () =
+  let c, b = builder () in
+  let p = raw_choose b [ scan b "R" ] in
+  let diags = D.Verify.plan ~catalog:c p in
+  fires "1-ary choose" Dg.Choose_arity diags
+
+let test_choose_rels_mismatch () =
+  let c, b = builder () in
+  let p = raw_choose b [ scan b "R"; scan b "S" ] in
+  let diags = D.Verify.plan ~catalog:c p in
+  fires "mixed-relation choose" Dg.Choose_rels_mismatch diags
+
+(* --- structure ------------------------------------------------------------ *)
+
+let test_operator_arity () =
+  let _, b = builder () in
+  let pred = D.Predicate.select ~rel:"R" ~attr:"a" (D.Predicate.Bound 0.5) in
+  let p =
+    D.Plan.Builder.raw b ~op:(D.Physical.Filter pred) ~inputs:[] ~rels:[ "R" ]
+      ~rows:(I.point 50.) ~bytes_per_row:512 ~own_cost:(I.point 1.)
+      ~total_cost:(I.point 1.) ~props:D.Props.unordered
+  in
+  fires "input-less filter" Dg.Operator_arity (D.Verify.structure p)
+
+let test_sharing_lost_is_warning () =
+  (* Structurally equal nodes from two builders: legal (it happens when
+     plans are rebuilt), but sharing is gone — a warning, not an error. *)
+  let c, b1 = builder () in
+  let b2 = D.Plan.Builder.create (D.Env.dynamic c) in
+  let p = raw_choose b2 [ scan b1 "R"; scan b2 "R" ] in
+  let diags = D.Verify.structure p in
+  fires "duplicate structure" Dg.Sharing_lost diags;
+  List.iter
+    (fun d ->
+      if d.Dg.code = Dg.Sharing_lost then
+        Alcotest.(check string) "warning severity" "warning"
+          (Dg.severity_string d.Dg.severity))
+    diags;
+  no_errors "sharing loss alone" diags
+
+(* --- interval costs ------------------------------------------------------- *)
+
+let test_rows_and_width_invalid () =
+  let c, b = builder () in
+  let p = raw_scan b ~rows:(I.unchecked ~lo:(-3.) ~hi:2.) ~bytes:0 "R" in
+  let diags = D.Verify.cost p in
+  fires "negative rows" Dg.Rows_invalid diags;
+  fires "zero width" Dg.Width_invalid diags;
+  ignore c
+
+let test_total_cost_mismatch () =
+  let _, b = builder () in
+  let p = raw_scan b ~own:(I.point 10.) ~total:(I.point 99.) "R" in
+  fires "cooked total" Dg.Total_cost_mismatch (D.Verify.cost p)
+
+let test_rows_exceed_inputs () =
+  let _, b = builder () in
+  let s = scan b "R" in
+  let pred = D.Predicate.select ~rel:"R" ~attr:"a" (D.Predicate.Bound 0.5) in
+  let p =
+    D.Plan.Builder.raw b ~op:(D.Physical.Filter pred) ~inputs:[ s ]
+      ~rels:[ "R" ] ~rows:(I.point 1000.) ~bytes_per_row:512
+      ~own_cost:(I.point 1.)
+      ~total_cost:(I.add (I.point 1.) s.D.Plan.total_cost)
+      ~props:D.Props.unordered
+  in
+  let diags = D.Verify.cost p in
+  fires "filter outgrows input" Dg.Rows_exceed_inputs diags;
+  no_errors "row-sanity is advisory" diags
+
+let test_pareto_dominated_is_warning () =
+  let _, b = builder () in
+  let cheap = raw_scan b ~own:(I.make 1. 2.) ~total:(I.make 1. 2.) "R" in
+  let dear =
+    D.Plan.Builder.raw b ~op:(D.Physical.Btree_scan { rel = "R"; attr = "a" })
+      ~inputs:[] ~rels:[ "R" ] ~rows:(I.point 100.) ~bytes_per_row:512
+      ~own_cost:(I.make 50. 60.) ~total_cost:(I.make 50. 60.)
+      ~props:D.Props.unordered
+  in
+  let p = raw_choose b [ cheap; dear ] in
+  let diags = D.Verify.cost p in
+  fires "dominated alternative" Dg.Pareto_dominated diags;
+  no_errors "domination is advisory" diags
+
+(* --- semantics ------------------------------------------------------------ *)
+
+let test_catalog_resolution () =
+  let c, b = builder () in
+  fires "ghost relation" Dg.Missing_relation
+    (D.Verify.semantics ~catalog:c (raw_scan b "Nope"));
+  let btree rel attr =
+    D.Plan.Builder.raw b ~op:(D.Physical.Btree_scan { rel; attr }) ~inputs:[]
+      ~rels:[ rel ] ~rows:(I.point 100.) ~bytes_per_row:512
+      ~own_cost:(I.point 5.) ~total_cost:(I.point 5.) ~props:D.Props.unordered
+  in
+  fires "ghost attribute" Dg.Missing_attribute
+    (D.Verify.semantics ~catalog:c (btree "R" "zz"));
+  fires "unindexed scan" Dg.Missing_index
+    (D.Verify.semantics ~catalog:c (btree "S" "j"))
+
+let test_attribute_out_of_scope () =
+  let c, b = builder () in
+  let pred = D.Predicate.select ~rel:"S" ~attr:"a" (D.Predicate.Bound 0.5) in
+  let p =
+    D.Plan.Builder.operator b (D.Physical.Filter pred) ~inputs:[ scan b "R" ]
+      ~rels:[ "R" ] ~rows:(I.point 50.) ~bytes_per_row:512
+      ~props:D.Props.unordered
+  in
+  fires "filter on foreign column" Dg.Attribute_out_of_scope
+    (D.Verify.semantics ~catalog:c p)
+
+let test_join_pred_span () =
+  let c, b = builder () in
+  let bad = D.Predicate.equi ~left:(col "R" "a") ~right:(col "R" "j") in
+  let p =
+    D.Plan.Builder.operator b (D.Physical.Hash_join [ bad ])
+      ~inputs:[ scan b "R"; scan b "S" ]
+      ~rels:[ "R"; "S" ] ~rows:(I.point 100.) ~bytes_per_row:1024
+      ~props:D.Props.unordered
+  in
+  fires "one-sided predicate" Dg.Join_pred_span (D.Verify.semantics ~catalog:c p)
+
+let test_rels_mismatch () =
+  let c, b = builder () in
+  let p =
+    D.Plan.Builder.raw b ~op:(D.Physical.File_scan "R") ~inputs:[]
+      ~rels:[ "R"; "S" ] ~rows:(I.point 100.) ~bytes_per_row:512
+      ~own_cost:(I.point 10.) ~total_cost:(I.point 10.)
+      ~props:D.Props.unordered
+  in
+  fires "over-claimed relations" Dg.Rels_mismatch
+    (D.Verify.semantics ~catalog:c p)
+
+let test_choose_order_unsupported () =
+  let c, b = builder () in
+  let p =
+    raw_choose b
+      ~props:(D.Props.ordered [ col "R" "a" ])
+      [ scan b "R"; raw_scan b ~own:(I.point 20.) "R" ]
+  in
+  fires "unbacked order claim" Dg.Choose_order_unsupported
+    (D.Verify.semantics ~catalog:c p)
+
+(* --- memo and winners ----------------------------------------------------- *)
+
+let gv gid rels exprs = { D.Verify.gid; rels; exprs }
+let ev label base children = { D.Verify.label; base; children }
+
+let test_memo_checks () =
+  let get = gv 0 [ "R" ] [ ev "get" (Some "R") [] ] in
+  fires "dangling child group" Dg.Dangling_group_ref
+    (D.Verify.memo [ get; gv 1 [ "R"; "S" ] [ ev "join" None [ 0; 7 ] ] ]);
+  fires "self-joined group" Dg.Group_rels_mismatch
+    (D.Verify.memo [ get; gv 1 [ "R"; "S" ] [ ev "join" None [ 0; 0 ] ] ]);
+  fires "short-derived group" Dg.Group_rels_mismatch
+    (D.Verify.memo [ get; gv 1 [ "R"; "S" ] [ ev "select" None [ 0 ] ] ]);
+  no_errors "well-formed memo"
+    (D.Verify.memo
+       [ get;
+         gv 1 [ "S" ] [ ev "get" (Some "S") [] ];
+         gv 2 [ "R"; "S" ] [ ev "join" None [ 0; 1 ] ] ])
+
+let test_winner_checks () =
+  let c, b = builder () in
+  let p = scan b "R" in
+  fires "winner outside its group" Dg.Winner_group_mismatch
+    (D.Verify.winner ~catalog:c ~group_rels:[ "R"; "S" ] ~required:D.Props.Any p);
+  fires "unsorted winner" Dg.Winner_order_mismatch
+    (D.Verify.winner ~catalog:c ~group_rels:[ "R" ]
+       ~required:(D.Props.Sorted (col "R" "a"))
+       p);
+  no_errors "winner in place"
+    (D.Verify.winner ~catalog:c ~group_rels:[ "R" ] ~required:D.Props.Any p)
+
+(* --- clean plans ---------------------------------------------------------- *)
+
+let test_optimizer_plans_are_clean () =
+  let options = { D.Optimizer.default_options with verify = true } in
+  List.iter
+    (fun (q : D.Queries.t) ->
+      List.iter
+        (fun mode ->
+          match D.Optimizer.optimize ~options ~mode q.D.Queries.catalog q.D.Queries.query with
+          | Error e -> Alcotest.failf "optimize failed: %s" e
+          | Ok r ->
+            no_errors "optimize diagnostics" r.D.Optimizer.diagnostics;
+            no_errors "re-verified plan"
+              (D.Verify.plan ~catalog:q.D.Queries.catalog r.D.Optimizer.plan))
+        [ D.Optimizer.static; D.Optimizer.dynamic () ])
+    [ D.Queries.chain ~relations:2; D.Queries.star ~relations:4 ]
+
+let test_check_exn () =
+  let c, b = builder () in
+  D.Verify.check_exn ~catalog:c (scan b "R");
+  let bad = I.unchecked ~lo:5. ~hi:1. in
+  match D.Verify.check_exn ~catalog:c (raw_scan b ~own:bad ~total:bad "S") with
+  | () -> Alcotest.fail "corrupt plan passed check_exn"
+  | exception D.Verify.Failed diags ->
+    fires "check_exn payload" Dg.Cost_interval_inverted diags
+
+(* --- the executor's activation hook --------------------------------------- *)
+
+let test_executor_rejects_corrupt_plan () =
+  let c, b = builder () in
+  let bad = I.unchecked ~lo:5. ~hi:1. in
+  let corrupt = raw_scan b ~own:bad ~total:bad "R" in
+  let db = D.Database.build ~seed:7 c in
+  let bindings = D.Bindings.make ~selectivities:[] ~memory_pages:64 in
+  (match D.Executor.run db bindings corrupt with
+  | _ -> Alcotest.fail "corrupt plan executed"
+  | exception D.Executor.Invalid_plan diags ->
+    fires "executor rejection" Dg.Cost_interval_inverted diags);
+  match D.Resilience.run db bindings corrupt with
+  | Ok _, _ -> Alcotest.fail "corrupt plan executed (supervised)"
+  | Error (D.Resilience.Rejected diags), _ ->
+    fires "supervisor rejection" Dg.Cost_interval_inverted diags
+  | Error f, _ ->
+    Alcotest.failf "wrong failure kind: %a" D.Resilience.pp_failure f
+
+let test_missing_relation_stays_infeasible () =
+  (* Catalog drift is the feasibility regime: the classic typed
+     [Infeasible] error, not a verifier rejection. *)
+  let c, b = builder () in
+  let plan = raw_scan b "Nope" in
+  let db = D.Database.build ~seed:7 c in
+  let bindings = D.Bindings.make ~selectivities:[] ~memory_pages:64 in
+  match D.Executor.run db bindings plan with
+  | _ -> Alcotest.fail "plan over a missing relation executed"
+  | exception D.Executor.Infeasible problems ->
+    Alcotest.(check bool) "names the relation" true
+      (List.mem (D.Validate.Missing_relation "Nope") problems)
+
+(* --- diagnostics as data -------------------------------------------------- *)
+
+let test_validate_collects_all () =
+  let c = catalog () in
+  let q =
+    D.Logical.Select
+      ( D.Logical.Select
+          ( D.Logical.Get_set "R",
+            D.Predicate.select ~rel:"R" ~attr:"zz" (D.Predicate.Bound 0.5) ),
+        D.Predicate.select ~rel:"R" ~attr:"ww" (D.Predicate.Bound 0.5) )
+  in
+  match D.Logical.validate c q with
+  | Ok () -> Alcotest.fail "two unknown attributes accepted"
+  | Error diags ->
+    Alcotest.(check int) "both problems reported" 2 (List.length diags);
+    List.iter
+      (fun d ->
+        Alcotest.(check string) "code" "DQEP002" (Dg.id d.Dg.code))
+      diags
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_json_rendering () =
+  let d =
+    Dg.make ~site:(Dg.Node 12) Dg.Cost_interval_inverted "lo 5 > hi 1"
+  in
+  let j = Dg.to_json d in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" fragment) true
+        (contains j fragment))
+    [ {|"code":"DQEP203"|}; {|"severity":"error"|} ]
+
+(* --- properties ----------------------------------------------------------- *)
+
+let interval_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> I.make (Float.min a b) (Float.max a b))
+      (float_bound_inclusive 1000.) (float_bound_inclusive 1000.))
+
+let arb_interval = QCheck.make ~print:I.to_string interval_gen
+
+let prop_interval_ops_stay_valid =
+  QCheck.Test.make ~name:"interval ops preserve is_valid" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      I.is_valid (I.add a b)
+      && I.is_valid (I.combine_min a b)
+      && I.is_valid (I.mul a b)
+      && I.is_valid (I.union a b))
+
+let prop_scale_stays_valid =
+  QCheck.Test.make ~name:"scale preserves is_valid" ~count:500
+    (QCheck.pair (QCheck.make QCheck.Gen.(float_range 0. 100.)) arb_interval)
+    (fun (f, i) -> I.is_valid (I.scale f i))
+
+let prop_hash_consing_shares =
+  QCheck.Test.make ~name:"same subplan interns to the same pid" ~count:100
+    (QCheck.make QCheck.Gen.(float_range 1. 10000.)) (fun rows ->
+      let _, b = builder () in
+      let mk () =
+        D.Plan.Builder.operator b (D.Physical.File_scan "R") ~inputs:[]
+          ~rels:[ "R" ] ~rows:(I.point rows) ~bytes_per_row:512
+          ~props:D.Props.unordered
+      in
+      let s1 = mk () and s2 = mk () in
+      s1.D.Plan.pid = s2.D.Plan.pid && D.Plan.Builder.created b = 1)
+
+let suite =
+  ( "analysis",
+    [ Alcotest.test_case "inverted cost interval (DQEP203)" `Quick
+        test_inverted_cost_interval;
+      Alcotest.test_case "single-alternative choose (DQEP101)" `Quick
+        test_single_alternative_choose;
+      Alcotest.test_case "choose rels mismatch (DQEP307)" `Quick
+        test_choose_rels_mismatch;
+      Alcotest.test_case "operator arity (DQEP102)" `Quick test_operator_arity;
+      Alcotest.test_case "sharing lost is a warning (DQEP104)" `Quick
+        test_sharing_lost_is_warning;
+      Alcotest.test_case "rows and width invalid (DQEP201/202)" `Quick
+        test_rows_and_width_invalid;
+      Alcotest.test_case "total cost mismatch (DQEP204)" `Quick
+        test_total_cost_mismatch;
+      Alcotest.test_case "rows exceed inputs (DQEP205)" `Quick
+        test_rows_exceed_inputs;
+      Alcotest.test_case "pareto domination is a warning (DQEP206)" `Quick
+        test_pareto_dominated_is_warning;
+      Alcotest.test_case "catalog resolution (DQEP301-303)" `Quick
+        test_catalog_resolution;
+      Alcotest.test_case "attribute out of scope (DQEP304)" `Quick
+        test_attribute_out_of_scope;
+      Alcotest.test_case "join predicate span (DQEP305)" `Quick
+        test_join_pred_span;
+      Alcotest.test_case "rels mismatch (DQEP306)" `Quick test_rels_mismatch;
+      Alcotest.test_case "choose order unsupported (DQEP308)" `Quick
+        test_choose_order_unsupported;
+      Alcotest.test_case "memo view checks (DQEP401/402)" `Quick
+        test_memo_checks;
+      Alcotest.test_case "winner checks (DQEP403/404)" `Quick
+        test_winner_checks;
+      Alcotest.test_case "optimizer plans are clean" `Quick
+        test_optimizer_plans_are_clean;
+      Alcotest.test_case "check_exn" `Quick test_check_exn;
+      Alcotest.test_case "executor rejects corrupt plans" `Quick
+        test_executor_rejects_corrupt_plan;
+      Alcotest.test_case "missing relation stays infeasible" `Quick
+        test_missing_relation_stays_infeasible;
+      Alcotest.test_case "validate collects every diagnostic" `Quick
+        test_validate_collects_all;
+      Alcotest.test_case "JSON rendering" `Quick test_json_rendering;
+      QCheck_alcotest.to_alcotest prop_interval_ops_stay_valid;
+      QCheck_alcotest.to_alcotest prop_scale_stays_valid;
+      QCheck_alcotest.to_alcotest prop_hash_consing_shares ] )

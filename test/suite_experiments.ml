@@ -12,7 +12,9 @@ let test_queries_structure () =
     (fun (q : D.Queries.t) ->
       (match D.Logical.validate q.D.Queries.catalog q.D.Queries.query with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "q%d invalid: %s" q.D.Queries.id e);
+      | Error e ->
+        Alcotest.failf "q%d invalid: %s" q.D.Queries.id
+          (D.Diagnostic.list_to_string e));
       Alcotest.(check int) "one host var per relation" q.D.Queries.relations
         (List.length q.D.Queries.host_vars);
       Alcotest.(check int) "uncertain vars with memory"

@@ -18,7 +18,7 @@ let test_topologies_valid () =
     (fun q ->
       match D.Logical.validate q.D.Queries.catalog q.D.Queries.query with
       | Ok () -> ()
-      | Error e -> Alcotest.failf "invalid: %s" e)
+      | Error e -> Alcotest.failf "invalid: %s" (D.Diagnostic.list_to_string e))
     [ D.Queries.chain ~relations:4; D.Queries.star ~relations:4;
       D.Queries.cycle ~relations:4 ]
 

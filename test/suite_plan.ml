@@ -46,11 +46,21 @@ let test_total_cost_composition () =
 
 let test_choose_wrapping () =
   let env, b = builder () in
+  (* Two alternative access paths to the same relation. *)
   let l = scan b "R1" 467. in
-  let r = scan b "R2" 834. in
+  let r =
+    D.Plan.Builder.operator b (D.Physical.Btree_scan { rel = "R1"; attr = "a" })
+      ~inputs:[] ~rels:[ "R1" ] ~rows:(I.point 834.) ~bytes_per_row:512
+      ~props:(D.Props.ordered [ D.Col.make ~rel:"R1" ~attr:"a" ])
+  in
   Alcotest.check_raises "needs 2+"
     (Invalid_argument "Plan.Builder.choose: needs >= 2 alternatives") (fun () ->
       ignore (D.Plan.Builder.choose b [ l ]));
+  (match D.Plan.Builder.choose b [ l; scan b "R2" 1. ] with
+  | _ -> Alcotest.fail "mismatched relation sets accepted"
+  | exception D.Plan.Invalid_choose d ->
+    Alcotest.(check string) "typed diagnostic" "DQEP307"
+      (D.Diagnostic.id d.D.Diagnostic.code));
   let c = D.Plan.Builder.choose b [ l; r ] in
   Alcotest.(check bool) "is choose" true (c.D.Plan.op = D.Physical.Choose_plan);
   let overhead = (D.Env.device env).D.Device.choose_plan_overhead in

@@ -188,7 +188,7 @@ let test_btree_invariants_survive_faulted_runs () =
   (match result with
   | Ok _ -> Alcotest.fail "a device dead after 3 I/Os cannot complete"
   | Error (D.Resilience.Exhausted _) -> ()
-  | Error (D.Resilience.Infeasible _) -> Alcotest.fail "not an infeasibility");
+  | Error f -> Alcotest.failf "not an exhaustion: %a" D.Resilience.pp_failure f);
   set_faults db None;
   (match
      D.Btree.check_invariants (D.Database.pool db)
@@ -209,7 +209,8 @@ let test_io_budget_guard_aborts_and_exhausts () =
   in
   match D.Resilience.run ~config db b plan with
   | Ok _, _ -> Alcotest.fail "a 16-page budget cannot cover this query"
-  | Error (D.Resilience.Infeasible _), _ -> Alcotest.fail "not an infeasibility"
+  | Error ((D.Resilience.Infeasible _ | D.Resilience.Rejected _) as f), _ ->
+    Alcotest.failf "not an exhaustion: %a" D.Resilience.pp_failure f
   | Error (D.Resilience.Exhausted { last_error; _ }), rstats ->
     Alcotest.(check bool) "every alternative aborted on budget" true
       (rstats.D.Resilience.budget_aborts >= 2);
@@ -270,7 +271,8 @@ let test_infeasible_plan_reports_problems () =
       (List.mem (D.Validate.Missing_relation "R1") problems));
   match D.Resilience.run db b plan with
   | Ok _, _ -> Alcotest.fail "infeasible plan executed (supervised)"
-  | Error (D.Resilience.Exhausted _), _ -> Alcotest.fail "wrong failure kind"
+  | Error ((D.Resilience.Exhausted _ | D.Resilience.Rejected _) as f), _ ->
+    Alcotest.failf "wrong failure kind: %a" D.Resilience.pp_failure f
   | Error (D.Resilience.Infeasible problems), rstats ->
     Alcotest.(check bool) "typed problems surface" true
       (List.mem (D.Validate.Missing_relation "R1") problems);

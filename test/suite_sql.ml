@@ -31,7 +31,7 @@ let test_single_table () =
   Alcotest.(check (list string)) "host vars" [ "hv1" ] (D.Logical.host_vars q);
   match D.Logical.validate (catalog ()) q with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "invalid: %s" e
+  | Error e -> Alcotest.failf "invalid: %s" (D.Diagnostic.list_to_string e)
 
 let test_literal_selectivity () =
   let q = compile_exn "SELECT * FROM R1 WHERE R1.a <= 23" in
@@ -51,7 +51,7 @@ let test_join_query_matches_builder () =
   let q = compile_exn stmt in
   (match D.Logical.validate (catalog ()) q with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "invalid: %s" e);
+  | Error e -> Alcotest.failf "invalid: %s" (D.Diagnostic.list_to_string e));
   (* Optimizing the SQL form gives the same cost as the builder form. *)
   let built = (D.Queries.chain ~relations:2).D.Queries.query in
   let cost query =

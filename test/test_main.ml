@@ -22,4 +22,5 @@ let () =
       Suite_exec_edge.suite;
       Suite_explain.suite;
       Suite_cost_extra.suite;
-      Suite_orders.suite ]
+      Suite_orders.suite;
+      Suite_analysis.suite ]
