@@ -212,6 +212,179 @@ let run_benchmarks () =
     merged;
   Format.printf "@."
 
+(* --- part 3: row vs batch execution engines ------------------------------ *)
+
+(* Plain scan-heavy workloads where vectorization matters: a table
+   scan + filter (the batch engine fuses the predicate into the scan)
+   and a two-way hash join.  No indexes, so the optimizer has a single
+   access path per relation and the two engines run the same plan.
+   Results go to BENCH_exec.json; `exec --check` gates CI on the batch
+   engine actually beating the row engine on the scan microbenchmark. *)
+
+let exec_scan_instance () =
+  let rel =
+    D.Relation.make ~name:"S" ~cardinality:20000 ~record_bytes:64
+      ~attributes:[ D.Attribute.make ~name:"a" ~domain_size:1000 ]
+  in
+  let catalog = D.Catalog.create ~page_bytes:2048 ~relations:[ rel ] ~indexes:[] () in
+  let query =
+    D.Logical.Select
+      ( D.Logical.Get_set "S",
+        D.Predicate.select ~rel:"S" ~attr:"a" (D.Predicate.Host_var "hv1") )
+  in
+  let bindings =
+    D.Bindings.make ~selectivities:[ ("hv1", 0.5) ] ~memory_pages:256
+  in
+  ("scan_filter", catalog, query, bindings)
+
+let exec_join_instance () =
+  let mk name =
+    D.Relation.make ~name ~cardinality:4000 ~record_bytes:64
+      ~attributes:
+        [ D.Attribute.make ~name:"a" ~domain_size:1000;
+          D.Attribute.make ~name:"jl" ~domain_size:512;
+          D.Attribute.make ~name:"jr" ~domain_size:512 ]
+  in
+  let catalog =
+    D.Catalog.create ~page_bytes:2048 ~relations:[ mk "T1"; mk "T2" ] ~indexes:[] ()
+  in
+  let query =
+    D.Logical.Join
+      ( D.Logical.Select
+          ( D.Logical.Get_set "T1",
+            D.Predicate.select ~rel:"T1" ~attr:"a" (D.Predicate.Host_var "hv1")
+          ),
+        D.Logical.Get_set "T2",
+        [ D.Predicate.equi
+            ~left:(D.Col.make ~rel:"T1" ~attr:"jr")
+            ~right:(D.Col.make ~rel:"T2" ~attr:"jl") ] )
+  in
+  let bindings =
+    D.Bindings.make ~selectivities:[ ("hv1", 0.5) ] ~memory_pages:256
+  in
+  ("hash_join", catalog, query, bindings)
+
+type exec_point = {
+  engine : string;
+  point_workers : int;
+  cpu_seconds : float;
+  rows : int;
+  batches : int;
+  partitions : int;
+}
+
+let exec_series (name, catalog, query, bindings) =
+  let plan =
+    (Result.get_ok (D.Optimizer.optimize ~mode:D.Optimizer.static catalog query))
+      .D.Optimizer.plan
+  in
+  let db = D.Database.build ~frames:1024 ~seed:7 catalog in
+  let env = D.Env.of_bindings catalog bindings in
+  let measure engine workers =
+    let run () = D.Executor.execute db env ~engine ~workers plan in
+    ignore (run ());
+    (* warm the buffer pool *)
+    let best = ref infinity in
+    let last = ref None in
+    for _ = 1 to 3 do
+      let result, per_run = D.Timer.cpu_auto ~min_seconds:0.05 run in
+      if per_run < !best then best := per_run;
+      last := Some result
+    done;
+    let tuples, profile = Option.get !last in
+    { engine = D.Exec_common.engine_name engine;
+      point_workers = workers;
+      cpu_seconds = !best;
+      rows = List.length tuples;
+      batches = profile.D.Exec_common.batches;
+      partitions = profile.D.Exec_common.partitions }
+  in
+  let points =
+    [ measure D.Exec_common.Row 1;
+      measure D.Exec_common.Batch 1;
+      measure D.Exec_common.Batch 4 ]
+  in
+  List.iter
+    (fun p ->
+      Format.printf "%-12s %-6s workers=%d: %8.2f ms  (%d rows, %d batches)@."
+        name p.engine p.point_workers (p.cpu_seconds *. 1e3) p.rows p.batches)
+    points;
+  (name, points)
+
+let exec_json benchmarks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"dqep exec engines\",\n";
+  Buffer.add_string buf "  \"unit\": \"cpu_seconds_per_run\",\n";
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i (name, points) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"series\": [\n" name);
+      List.iteri
+        (fun j p ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      { \"engine\": \"%s\", \"workers\": %d, \
+                \"cpu_seconds\": %.6f, \"rows\": %d, \"batches\": %d, \
+                \"partitions\": %d }%s\n"
+               p.engine p.point_workers p.cpu_seconds p.rows p.batches
+               p.partitions
+               (if j = List.length points - 1 then "" else ",")))
+        points;
+      Buffer.add_string buf
+        (Printf.sprintf "    ] }%s\n"
+           (if i = List.length benchmarks - 1 then "" else ",")))
+    benchmarks;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let exec_bench ~check () =
+  Format.printf "=== execution engines: row vs batch ===@.";
+  let benchmarks = [ exec_series (exec_scan_instance ());
+                     exec_series (exec_join_instance ()) ] in
+  let path = "BENCH_exec.json" in
+  let oc = open_out path in
+  output_string oc (exec_json benchmarks);
+  close_out oc;
+  Format.printf "wrote %s@." path;
+  if check then begin
+    if not (Sys.file_exists path) then begin
+      prerr_endline "exec --check: BENCH_exec.json missing";
+      exit 1
+    end;
+    let scan = List.assoc "scan_filter" benchmarks in
+    let find engine workers =
+      List.find
+        (fun p -> p.engine = engine && p.point_workers = workers)
+        scan
+    in
+    let row = find "row" 1 and batch = find "batch" 1 in
+    if row.rows <> batch.rows then begin
+      Printf.eprintf "exec --check: row/batch row counts differ (%d vs %d)\n"
+        row.rows batch.rows;
+      exit 1
+    end;
+    if batch.cpu_seconds > row.cpu_seconds then begin
+      Printf.eprintf
+        "exec --check: batch engine slower than row on scan_filter \
+         (%.3f ms vs %.3f ms)\n"
+        (batch.cpu_seconds *. 1e3)
+        (row.cpu_seconds *. 1e3);
+      exit 1
+    end;
+    Format.printf
+      "exec --check: ok (batch %.2f ms <= row %.2f ms on scan_filter)@."
+      (batch.cpu_seconds *. 1e3)
+      (row.cpu_seconds *. 1e3)
+  end
+
 let () =
-  reproduce ();
-  run_benchmarks ()
+  match List.tl (Array.to_list Sys.argv) with
+  | [] ->
+    reproduce ();
+    run_benchmarks ()
+  | "exec" :: rest -> exec_bench ~check:(List.mem "--check" rest) ()
+  | args ->
+    Printf.eprintf "usage: %s [exec [--check]] (got: %s)\n" Sys.argv.(0)
+      (String.concat " " args);
+    exit 2

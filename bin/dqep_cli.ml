@@ -205,8 +205,19 @@ let run_cmd =
                  by this factor and fail over to another alternative. \
                  Default: guard off.")
   in
+  let engine =
+    Arg.(value & opt (some string) None & info [ "engine" ]
+           ~doc:"Execution engine: 'row' (tuple-at-a-time iterators) or \
+                 'batch' (vectorized batches with exchange-parallel scans). \
+                 Default: \\$DQEP_ENGINE, else row.")
+  in
+  let workers =
+    Arg.(value & opt (some int) None & info [ "workers" ]
+           ~doc:"Exchange scan partitions/worker domains for the batch \
+                 engine. Default: \\$DQEP_WORKERS, else 1 (sequential).")
+  in
   let run relations seed memory sels fault_rate fault_seed retries
-      io_budget_factor =
+      io_budget_factor engine workers =
     let q = D.Queries.chain ~relations in
     let bindings =
       match sels with
@@ -241,12 +252,28 @@ let run_cmd =
            (D.Fault.create
               (D.Fault.config ~read_fault_rate:fault_rate
                  ~write_fault_rate:fault_rate ~seed:fault_seed ())));
+    let engine =
+      Option.map
+        (fun s ->
+          match D.Exec_common.engine_of_string s with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "dqep: --engine must be 'row' or 'batch' (got %s)\n"
+              s;
+            exit 2)
+        engine
+    in
+    (match workers with
+    | Some w when w < 1 ->
+      Printf.eprintf "dqep: --workers must be >= 1 (got %d)\n" w;
+      exit 2
+    | _ -> ());
     let config =
       (* The guard defaults off here so a plain `dqep run` matches the
          unsupervised executor's behavior. *)
       D.Resilience.config ~max_retries:retries
         ~io_budget_factor:(Option.value ~default:0. io_budget_factor)
-        ()
+        ?engine ?workers ()
     in
     Format.printf "bindings: %a@." D.Bindings.pp bindings;
     let show label mode =
@@ -266,6 +293,8 @@ let run_cmd =
              %d failovers@."
             stats.D.Executor.retries stats.D.Executor.faults_absorbed
             stats.D.Executor.budget_aborts stats.D.Executor.failovers;
+          Format.printf "  exec: %a@." D.Exec_common.pp_profile
+            stats.D.Executor.exec;
           ignore rstats;
           Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
             stats.D.Executor.resolved_plan
@@ -285,7 +314,7 @@ let run_cmd =
        ~doc:"Execute a chain query on synthetic data with static and dynamic \
              plans, optionally under injected storage faults.")
     Term.(const run $ relations_arg $ seed $ memory $ sels $ fault_rate
-          $ fault_seed $ retries $ io_budget_factor)
+          $ fault_seed $ retries $ io_budget_factor $ engine $ workers)
 
 (* --- sql ----------------------------------------------------------------- *)
 

@@ -91,6 +91,10 @@ module Sql = Dqep_sql.Sql
 module Iterator = Dqep_exec.Iterator
 module Pred_eval = Dqep_exec.Pred_eval
 module Executor = Dqep_exec.Executor
+module Exec_common = Dqep_exec.Exec_common
+module Batch = Dqep_exec.Batch
+module Batch_exec = Dqep_exec.Batch_exec
+module Scheduler = Dqep_exec.Scheduler
 module Reference = Dqep_exec.Reference
 module Midquery = Dqep_exec.Midquery
 module Resilience = Dqep_exec.Resilience
@@ -100,6 +104,7 @@ module Resilience = Dqep_exec.Resilience
 module Paper_catalog = Dqep_workload.Paper_catalog
 module Queries = Dqep_workload.Queries
 module Paramgen = Dqep_workload.Paramgen
+module Plangen = Dqep_workload.Plangen
 
 module Experiments = struct
   module Common = Dqep_experiments.Common

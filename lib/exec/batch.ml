@@ -1,0 +1,208 @@
+(* Columnar tuple batches with a selection vector.
+
+   The unit of the vectorized execution engine (Batch_exec): a fixed-
+   capacity block of tuples stored column-major, plus a selection vector
+   naming the rows that are logically present.  Operators work a batch at
+   a time, so the per-tuple interpretation overhead of the row engine
+   (one closure call per operator per tuple) is paid once per ~1024
+   tuples instead.
+
+   Invariants:
+   - every column array has length [capacity]; rows [0, len) are
+     materialized;
+   - [sel] is [None] when all materialized rows are selected (the dense
+     case), or [Some v] where [v] holds strictly increasing physical row
+     indices < [len];
+   - [len <= capacity] always (checked, the qcheck suite leans on it). *)
+
+module Schema = Dqep_algebra.Schema
+
+type tuple = int array
+
+let default_capacity = 1024
+
+type t = {
+  schema : Schema.t;
+  capacity : int;
+  cols : int array array;
+  mutable len : int;
+  mutable sel : int array option;
+}
+
+let create ?(capacity = default_capacity) schema =
+  if capacity <= 0 then invalid_arg "Batch.create: capacity <= 0";
+  { schema;
+    capacity;
+    cols = Array.init (Schema.width schema) (fun _ -> Array.make capacity 0);
+    len = 0;
+    sel = None }
+
+let schema t = t.schema
+let capacity t = t.capacity
+let width t = Array.length t.cols
+let physical_length t = t.len
+
+(* Number of logically present (selected) rows. *)
+let length t =
+  match t.sel with None -> t.len | Some v -> Array.length v
+
+let is_empty t = length t = 0
+let is_full t = t.len >= t.capacity
+let is_dense t = t.sel = None
+
+(* Physical row index of the [i]-th selected row. *)
+let row t i = match t.sel with None -> i | Some v -> v.(i)
+
+let get t ~col ~i = t.cols.(col).(row t i)
+
+(* Direct physical access, for kernels that already hold a physical row
+   index (e.g. the predicate passed to [refine]). *)
+let get_phys t ~col ~row = t.cols.(col).(row)
+
+let tuple t i =
+  let r = row t i in
+  Array.init (width t) (fun c -> t.cols.(c).(r))
+
+(* Append one tuple.  Only dense batches grow: pushing into a filtered
+   batch would silently deselect the new row. *)
+let push t tuple =
+  if t.sel <> None then invalid_arg "Batch.push: batch has a selection vector";
+  if is_full t then invalid_arg "Batch.push: batch full";
+  if Array.length tuple <> width t then invalid_arg "Batch.push: width mismatch";
+  Array.iteri (fun c v -> t.cols.(c).(t.len) <- v) tuple;
+  t.len <- t.len + 1
+
+(* Install a selection vector of physical row indices (must be strictly
+   increasing and < len; composes with an existing selection). *)
+let set_selection t indices =
+  let bound = t.len in
+  Array.iteri
+    (fun i r ->
+      if r < 0 || r >= bound then invalid_arg "Batch.set_selection: out of range";
+      if i > 0 && indices.(i - 1) >= r then
+        invalid_arg "Batch.set_selection: not strictly increasing")
+    indices;
+  t.sel <- Some indices
+
+(* Keep only the selected rows for which [keep] holds (given the physical
+   row index).  This is the vectorized filter kernel: one pass over the
+   selection, no tuple materialization. *)
+let refine t keep =
+  let n = length t in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let r = row t i in
+    if keep r then begin
+      out.(!k) <- r;
+      incr k
+    end
+  done;
+  t.sel <- Some (Array.sub out 0 !k)
+
+let iter f t =
+  let n = length t in
+  for i = 0 to n - 1 do
+    f (row t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun r -> acc := f !acc r) t;
+  !acc
+
+let to_tuples t =
+  let acc = ref [] in
+  let n = length t in
+  for i = n - 1 downto 0 do
+    acc := tuple t i :: !acc
+  done;
+  !acc
+
+(* Chunk a tuple list into dense batches of at most [capacity] rows. *)
+let of_tuples ?(capacity = default_capacity) schema tuples =
+  if capacity <= 0 then invalid_arg "Batch.of_tuples: capacity <= 0";
+  let rec go acc current = function
+    | [] -> List.rev (if is_empty current then acc else current :: acc)
+    | tup :: rest ->
+      if is_full current then go (current :: acc) (create ~capacity schema) (tup :: rest)
+      else begin
+        push current tup;
+        go acc current rest
+      end
+  in
+  go [] (create ~capacity schema) tuples
+
+(* Copy the selected rows into a fresh dense batch.  Compaction preserves
+   the multiset of logical rows (qcheck-checked). *)
+let compact t =
+  let out = create ~capacity:t.capacity t.schema in
+  iter
+    (fun r ->
+      Array.iteri (fun c col -> out.cols.(c).(out.len) <- col.(r)) t.cols;
+      out.len <- out.len + 1)
+    t;
+  out
+
+(* Split the selected rows at position [at] into two dense batches. *)
+let split t ~at =
+  let n = length t in
+  if at < 0 || at > n then invalid_arg "Batch.split: position out of range";
+  let copy lo hi =
+    let out = create ~capacity:t.capacity t.schema in
+    for i = lo to hi - 1 do
+      let r = row t i in
+      Array.iteri (fun c col -> out.cols.(c).(out.len) <- col.(r)) t.cols;
+      out.len <- out.len + 1
+    done;
+    out
+  in
+  (copy 0 at, copy at n)
+
+(* Concatenate the selected rows of many batches into dense batches of at
+   most [capacity] rows each. *)
+let concat ?(capacity = default_capacity) schema batches =
+  let current = ref (create ~capacity schema) in
+  let acc = ref [] in
+  List.iter
+    (fun b ->
+      iter
+        (fun r ->
+          if is_full !current then begin
+            acc := !current :: !acc;
+            current := create ~capacity schema
+          end;
+          let dst = !current in
+          Array.iteri (fun c col -> dst.cols.(c).(dst.len) <- col.(r)) b.cols;
+          dst.len <- dst.len + 1)
+        b)
+    batches;
+  List.rev (if is_empty !current then !acc else !current :: !acc)
+
+(* Drop consecutive duplicate rows (all columns equal) among the selected
+   rows — the batched dedup kernel, meaningful on sorted streams. *)
+let dedup_sorted_consecutive t =
+  let n = length t in
+  if n <= 1 then ()
+  else begin
+    let equal_rows a b =
+      let rec go c = c >= width t || (t.cols.(c).(a) = t.cols.(c).(b) && go (c + 1)) in
+      go 0
+    in
+    let out = Array.make n 0 in
+    let k = ref 0 in
+    let prev = ref (-1) in
+    for i = 0 to n - 1 do
+      let r = row t i in
+      if !prev < 0 || not (equal_rows !prev r) then begin
+        out.(!k) <- r;
+        incr k
+      end;
+      prev := r
+    done;
+    t.sel <- Some (Array.sub out 0 !k)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "batch[%d/%d%s]" (length t) t.capacity
+    (if is_dense t then "" else " sel")

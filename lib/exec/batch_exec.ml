@@ -1,0 +1,635 @@
+(* The vectorized batch-at-a-time execution engine.
+
+   A second compilation target for physical plans, alongside the row
+   engine in Executor.  Operators exchange Batch.t values (columnar
+   blocks of up to [capacity] tuples with a selection vector) instead of
+   single tuples, so the per-tuple closure dispatch of the Volcano
+   iterator is amortized over a whole block:
+
+   - scans fill batches a page stripe at a time, with the selection
+     predicate fused into the scan (the filter refines the selection
+     vector during the same pass that materializes the block);
+   - base-relation file scans run under an Exchange: the heap file is
+     split into contiguous page stripes (Heap_file.partition) and a
+     pluggable Scheduler fans the stripes out over OCaml domains, merging
+     produced batches demand-driven through an unbounded queue (workers
+     never block, so a faulted partition can never deadlock the merge —
+     its Io_fault is re-raised at the consumer);
+   - joins and sort delegate to the same algorithmic cores as the row
+     engine (Exec_common: Grace hash partitioning, external sort runs),
+     so spilling behavior and multiset semantics are identical by
+     construction — the property the differential harness checks.
+
+   Shared mutable storage (the buffer pool, the disk fault schedule) is
+   not thread-safe; when the scheduler is parallel every storage access
+   of this engine takes a per-execution mutex, and predicate evaluation /
+   batch building happen outside the critical section.
+
+   Iterator protocol: as for the row engine (see Iterator), [open_] must
+   fully rewind the stream, so consuming an iterator twice — or closing
+   it half-drained and consuming again — yields the same multiset. *)
+
+module Schema = Dqep_algebra.Schema
+module Physical = Dqep_algebra.Physical
+module Predicate = Dqep_algebra.Predicate
+module Col = Dqep_algebra.Col
+module Env = Dqep_cost.Env
+module Plan = Dqep_plans.Plan
+module Startup = Dqep_plans.Startup
+module Database = Dqep_storage.Database
+module Buffer_pool = Dqep_storage.Buffer_pool
+module Heap_file = Dqep_storage.Heap_file
+module Btree = Dqep_storage.Btree
+module Page = Dqep_storage.Page
+
+type tuple = int array
+
+type iterator = {
+  schema : Schema.t;
+  open_ : unit -> unit;
+  next : unit -> Batch.t option;
+  close : unit -> unit;
+}
+
+(* Execution-wide context: one per compile. *)
+type ctx = {
+  db : Database.t;
+  env : Env.t;
+  mat : (int * tuple list) list;
+  scheduler : Scheduler.t;
+  capacity : int;
+  storage_mu : Mutex.t option; (* Some iff the scheduler is parallel *)
+  mutable partitions : int;    (* partitions of the widest exchange *)
+}
+
+let locked ctx f =
+  match ctx.storage_mu with
+  | None -> f ()
+  | Some mu ->
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let consume it =
+  it.open_ ();
+  Fun.protect ~finally:it.close (fun () ->
+      let rec drain acc =
+        match it.next () with
+        | None -> List.rev acc
+        | Some b -> drain (List.rev_append (Batch.to_tuples b) acc)
+      in
+      drain [])
+
+(* --- generic plumbing ---------------------------------------------------- *)
+
+(* Serve a fixed tuple list (materialized subplans) in batches. *)
+let of_tuples ctx schema tuples =
+  let pending = ref [] in
+  { schema;
+    open_ =
+      (fun () -> pending := Batch.of_tuples ~capacity:ctx.capacity schema tuples);
+    next =
+      (fun () ->
+        match !pending with
+        | [] -> None
+        | b :: rest ->
+          pending := rest;
+          Some b);
+    close = (fun () -> pending := []) }
+
+(* --- fused scan + filter ------------------------------------------------- *)
+
+(* The algebra's selection predicates are [col < threshold] with the
+   threshold fixed by the environment, so a fused filter is one
+   comparison per row over one column array. *)
+type fused = { pos : int; cutoff : int }
+
+let refine_fused b { pos; cutoff } =
+  Batch.refine b (fun r -> Batch.get_phys b ~col:pos ~row:r < cutoff)
+
+(* --- scans --------------------------------------------------------------- *)
+
+let read_page_tuples ctx page =
+  let copied = ref [] in
+  Buffer_pool.with_page (Database.pool ctx.db) page (fun p ->
+      match p.Page.payload with
+      | Page.Heap h ->
+        for slot = h.count - 1 downto 0 do
+          copied := h.tuples.(slot) :: !copied
+        done
+      | Page.Free | Page.Btree _ -> invalid_arg "Batch_exec: corrupt heap page");
+  !copied
+
+(* Scan a stripe of pages into batches, fusing the filter.  Only the page
+   copy is inside the storage critical section; batch building and
+   predicate evaluation run outside it. *)
+let scan_stripe ctx schema fused pages ~emit =
+  let current = ref (Batch.create ~capacity:ctx.capacity schema) in
+  let flush () =
+    if Batch.physical_length !current > 0 then begin
+      Option.iter (refine_fused !current) fused;
+      if not (Batch.is_empty !current) then emit !current;
+      current := Batch.create ~capacity:ctx.capacity schema
+    end
+  in
+  List.iter
+    (fun page ->
+      let tuples = locked ctx (fun () -> read_page_tuples ctx page) in
+      List.iter
+        (fun t ->
+          if Batch.is_full !current then flush ();
+          Batch.push !current t)
+        tuples)
+    pages;
+  flush ()
+
+(* Demand-driven merge of parallel stripe producers.  The queue is
+   unbounded: producers never block, so they always run to completion (or
+   to their fault) and [close]'s joins always terminate — a faulted
+   partition surfaces as its exception at the consumer, never as a hang. *)
+type msg = Item of Batch.t | Fault of exn | Eof
+
+let exchange_scan ctx schema fused heap =
+  let workers = Scheduler.workers ctx.scheduler in
+  (* Sequential state. *)
+  let stripes = ref [] in
+  let buffered = ref [] in
+  (* Parallel state. *)
+  let queue : msg Queue.t = Queue.create () in
+  let qmu = Mutex.create () in
+  let qcond = Condition.create () in
+  let live = ref 0 in
+  let domains = ref [] in
+  let join_all () =
+    List.iter Domain.join !domains;
+    domains := []
+  in
+  let push msg =
+    Mutex.lock qmu;
+    Queue.push msg queue;
+    Condition.signal qcond;
+    Mutex.unlock qmu
+  in
+  let start_parallel parts =
+    let arr = Array.of_list parts in
+    let next_part = Atomic.make 0 in
+    let n_workers = Int.min workers (Int.max 1 (Array.length arr)) in
+    live := n_workers;
+    let worker () =
+      (try
+         let rec loop () =
+           let i = Atomic.fetch_and_add next_part 1 in
+           if i < Array.length arr then begin
+             scan_stripe ctx schema fused arr.(i) ~emit:(fun b -> push (Item b));
+             loop ()
+           end
+         in
+         loop ()
+       with e -> push (Fault e));
+      push Eof
+    in
+    domains := List.init n_workers (fun _ -> Domain.spawn worker)
+  in
+  { schema;
+    open_ =
+      (fun () ->
+        let parts = Heap_file.partition heap ~parts:(Int.max 1 workers) in
+        ctx.partitions <- Int.max ctx.partitions (List.length parts);
+        buffered := [];
+        if Scheduler.is_parallel ctx.scheduler then begin
+          join_all ();
+          Mutex.lock qmu;
+          Queue.clear queue;
+          Mutex.unlock qmu;
+          start_parallel parts
+        end
+        else stripes := parts);
+    next =
+      (fun () ->
+        if Scheduler.is_parallel ctx.scheduler then begin
+          let rec pop () =
+            Mutex.lock qmu;
+            while Queue.is_empty queue && !live > 0 do
+              Condition.wait qcond qmu
+            done;
+            if Queue.is_empty queue then begin
+              Mutex.unlock qmu;
+              None
+            end
+            else begin
+              let msg = Queue.pop queue in
+              (match msg with Eof -> decr live | Item _ | Fault _ -> ());
+              Mutex.unlock qmu;
+              match msg with
+              | Item b -> Some b
+              | Eof -> pop ()
+              | Fault e -> raise e
+            end
+          in
+          pop ()
+        end
+        else begin
+          (* Sequential fallback: stream the stripes in file order. *)
+          let rec go () =
+            match !buffered with
+            | b :: rest ->
+              buffered := rest;
+              Some b
+            | [] -> (
+              match !stripes with
+              | [] -> None
+              | stripe :: rest ->
+                stripes := rest;
+                let acc = ref [] in
+                scan_stripe ctx schema fused stripe ~emit:(fun b -> acc := b :: !acc);
+                buffered := List.rev !acc;
+                go ())
+          in
+          go ()
+        end);
+    close =
+      (fun () ->
+        join_all ();
+        stripes := [];
+        buffered := []) }
+
+(* B-tree scans: collect the qualifying rids in index order at open, then
+   fetch them a batch at a time. *)
+let btree_scan ctx schema ~rel ~attr ~hi =
+  let rids = ref [] in
+  { schema;
+    open_ =
+      (fun () ->
+        locked ctx (fun () ->
+            let acc = ref [] in
+            let proceed, hi_key =
+              match hi with
+              | Some cutoff -> (cutoff > 0, Some (cutoff - 1))
+              | None -> (true, None)
+            in
+            if proceed then
+              Btree.range (Database.pool ctx.db)
+                (Database.index ctx.db ~rel ~attr)
+                ~lo:None ~hi:hi_key
+                (fun _ rid -> acc := rid :: !acc);
+            rids := List.rev !acc));
+    next =
+      (fun () ->
+        match !rids with
+        | [] -> None
+        | _ ->
+          let batch = Batch.create ~capacity:ctx.capacity schema in
+          locked ctx (fun () ->
+              let continue_ = ref true in
+              while !continue_ do
+                match !rids with
+                | [] -> continue_ := false
+                | rid :: rest ->
+                  rids := rest;
+                  Batch.push batch (Heap_file.fetch (Database.pool ctx.db) rid);
+                  if Batch.is_full batch then continue_ := false
+              done);
+          Some batch);
+    close = (fun () -> rids := []) }
+
+(* --- output buffering ---------------------------------------------------- *)
+
+(* Accumulate produced tuples into capacity-bounded dense batches. *)
+type out_buffer = {
+  out_schema : Schema.t;
+  cap : int;
+  mutable building : Batch.t;
+  mutable ready : Batch.t list; (* in emission order *)
+}
+
+let out_buffer ctx schema =
+  { out_schema = schema;
+    cap = ctx.capacity;
+    building = Batch.create ~capacity:ctx.capacity schema;
+    ready = [] }
+
+let out_push ob t =
+  if Batch.is_full ob.building then begin
+    ob.ready <- ob.ready @ [ ob.building ];
+    ob.building <- Batch.create ~capacity:ob.cap ob.out_schema
+  end;
+  Batch.push ob.building t
+
+let out_pop ob =
+  match ob.ready with
+  | b :: rest ->
+    ob.ready <- rest;
+    Some b
+  | [] ->
+    if Batch.is_empty ob.building then None
+    else begin
+      let b = ob.building in
+      ob.building <- Batch.create ~capacity:ob.cap ob.out_schema;
+      Some b
+    end
+
+let out_reset ob =
+  ob.building <- Batch.create ~capacity:ob.cap ob.out_schema;
+  ob.ready <- []
+
+(* --- compiler ------------------------------------------------------------ *)
+
+let schema_of ctx plan = Plan.schema (Database.catalog ctx.db) plan
+
+let materialized_tuples ctx (plan : Plan.t) = List.assoc_opt plan.Plan.pid ctx.mat
+
+let rec compile_node ctx (plan : Plan.t) : iterator =
+  match materialized_tuples ctx plan with
+  | Some tuples ->
+    (* The subplan was already materialized (mid-query adaptation). *)
+    of_tuples ctx (schema_of ctx plan) tuples
+  | None -> (
+    match plan.Plan.op with
+    | Physical.File_scan rel ->
+      exchange_scan ctx
+        (Exec_common.base_schema ctx.db rel)
+        None (Database.heap ctx.db rel)
+    | Physical.Btree_scan { rel; attr } ->
+      btree_scan ctx (Exec_common.base_schema ctx.db rel) ~rel ~attr ~hi:None
+    | Physical.Filter_btree_scan { rel; attr; pred } ->
+      btree_scan ctx
+        (Exec_common.base_schema ctx.db rel)
+        ~rel ~attr
+        ~hi:(Some (Pred_eval.threshold ctx.env pred))
+    | Physical.Filter pred -> filter ctx plan pred
+    | Physical.Hash_join preds -> hash_join ctx plan preds
+    | Physical.Merge_join preds -> merge_join ctx plan preds
+    | Physical.Index_join { preds; inner_rel; inner_attr; inner_filter } ->
+      index_join ctx plan preds ~inner_rel ~inner_attr ~inner_filter
+    | Physical.Sort cols -> sort ctx plan cols
+    | Physical.Choose_plan ->
+      let resolved = Startup.resolve ctx.env plan in
+      compile_node ctx resolved.Startup.plan)
+
+and compile_child ctx (plan : Plan.t) =
+  match plan.Plan.inputs with
+  | [ child ] -> compile_node ctx child
+  | _ -> invalid_arg "Batch_exec: expected unary operator"
+
+and compile_children ctx (plan : Plan.t) =
+  match plan.Plan.inputs with
+  | [ l; r ] -> (compile_node ctx l, compile_node ctx r)
+  | _ -> invalid_arg "Batch_exec: expected binary operator"
+
+(* Filter.  When the input is a base-relation file scan the predicate is
+   fused into the (possibly parallel) scan itself; otherwise a standalone
+   vectorized filter refines each batch's selection vector in place. *)
+and filter ctx (plan : Plan.t) pred =
+  let fusable =
+    match plan.Plan.inputs with
+    | [ ({ Plan.op = Physical.File_scan rel; _ } as child) ]
+      when materialized_tuples ctx child = None ->
+      Some rel
+    | _ -> None
+  in
+  match fusable with
+  | Some rel ->
+    let schema = Exec_common.base_schema ctx.db rel in
+    let pos = Schema.position_exn schema pred.Predicate.target in
+    let cutoff = Pred_eval.threshold ctx.env pred in
+    exchange_scan ctx schema (Some { pos; cutoff }) (Database.heap ctx.db rel)
+  | None ->
+    let child = compile_child ctx plan in
+    let pos = Schema.position_exn child.schema pred.Predicate.target in
+    let cutoff = Pred_eval.threshold ctx.env pred in
+    { schema = child.schema;
+      open_ = child.open_;
+      next =
+        (fun () ->
+          let rec go () =
+            match child.next () with
+            | None -> None
+            | Some b ->
+              refine_fused b { pos; cutoff };
+              if Batch.is_empty b then go () else Some b
+          in
+          go ());
+      close = child.close }
+
+and hash_join ctx (plan : Plan.t) preds =
+  let left_it, right_it = compile_children ctx plan in
+  let left_schema = left_it.schema and right_schema = right_it.schema in
+  let schema = Schema.concat left_schema right_schema in
+  let left_width, right_width =
+    match plan.Plan.inputs with
+    | [ l; r ] -> (l.Plan.bytes_per_row, r.Plan.bytes_per_row)
+    | _ -> assert false
+  in
+  let residual =
+    Pred_eval.equi_matches ~left:left_schema ~right:right_schema preds
+  in
+  let ob = out_buffer ctx schema in
+  { schema;
+    open_ =
+      (fun () ->
+        out_reset ob;
+        (* Children are drained one at a time, so at most one exchange
+           subtree is live at once; its domains are joined by [consume]'s
+           close before the next starts. *)
+        let build = consume left_it in
+        let probe = consume right_it in
+        Exec_common.hash_join_core ctx.db ctx.env ~left_schema ~right_schema
+          ~left_width ~right_width ~preds
+          ~emit:(fun l r ->
+            if residual l r then out_push ob (Array.append l r))
+          build probe);
+    next = (fun () -> out_pop ob);
+    close = (fun () -> out_reset ob) }
+
+and merge_join ctx (plan : Plan.t) preds =
+  let left_it, right_it = compile_children ctx plan in
+  let left_schema = left_it.schema and right_schema = right_it.schema in
+  let schema = Schema.concat left_schema right_schema in
+  let first =
+    match preds with
+    | p :: _ -> p
+    | [] -> invalid_arg "Batch_exec: merge join without predicates"
+  in
+  let lpos = Schema.position_exn left_schema first.Predicate.left in
+  let rpos = Schema.position_exn right_schema first.Predicate.right in
+  let residual =
+    Pred_eval.equi_matches ~left:left_schema ~right:right_schema preds
+  in
+  let ob = out_buffer ctx schema in
+  { schema;
+    open_ =
+      (fun () ->
+        out_reset ob;
+        let left = consume left_it in
+        let right = Array.of_list (consume right_it) in
+        (* Same pointer discipline as the row engine: never advance the
+           group pointer past the current key — the next left tuple may
+           carry it again. *)
+        let rpointer = ref 0 in
+        List.iter
+          (fun l ->
+            let key = l.(lpos) in
+            while
+              !rpointer < Array.length right && right.(!rpointer).(rpos) < key
+            do
+              incr rpointer
+            done;
+            let stop = ref !rpointer in
+            while !stop < Array.length right && right.(!stop).(rpos) = key do
+              (let r = right.(!stop) in
+               if residual l r then out_push ob (Array.append l r));
+              incr stop
+            done)
+          left);
+    next = (fun () -> out_pop ob);
+    close = (fun () -> out_reset ob) }
+
+and index_join ctx (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
+  let outer_it =
+    match plan.Plan.inputs with
+    | [ o ] -> compile_node ctx o
+    | _ -> invalid_arg "Batch_exec: index join expects one input"
+  in
+  let outer_schema = outer_it.schema in
+  let inner_schema = Exec_common.base_schema ctx.db inner_rel in
+  let schema = Schema.concat outer_schema inner_schema in
+  let probe_pred =
+    match
+      List.find_opt
+        (fun (p : Predicate.equi) ->
+          p.Predicate.right.Col.rel = inner_rel
+          && p.Predicate.right.Col.attr = inner_attr)
+        preds
+    with
+    | Some p -> p
+    | None -> invalid_arg "Batch_exec: index join predicate not found"
+  in
+  let outer_pos = Schema.position_exn outer_schema probe_pred.Predicate.left in
+  let residual =
+    Pred_eval.equi_matches ~left:outer_schema ~right:inner_schema preds
+  in
+  let inner_ok =
+    match inner_filter with
+    | None -> fun _ -> true
+    | Some pred -> Pred_eval.select_matches ctx.env inner_schema pred
+  in
+  let ob = out_buffer ctx schema in
+  { schema;
+    open_ =
+      (fun () ->
+        out_reset ob;
+        outer_it.open_ ());
+    next =
+      (fun () ->
+        (* Probe the inner index for a whole outer batch at a time.  The
+           outer side may be a live parallel exchange, so the consumer-
+           side index probes and record fetches take the storage lock. *)
+        let rec go () =
+          match out_pop ob with
+          | Some b -> Some b
+          | None -> (
+            match outer_it.next () with
+            | None -> None
+            | Some outer_batch ->
+              let n = Batch.length outer_batch in
+              for i = 0 to n - 1 do
+                let outer = Batch.tuple outer_batch i in
+                let rids =
+                  locked ctx (fun () ->
+                      Btree.search (Database.pool ctx.db)
+                        (Database.index ctx.db ~rel:inner_rel ~attr:inner_attr)
+                        outer.(outer_pos))
+                in
+                List.iter
+                  (fun rid ->
+                    let inner =
+                      locked ctx (fun () ->
+                          Heap_file.fetch (Database.pool ctx.db) rid)
+                    in
+                    if inner_ok inner && residual outer inner then
+                      out_push ob (Array.append outer inner))
+                  rids
+              done;
+              go ())
+        in
+        go ());
+    close =
+      (fun () ->
+        outer_it.close ();
+        out_reset ob) }
+
+and sort ctx (plan : Plan.t) cols =
+  let child = compile_child ctx plan in
+  let schema = child.schema in
+  let positions = List.map (Schema.position_exn schema) cols in
+  let compare_tuples = Exec_common.compare_on positions in
+  let width = plan.Plan.bytes_per_row in
+  let pending = ref [] in
+  { schema;
+    open_ =
+      (fun () ->
+        let tuples = consume child in
+        let sorted =
+          Exec_common.sort_core ctx.db ctx.env ~width ~compare_tuples tuples
+        in
+        pending := Batch.of_tuples ~capacity:ctx.capacity schema sorted);
+    next =
+      (fun () ->
+        match !pending with
+        | [] -> None
+        | b :: rest ->
+          pending := rest;
+          Some b);
+    close = (fun () -> pending := []) }
+
+(* --- entry points -------------------------------------------------------- *)
+
+let make_ctx db env ~materialized ~workers ~capacity =
+  let scheduler = Scheduler.create ~workers in
+  { db;
+    env;
+    mat = materialized;
+    scheduler;
+    capacity;
+    storage_mu =
+      (if Scheduler.is_parallel scheduler then Some (Mutex.create ()) else None);
+    partitions = 0 }
+
+let compile_with db env ?(materialized = []) ?(workers = 1)
+    ?(capacity = Batch.default_capacity) plan =
+  let ctx = make_ctx db env ~materialized ~workers ~capacity in
+  (ctx, compile_node ctx plan)
+
+(* Execute a plan and return its tuples plus the run's execution profile.
+   Per-batch accounting happens at the plan root: [on_batch] (when given)
+   observes every root batch's selected row count as it is delivered —
+   Midquery uses this to accumulate cardinalities batch by batch. *)
+let run_plan db env ?(materialized = []) ?(workers = 1)
+    ?(capacity = Batch.default_capacity) ?on_batch plan =
+  let ctx, it = compile_with db env ~materialized ~workers ~capacity plan in
+  let batches = ref 0 and max_rows = ref 0 and total_rows = ref 0 in
+  let counting =
+    { it with
+      next =
+        (fun () ->
+          match it.next () with
+          | None -> None
+          | Some b ->
+            let n = Batch.length b in
+            incr batches;
+            max_rows := Int.max !max_rows n;
+            total_rows := !total_rows + n;
+            Option.iter (fun f -> f n) on_batch;
+            Some b) }
+  in
+  let tuples = consume counting in
+  let profile =
+    { Exec_common.engine = Exec_common.Batch;
+      batches = !batches;
+      max_batch_rows = !max_rows;
+      rows_per_batch =
+        (if !batches = 0 then 0.
+         else float_of_int !total_rows /. float_of_int !batches);
+      partitions = ctx.partitions;
+      workers = Scheduler.workers ctx.scheduler }
+  in
+  (tuples, profile)

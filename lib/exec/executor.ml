@@ -22,6 +22,7 @@ type run_stats = {
   faults_absorbed : int;
   budget_aborts : int;
   failovers : int;
+  exec : Exec_common.exec_profile;
 }
 
 exception Infeasible of Dqep_plans.Validate.problem list
@@ -42,8 +43,7 @@ let () =
            (Dqep_util.Diagnostic.list_to_string diags))
     | _ -> None)
 
-let memory_pages env =
-  Int.max 2 (int_of_float (Interval.mid (Env.memory_pages env)))
+let memory_pages = Exec_common.memory_pages
 
 (* Activation-time validation (paper, Section 2).  The full static
    verifier runs first: corruption — broken DAG identity, inverted cost
@@ -69,10 +69,9 @@ let check_feasible db env plan =
     | Some pruned -> pruned
     | None -> raise (Infeasible problems))
 
-(* --- helpers ------------------------------------------------------------ *)
+(* --- helpers (shared with the batch engine via Exec_common) ------------- *)
 
-let base_schema db rel =
-  Schema.of_relation (Catalog.relation_exn (Database.catalog db) rel)
+let base_schema = Exec_common.base_schema
 
 (* Stream a heap file page by page, copying each page's tuples out while
    pinned. *)
@@ -123,29 +122,6 @@ let rid_fetch_iterator db schema rids_ref =
           rids_ref := rest;
           Some (Heap_file.fetch (Database.pool db) rid));
     close = (fun () -> ()) }
-
-let join_key ~left_schema preds side tuple =
-  List.map
-    (fun (p : Predicate.equi) ->
-      match side with
-      | `Left -> tuple.(Schema.position_exn left_schema p.Predicate.left)
-      | `Right r_schema -> tuple.(Schema.position_exn r_schema p.Predicate.right))
-    preds
-
-let tuples_per_page db width =
-  Heap_file.tuples_per_page
-    ~page_bytes:(Catalog.page_bytes (Database.catalog db))
-    ~record_bytes:(Int.max 1 width)
-
-let spill db width tuples =
-  let heap = Heap_file.create (Database.pool db) ~tuples_per_page:(tuples_per_page db width) in
-  List.iter (fun t -> ignore (Heap_file.append (Database.pool db) heap t)) tuples;
-  heap
-
-let unspill db heap =
-  let acc = ref [] in
-  Heap_file.scan (Database.pool db) heap (fun _ t -> acc := t :: !acc);
-  List.rev !acc
 
 (* --- operators ---------------------------------------------------------- *)
 
@@ -229,48 +205,10 @@ and hash_join db env mat (plan : Plan.t) preds =
     | [ l; r ] -> (l.Plan.bytes_per_row, r.Plan.bytes_per_row)
     | _ -> assert false
   in
-  let page_bytes = Catalog.page_bytes (Database.catalog db) in
-  let mem = memory_pages env in
-  let build_key = join_key ~left_schema preds `Left in
-  let probe_key = join_key ~left_schema preds (`Right right_schema) in
   let results = ref [] in
   let residual = Pred_eval.equi_matches ~left:left_schema ~right:right_schema preds in
   (* The hash key covers every predicate, but verify defensively. *)
   let emit l r = if residual l r then results := Array.append l r :: !results in
-  (* Join a partition whose build side fits in memory. *)
-  let join_in_memory build probe =
-    let table = Hashtbl.create (List.length build + 1) in
-    List.iter (fun t -> Hashtbl.add table (build_key t) t) build;
-    List.iter
-      (fun r ->
-        List.iter (fun l -> emit l r) (Hashtbl.find_all table (probe_key r)))
-      probe
-  in
-  let rec join_partition depth build probe =
-    let build_pages =
-      List.length build * left_width / page_bytes
-    in
-    if build_pages <= mem - 1 || depth >= 3 then join_in_memory build probe
-    else begin
-      (* Grace hash join: fan out both inputs to temporary files. *)
-      let fanout = Int.max 2 (mem - 1) in
-      let part key tuples width =
-        let buckets = Array.make fanout [] in
-        List.iter
-          (fun t ->
-            let h = Hashtbl.hash (depth, key t) mod fanout in
-            buckets.(h) <- t :: buckets.(h))
-          tuples;
-        Array.map (fun ts -> spill db width (List.rev ts)) buckets
-      in
-      let build_parts = part build_key build left_width in
-      let probe_parts = part probe_key probe right_width in
-      Array.iteri
-        (fun i bheap ->
-          join_partition (depth + 1) (unspill db bheap) (unspill db probe_parts.(i)))
-        build_parts
-    end
-  in
   let pending = ref [] in
   { Iterator.schema;
     open_ =
@@ -278,7 +216,8 @@ and hash_join db env mat (plan : Plan.t) preds =
         results := [];
         let build = Iterator.consume left_it in
         let probe = Iterator.consume right_it in
-        join_partition 0 build probe;
+        Exec_common.hash_join_core db env ~left_schema ~right_schema
+          ~left_width ~right_width ~preds ~emit build probe;
         pending := List.rev !results);
     next =
       (fun () ->
@@ -383,7 +322,13 @@ and index_join db env mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_fi
   in
   let pending = ref [] in
   { Iterator.schema;
-    open_ = (fun () -> outer_it.Iterator.open_ ());
+    open_ =
+      (fun () ->
+        (* Re-open contract (see Iterator): discard any tuples pending
+           from a previous, possibly partial, consumption — without this
+           a drain-close-reconsume sequence replays stale results. *)
+        pending := [];
+        outer_it.Iterator.open_ ());
     next =
       (fun () ->
         let rec go () =
@@ -417,64 +362,14 @@ and sort db env mat (plan : Plan.t) cols =
   let child = compile_child db env mat plan in
   let schema = child.Iterator.schema in
   let positions = List.map (Schema.position_exn schema) cols in
-  let compare_tuples a b =
-    let rec go = function
-      | [] -> 0
-      | p :: rest -> (
-        match Int.compare a.(p) b.(p) with 0 -> go rest | c -> c)
-    in
-    go positions
-  in
+  let compare_tuples = Exec_common.compare_on positions in
   let width = plan.Plan.bytes_per_row in
-  let page_bytes = Catalog.page_bytes (Database.catalog db) in
-  let mem = memory_pages env in
   let pending = ref [] in
   { Iterator.schema;
     open_ =
       (fun () ->
         let tuples = Iterator.consume child in
-        let pages = List.length tuples * width / page_bytes in
-        if pages <= mem then
-          pending := List.stable_sort compare_tuples tuples
-        else begin
-          (* External sort: spill sorted runs, then merge. *)
-          let per_run = Int.max 1 (mem * page_bytes / Int.max 1 width) in
-          let rec runs acc = function
-            | [] -> List.rev acc
-            | rest ->
-              let run = List.filteri (fun i _ -> i < per_run) rest in
-              let remainder = List.filteri (fun i _ -> i >= per_run) rest in
-              runs (spill db width (List.stable_sort compare_tuples run) :: acc) remainder
-          in
-          let run_files = runs [] tuples in
-          let sorted_runs = List.map (fun h -> unspill db h) run_files in
-          let rec merge lists =
-            match lists with
-            | [] -> []
-            | [ l ] -> l
-            | ls ->
-              (* K-way merge in one pass; buffer constraints are modelled
-                 by the I/O already accounted on spill. *)
-              let rec pick best rest = function
-                | [] -> (best, List.rev rest)
-                | [] :: more -> pick best rest more
-                | (h :: _ as l) :: more -> (
-                  match best with
-                  | Some (bh, _) when compare_tuples bh h <= 0 ->
-                    pick best (l :: rest) more
-                  | _ -> (
-                    match best with
-                    | None -> pick (Some (h, l)) rest more
-                    | Some (_, bl) -> pick (Some (h, l)) (bl :: rest) more))
-              in
-              (match pick None [] ls with
-              | None, _ -> []
-              | Some (h, winner), others ->
-                let winner_rest = List.tl winner in
-                h :: merge (winner_rest :: others))
-          in
-          pending := merge sorted_runs
-        end);
+        pending := Exec_common.sort_core db env ~width ~compare_tuples tuples);
     next =
       (fun () ->
         match !pending with
@@ -492,7 +387,27 @@ let compile_with db env ?(materialized = []) plan =
 
 let compile db env plan = compile_with db env plan
 
-let run db bindings plan =
+(* Engine-dispatching execution: drain the plan through the selected
+   engine and report the run's execution profile.  Defaults come from the
+   DQEP_ENGINE / DQEP_WORKERS environment variables (see Exec_common), so
+   an unmodified caller — including every existing test suite — can be
+   pushed through the batch engine externally. *)
+let execute db env ?(materialized = []) ?engine ?workers ?on_batch plan =
+  let engine =
+    match engine with Some e -> e | None -> Exec_common.default_engine ()
+  in
+  let workers =
+    match workers with Some w -> w | None -> Exec_common.default_workers ()
+  in
+  match engine with
+  | Exec_common.Row ->
+    let tuples = Iterator.consume (compile_with db env ~materialized plan) in
+    Option.iter (fun f -> f (List.length tuples)) on_batch;
+    (tuples, Exec_common.row_profile)
+  | Exec_common.Batch ->
+    Batch_exec.run_plan db env ~materialized ~workers ?on_batch plan
+
+let run db ?engine ?workers bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let plan = check_feasible db env plan in
   let resolved =
@@ -502,8 +417,9 @@ let run db bindings plan =
   let pool = Database.pool db in
   Buffer_pool.resize pool (memory_pages env);
   let before = Buffer_pool.stats pool in
-  let it = compile_node db env [] resolved in
-  let tuples, cpu_seconds = Timer.cpu (fun () -> Iterator.consume it) in
+  let (tuples, profile), cpu_seconds =
+    Timer.cpu (fun () -> execute db env ?engine ?workers resolved)
+  in
   let after = Buffer_pool.stats pool in
   ( tuples,
     { tuples = List.length tuples;
@@ -513,4 +429,5 @@ let run db bindings plan =
       retries = 0;
       faults_absorbed = 0;
       budget_aborts = 0;
-      failovers = 0 } )
+      failovers = 0;
+      exec = profile } )

@@ -19,6 +19,9 @@ type run_stats = {
   faults_absorbed : int;  (** injected faults survived without failing the run *)
   budget_aborts : int;  (** attempts aborted by the I/O budget guard *)
   failovers : int;  (** re-resolutions onto another choose-plan alternative *)
+  exec : Exec_common.exec_profile;
+      (** which engine ran and, for the batch engine, its batch and
+          exchange accounting *)
 }
 (** The resilience counters are zero for a plain {!run}; they are filled
     in by {!Resilience.run}. *)
@@ -64,12 +67,32 @@ val compile_with :
     served from the given temporary results instead of being executed —
     the execution half of mid-query adaptation ({!Midquery}). *)
 
+val execute :
+  Dqep_storage.Database.t ->
+  Dqep_cost.Env.t ->
+  ?materialized:(int * Iterator.tuple list) list ->
+  ?engine:Exec_common.engine ->
+  ?workers:int ->
+  ?on_batch:(int -> unit) ->
+  Dqep_plans.Plan.t ->
+  Iterator.tuple list * Exec_common.exec_profile
+(** Drain the plan through the selected engine.  [engine] defaults to
+    [DQEP_ENGINE] (row when unset), [workers] to [DQEP_WORKERS]; workers
+    only matter to the batch engine's exchange scans.  [on_batch]
+    observes the selected row count of every batch delivered at the plan
+    root as it is produced (the row engine reports one "batch" holding
+    the whole result) — {!Midquery} accumulates observed cardinalities
+    through it. *)
+
 val run :
   Dqep_storage.Database.t ->
+  ?engine:Exec_common.engine ->
+  ?workers:int ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
   Iterator.tuple list * run_stats
-(** Resolve, execute and drain a plan, reporting I/O and CPU. *)
+(** Resolve, execute and drain a plan, reporting I/O and CPU.
+    [engine]/[workers] as in {!execute}. *)
 
 val memory_pages : Dqep_cost.Env.t -> int
 (** The engine's working-memory budget under the environment. *)

@@ -1,4 +1,15 @@
-(** Volcano-style demand-driven iterators: open / next / close. *)
+(** Volcano-style demand-driven iterators: open / next / close.
+
+    Re-open contract: [open_] must fully rewind the operator — discard
+    any buffered output from a previous consumption and reset every
+    position — so that opening an iterator again (even after a partial
+    drain followed by [close]) replays the same stream from the start.
+    Operators that buffer produced tuples across [next] calls must clear
+    that buffer in [open_]; relying on [close] alone is wrong because
+    [close] may run while results are still pending.  {!consume} is
+    therefore re-entrant: consuming the same iterator twice yields the
+    same multiset.  The batch engine's iterators (Batch_exec) honor the
+    same contract. *)
 
 type tuple = int array
 
@@ -10,7 +21,8 @@ type t = {
 }
 
 val consume : t -> tuple list
-(** Open, drain and close, returning all produced tuples in order. *)
+(** Open, drain and close, returning all produced tuples in order.
+    Re-entrant: see the re-open contract above. *)
 
 val count : t -> int
 (** Open, drain and close, returning only the tuple count. *)

@@ -65,8 +65,8 @@ let shared_subplan (plan : Plan.t) =
       |> Option.map snd)
   | _ -> None
 
-let plain_run db bindings plan =
-  let tuples, run = Executor.run db bindings plan in
+let plain_run db ?engine ?workers bindings plan =
+  let tuples, run = Executor.run db ?engine ?workers bindings plan in
   let env = Env.of_bindings (Database.catalog db) bindings in
   let cost, _ = Startup.evaluate env run.Executor.resolved_plan in
   ( tuples,
@@ -80,18 +80,32 @@ let plain_run db bindings plan =
 
 type observation = {
   observed_rows : int;
+  batches : int;
   overrides : (int * float) list;
   materialized : (int * Iterator.tuple list) list;
 }
 
-let observe db env plan ~sub =
+let observe db env ?engine ?workers plan ~sub =
   (* Evaluate the shared subplan into a temporary and propagate the
      observation to every subplan computing the same logical result (same
      relations and selections — witnessed by an identical compile-time
      cardinality interval): alternatives that access the observed input
-     through a different physical path are costed against reality too. *)
-  let temp = Iterator.consume (Executor.compile db env sub) in
-  let observed = List.length temp in
+     through a different physical path are costed against reality too.
+     Under the batch engine the observed cardinality accumulates batch by
+     batch as the root delivers them. *)
+  let observed = ref 0 in
+  let temp, profile =
+    Executor.execute db env ?engine ?workers
+      ~on_batch:(fun n -> observed := !observed + n)
+      sub
+  in
+  let observed = !observed in
+  (* The row engine delivers the whole temporary as one "batch". *)
+  let batches =
+    match profile.Exec_common.engine with
+    | Exec_common.Row -> 1
+    | Exec_common.Batch -> profile.Exec_common.batches
+  in
   let equivalent =
     Plan.fold
       (fun acc (node : Plan.t) ->
@@ -115,21 +129,21 @@ let observe db env plan ~sub =
         | Dqep_algebra.Props.Ordered _ -> None)
       equivalent
   in
-  { observed_rows = observed; overrides; materialized }
+  { observed_rows = observed; batches; overrides; materialized }
 
-let run db bindings plan =
+let run db ?engine ?workers bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let plan = Executor.check_feasible db env plan in
   match shared_subplan plan with
-  | None -> plain_run db bindings plan
+  | None -> plain_run db ?engine ?workers bindings plan
   | Some sub ->
     let pool = Database.pool db in
     Buffer_pool.resize pool (Executor.memory_pages env);
     let before = Buffer_pool.stats pool in
     let start = Sys.time () in
     (* Phase 1: evaluate the shared subplan into a temporary. *)
-    let { observed_rows = observed; overrides; materialized } =
-      observe db env plan ~sub
+    let { observed_rows = observed; batches = _; overrides; materialized } =
+      observe db env ?engine ?workers plan ~sub
     in
     (* Phase 2: decide with the observation, execute with the temporary. *)
     let default_resolution = Startup.resolve env plan in
@@ -139,9 +153,9 @@ let run db bindings plan =
       Startup.evaluate ~overrides env default_resolution.Startup.plan
     in
     let adapted = Startup.resolve ~overrides env plan in
-    let tuples =
-      Iterator.consume
-        (Executor.compile_with db env ~materialized adapted.Startup.plan)
+    let tuples, profile =
+      Executor.execute db env ~materialized ?engine ?workers
+        adapted.Startup.plan
     in
     let cpu_seconds = Sys.time () -. start in
     let after = Buffer_pool.stats pool in
@@ -164,4 +178,5 @@ let run db bindings plan =
             retries = 0;
             faults_absorbed = 0;
             budget_aborts = 0;
-            failovers = 0 } } )
+            failovers = 0;
+            exec = profile } } )

@@ -34,6 +34,9 @@ val shared_subplan : Dqep_plans.Plan.t -> Dqep_plans.Plan.t option
 
 type observation = {
   observed_rows : int;  (** actual cardinality of the shared subplan *)
+  batches : int;
+      (** batches the cardinality accumulated over — 1 under the row
+          engine, the root's batch count under the batch engine *)
   overrides : (int * float) list;
       (** pid -> observed cardinality, for {!Dqep_plans.Startup.resolve} *)
   materialized : (int * Iterator.tuple list) list;
@@ -43,19 +46,26 @@ type observation = {
 val observe :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
+  ?engine:Exec_common.engine ->
+  ?workers:int ->
   Dqep_plans.Plan.t ->
   sub:Dqep_plans.Plan.t ->
   observation
 (** Materialize [sub] (a subplan of the plan, typically from
     {!shared_subplan}) and translate its observed cardinality into
     decision-procedure overrides and execution-time splices for every
-    equivalent node of the plan.  Also used by {!Resilience} to carry
-    observed cardinalities into failover re-resolution. *)
+    equivalent node of the plan.  Under the batch engine the cardinality
+    accumulates per delivered batch ({!Executor.execute}'s [on_batch]).
+    Also used by {!Resilience} to carry observed cardinalities into
+    failover re-resolution. *)
 
 val run :
   Dqep_storage.Database.t ->
+  ?engine:Exec_common.engine ->
+  ?workers:int ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
   Iterator.tuple list * stats
 (** Execute with mid-query adaptation; falls back to plain start-up
-    resolution when there is nothing to observe. *)
+    resolution when there is nothing to observe.  [engine]/[workers] as
+    in {!Executor.execute}. *)

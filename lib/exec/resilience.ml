@@ -12,14 +12,19 @@ type config = {
   io_budget_factor : float option;
   max_failovers : int;
   observe_on_failover : bool;
+  engine : Exec_common.engine option;
+  workers : int option;
 }
 
 let config ?(max_retries = 2) ?(backoff_base = 0.01) ?io_budget_factor
-    ?(max_failovers = 8) ?(observe_on_failover = true) () =
+    ?(max_failovers = 8) ?(observe_on_failover = true) ?engine ?workers () =
   if max_retries < 0 then invalid_arg "Resilience.config: max_retries < 0";
   if max_failovers < 0 then invalid_arg "Resilience.config: max_failovers < 0";
+  (match workers with
+  | Some w when w < 1 -> invalid_arg "Resilience.config: workers < 1"
+  | Some _ | None -> ());
   { max_retries; backoff_base; io_budget_factor; max_failovers;
-    observe_on_failover }
+    observe_on_failover; engine; workers }
 
 let default = config ()
 
@@ -108,7 +113,10 @@ let run ?(config = default) db bindings plan =
         match Midquery.shared_subplan plan with
         | None -> ()
         | Some sub -> (
-          match Midquery.observe db env plan ~sub with
+          match
+            Midquery.observe db env ?engine:config.engine
+              ?workers:config.workers plan ~sub
+          with
           | obs ->
             overrides := obs.Midquery.overrides;
             materialized := obs.Midquery.materialized
@@ -131,11 +139,11 @@ let run ?(config = default) db bindings plan =
       incr attempts;
       match
         Timer.cpu (fun () ->
-          Iterator.consume
-            (Executor.compile_with db env ~materialized:!materialized
-               resolution.Startup.plan))
+          Executor.execute db env ~materialized:!materialized
+            ?engine:config.engine ?workers:config.workers
+            resolution.Startup.plan)
       with
-      | tuples, cpu_seconds ->
+      | (tuples, profile), cpu_seconds ->
         let after = Buffer_pool.stats pool in
         Ok
           ( tuples,
@@ -146,7 +154,8 @@ let run ?(config = default) db bindings plan =
               retries = !retries;
               faults_absorbed = !faults;
               budget_aborts = !budget_aborts;
-              failovers = !failovers } )
+              failovers = !failovers;
+              exec = profile } )
       | exception Fault.Io_fault { kind = Fault.Transient; _ }
         when attempt_no < config.max_retries ->
         incr retries;
@@ -169,18 +178,22 @@ let run ?(config = default) db bindings plan =
         excluded :=
           List.map snd resolution.Startup.choices @ !excluded;
         try_observe ();
-        resolve_and_attempt ()
+        resolve_and_attempt ~last:error ()
       end
-    and resolve_and_attempt () =
+    and resolve_and_attempt ?last () =
       match
         Startup.resolve ~overrides:!overrides ~excluded:!excluded env plan
       with
       | resolution -> attempt resolution 0
-      | exception (Startup.Exhausted _ as error) -> exhausted error
+      | exception (Startup.Exhausted _ as error) ->
+        (* Report the fault that forced the last failover, not the
+           resolution bookkeeping: callers pattern-match on the typed
+           error (e.g. [Fault.Io_fault]) to classify the exhaustion. *)
+        exhausted (Option.value last ~default:error)
     in
     let result =
       Fun.protect
         ~finally:(fun () -> Buffer_pool.set_io_limit pool None)
-        resolve_and_attempt
+        (fun () -> resolve_and_attempt ())
     in
     (result, snapshot ())

@@ -34,6 +34,14 @@ type config = {
           re-resolution decides with observed cardinalities
           (default true; best-effort — observation failures are
           swallowed) *)
+  engine : Exec_common.engine option;
+      (** execution engine for every attempt; [None] defers to
+          [DQEP_ENGINE] (see {!Executor.execute}) *)
+  workers : int option;
+      (** exchange workers for the batch engine; [None] defers to
+          [DQEP_WORKERS].  Faults raised inside a parallel exchange
+          partition surface as typed errors at the merge and take the
+          same retry/failover path as row-engine faults. *)
 }
 
 val config :
@@ -42,6 +50,8 @@ val config :
   ?io_budget_factor:float ->
   ?max_failovers:int ->
   ?observe_on_failover:bool ->
+  ?engine:Exec_common.engine ->
+  ?workers:int ->
   unit ->
   config
 

@@ -1,0 +1,67 @@
+(* Pluggable task scheduler for the exchange operator.
+
+   Contract (see DESIGN.md "The batch/exchange engine"):
+   - [run t tasks] executes every thunk exactly once and returns their
+     outcomes in task order; an exception inside a task is captured as
+     [Error exn], never swallowed and never allowed to kill a sibling;
+   - tasks must synchronize their own shared-state access (the exchange
+     operator serializes buffer-pool access with a mutex);
+   - [Sequential] runs tasks in order on the calling domain — the
+     fallback when parallelism is unavailable or unwanted (workers <= 1);
+   - [Domains _] fans tasks out over OCaml domains pulling from a shared
+     work queue, so long partitions do not convoy short ones. *)
+
+type t =
+  | Sequential
+  | Domains of { workers : int }
+
+let sequential = Sequential
+
+(* Requested workers are honored even beyond the core count — exchange
+   partitions interleave storage waits with batch building, and a
+   single-core host must still exercise the parallel merge path.  The cap
+   only guards the runtime's domain limit. *)
+let max_workers = 16
+
+let create ~workers =
+  if workers <= 1 then Sequential
+  else Domains { workers = Int.min workers max_workers }
+
+let workers = function
+  | Sequential -> 1
+  | Domains { workers } -> workers
+
+let is_parallel = function Sequential -> false | Domains _ -> true
+
+let run t (tasks : (unit -> 'a) list) : ('a, exn) result list =
+  let guard f = try Ok (f ()) with e -> Error e in
+  match t with
+  | Sequential -> List.map guard tasks
+  | Domains { workers } ->
+    let arr = Array.of_list tasks in
+    let n = Array.length arr in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (* Each slot is written by exactly one domain; Domain.join
+               publishes the writes to the caller. *)
+            results.(i) <- Some (guard arr.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = List.init (Int.min workers n) (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join spawned;
+      Array.to_list
+        (Array.map
+           (function
+             | Some r -> r
+             | None -> Error (Failure "Scheduler.run: task lost"))
+           results)
+    end

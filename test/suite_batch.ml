@@ -1,0 +1,268 @@
+(* The batch engine's guard rails.
+
+   1. Randomized differential harness: seeded random catalogs and queries
+      (Plangen), optimized in static and dynamic modes, every plan run
+      through the row engine, the batch engine (default and tiny batch
+      capacities, sequential and parallel exchange) and the naive
+      reference evaluator, asserting multiset-equal results.
+   2. qcheck properties of Batch.t: selection-vector refinement/compaction
+      preserves the selected multiset, split/concat round-trip, capacity
+      is never exceeded.
+   3. Iterator re-open semantics in both engines: consuming twice — or
+      closing half-drained and consuming again — yields the same result. *)
+
+module D = Dqep
+
+let optimize_exn ~mode catalog query =
+  Result.get_ok (D.Optimizer.optimize ~mode catalog query)
+
+(* --- randomized differential harness ------------------------------------- *)
+
+let differential_seeds = 50
+
+let test_differential () =
+  let runs = ref 0 in
+  for seed = 1 to differential_seeds do
+    let inst = D.Plangen.generate ~seed in
+    let catalog = inst.D.Plangen.catalog in
+    let query = inst.D.Plangen.query in
+    let db = D.Database.build ~seed:(seed * 7919) catalog in
+    let modes =
+      [ ("static", D.Optimizer.static);
+        ("dynamic", D.Optimizer.dynamic ~uncertain_memory:true ()) ]
+    in
+    List.iter
+      (fun (mode_name, mode) ->
+        let plan = (optimize_exn ~mode catalog query).D.Optimizer.plan in
+        List.iter
+          (fun bseed ->
+            let b = D.Plangen.bindings inst ~seed:bseed in
+            let expected =
+              let schema, tuples = D.Reference.eval db b query in
+              D.Reference.normalize schema tuples
+            in
+            let env = D.Env.of_bindings catalog b in
+            let fail label got =
+              Alcotest.failf
+                "seed %d, %s plan, bindings %d, %s: %d rows differ from the \
+                 reference's %d"
+                seed mode_name bseed label (List.length got)
+                (List.length expected)
+            in
+            let check label tuples schema =
+              incr runs;
+              let got = D.Reference.normalize schema tuples in
+              if not (D.Reference.multiset_equal expected got) then
+                fail label got
+            in
+            let check_run label engine workers =
+              let tuples, stats = D.Executor.run db ~engine ~workers b plan in
+              check label tuples
+                (D.Plan.schema catalog stats.D.Executor.resolved_plan)
+            in
+            check_run "row engine" D.Exec_common.Row 1;
+            check_run "batch engine" D.Exec_common.Batch 1;
+            (* Resolve choose nodes up front so the result's column order
+               is known, then drive Batch_exec directly: tiny capacities
+               exercise batch boundaries everywhere, parallel workers the
+               exchange merge. *)
+            let resolved =
+              if D.Plan.contains_choose plan then
+                (D.Startup.resolve env plan).D.Startup.plan
+              else plan
+            in
+            let resolved_schema = D.Plan.schema catalog resolved in
+            let tuples, _ =
+              D.Batch_exec.run_plan db env ~capacity:13 resolved
+            in
+            check "batch engine, capacity 13" tuples resolved_schema;
+            if seed mod 5 = 0 then begin
+              let tuples, profile =
+                D.Batch_exec.run_plan db env ~workers:3 ~capacity:64 resolved
+              in
+              check "batch engine, 3 workers" tuples resolved_schema;
+              Alcotest.(check bool)
+                "parallel profile reports workers" true
+                (profile.D.Exec_common.workers >= 2)
+            end)
+          [ 1; 2 ])
+      modes
+  done;
+  (* The acceptance bar: at least 200 randomized differential plan runs. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enough differential runs (%d)" !runs)
+    true (!runs >= 200)
+
+(* --- qcheck properties of Batch.t ----------------------------------------- *)
+
+let batch_schema =
+  D.Schema.of_relation
+    (D.Relation.make ~name:"Q" ~cardinality:1 ~record_bytes:24
+       ~attributes:
+         [ D.Attribute.make ~name:"x" ~domain_size:100;
+           D.Attribute.make ~name:"y" ~domain_size:100;
+           D.Attribute.make ~name:"z" ~domain_size:100 ])
+
+let tuple_gen =
+  QCheck.Gen.(map Array.of_list (list_size (return 3) (int_bound 99)))
+
+let arb_batch_input =
+  QCheck.make
+    ~print:(fun (cap, tuples) ->
+      Printf.sprintf "capacity=%d tuples=%d" cap (List.length tuples))
+    QCheck.Gen.(pair (int_range 1 8) (list_size (int_bound 40) tuple_gen))
+
+let multiset tuples = List.sort compare (List.map Array.to_list tuples)
+
+let prop_refine_compact_preserve_multiset =
+  QCheck.Test.make ~name:"refine+compact preserve the selected multiset"
+    ~count:200 arb_batch_input (fun (cap, tuples) ->
+      let batches = D.Batch.of_tuples ~capacity:cap batch_schema tuples in
+      let keep t = t.(0) mod 2 = 0 in
+      let survivors =
+        List.concat_map
+          (fun b ->
+            D.Batch.refine b (fun r ->
+                D.Batch.get_phys b ~col:0 ~row:r mod 2 = 0);
+            D.Batch.to_tuples (D.Batch.compact b))
+          batches
+      in
+      multiset survivors = multiset (List.filter keep tuples))
+
+let prop_split_concat_roundtrip =
+  QCheck.Test.make ~name:"split/concat round-trip" ~count:200 arb_batch_input
+    (fun (cap, tuples) ->
+      let batches = D.Batch.of_tuples ~capacity:cap batch_schema tuples in
+      let split_halves =
+        List.concat_map
+          (fun b ->
+            let a, z = D.Batch.split b ~at:(D.Batch.length b / 2) in
+            [ a; z ])
+          batches
+      in
+      let repacked = D.Batch.concat ~capacity:cap batch_schema split_halves in
+      List.concat_map D.Batch.to_tuples repacked = tuples)
+
+let prop_capacity_never_exceeded =
+  QCheck.Test.make ~name:"capacity never exceeded" ~count:200 arb_batch_input
+    (fun (cap, tuples) ->
+      let batches = D.Batch.of_tuples ~capacity:cap batch_schema tuples in
+      List.for_all
+        (fun b ->
+          D.Batch.physical_length b <= D.Batch.capacity b
+          && D.Batch.length b <= D.Batch.capacity b)
+        batches
+      &&
+      (* Pushing into a full batch must raise, not silently drop. *)
+      match batches with
+      | [] -> true
+      | b :: _ ->
+        (not (D.Batch.is_full b))
+        || (match D.Batch.push b [| 0; 0; 0 |] with
+           | () -> false
+           | exception Invalid_argument _ -> true))
+
+(* --- iterator re-open semantics ------------------------------------------ *)
+
+(* A hand-built index-join plan: its row-engine operator buffers pending
+   probe results across [next] calls, which is exactly the state a
+   re-open must discard (a partial drain followed by a fresh consume used
+   to replay stale tuples). *)
+let reopen_fixture () =
+  let q = D.Queries.chain ~relations:2 in
+  let db = D.Database.build ~seed:17 q.D.Queries.catalog in
+  let b =
+    D.Bindings.make
+      ~selectivities:[ ("hv1", 0.6); ("hv2", 0.7) ]
+      ~memory_pages:64
+  in
+  let env = D.Env.of_bindings q.D.Queries.catalog b in
+  let builder = D.Plan.Builder.create env in
+  let join =
+    D.Predicate.equi
+      ~left:(D.Col.make ~rel:"R1" ~attr:"jr")
+      ~right:(D.Col.make ~rel:"R2" ~attr:"jl")
+  in
+  let pred i =
+    D.Predicate.select ~rel:(D.Paper_catalog.rel_name i) ~attr:"a"
+      (D.Predicate.Host_var (D.Queries.host_var i))
+  in
+  let scan =
+    D.Plan.Builder.operator builder (D.Physical.File_scan "R1") ~inputs:[]
+      ~rels:[ "R1" ]
+      ~rows:(D.Estimate.base_rows env "R1")
+      ~bytes_per_row:512 ~props:D.Props.unordered
+  in
+  let filtered =
+    D.Plan.Builder.operator builder
+      (D.Physical.Filter (pred 1))
+      ~inputs:[ scan ] ~rels:[ "R1" ]
+      ~rows:(D.Estimate.select_rows env (pred 1) scan.D.Plan.rows)
+      ~bytes_per_row:512 ~props:D.Props.unordered
+  in
+  let plan =
+    D.Plan.Builder.operator builder
+      (D.Physical.Index_join
+         { preds = [ join ]; inner_rel = "R2"; inner_attr = "jl";
+           inner_filter = Some (pred 2) })
+      ~inputs:[ filtered ] ~rels:[ "R1"; "R2" ]
+      ~rows:
+        (D.Estimate.join_rows env [ join ] filtered.D.Plan.rows
+           (D.Estimate.base_rows env "R2"))
+      ~bytes_per_row:1024 ~props:D.Props.unordered
+  in
+  (db, env, plan)
+
+let test_row_reopen () =
+  let db, env, plan = reopen_fixture () in
+  let it = D.Executor.compile db env plan in
+  let first = D.Iterator.consume it in
+  Alcotest.(check bool) "fixture produces rows" true (List.length first > 2);
+  let second = D.Iterator.consume it in
+  Alcotest.(check bool) "full reconsume equals first run" true
+    (D.Reference.multiset_equal first second);
+  (* Partial drain, close, then a fresh consume. *)
+  it.D.Iterator.open_ ();
+  ignore (it.D.Iterator.next ());
+  ignore (it.D.Iterator.next ());
+  it.D.Iterator.close ();
+  let third = D.Iterator.consume it in
+  Alcotest.(check bool) "consume after partial drain equals first run" true
+    (D.Reference.multiset_equal first third)
+
+let test_batch_reopen () =
+  let db, env, plan = reopen_fixture () in
+  let _ctx, it = D.Batch_exec.compile_with db env ~capacity:4 plan in
+  let first = D.Batch_exec.consume it in
+  Alcotest.(check bool) "fixture produces rows" true (List.length first > 2);
+  let second = D.Batch_exec.consume it in
+  Alcotest.(check bool) "full reconsume equals first run" true
+    (D.Reference.multiset_equal first second);
+  it.D.Batch_exec.open_ ();
+  ignore (it.D.Batch_exec.next ());
+  it.D.Batch_exec.close ();
+  let third = D.Batch_exec.consume it in
+  Alcotest.(check bool) "consume after partial drain equals first run" true
+    (D.Reference.multiset_equal first third)
+
+(* Both engines agree on the fixture too. *)
+let test_reopen_fixture_differential () =
+  let db, env, plan = reopen_fixture () in
+  let row = D.Iterator.consume (D.Executor.compile db env plan) in
+  let batch, _ = D.Batch_exec.run_plan db env ~capacity:4 plan in
+  Alcotest.(check bool) "row and batch agree" true
+    (D.Reference.multiset_equal row batch)
+
+let suite =
+  ( "batch",
+    [ Alcotest.test_case "randomized differential: batch vs row vs reference"
+        `Slow test_differential;
+      QCheck_alcotest.to_alcotest prop_refine_compact_preserve_multiset;
+      QCheck_alcotest.to_alcotest prop_split_concat_roundtrip;
+      QCheck_alcotest.to_alcotest prop_capacity_never_exceeded;
+      Alcotest.test_case "row iterator re-open semantics" `Quick
+        test_row_reopen;
+      Alcotest.test_case "batch iterator re-open semantics" `Quick
+        test_batch_reopen;
+      Alcotest.test_case "re-open fixture differential" `Quick
+        test_reopen_fixture_differential ] )

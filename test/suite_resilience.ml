@@ -306,6 +306,79 @@ let test_partially_infeasible_plan_prunes_and_runs () =
        (D.Reference.normalize ref_schema expected)
        (normalized db stats tuples))
 
+(* A permanently broken heap page under the parallel batch engine: the
+   fault fires inside one exchange partition's worker domain, must
+   surface as a typed [Io_fault] at the merge point, and must take the
+   normal failover path — never deadlock the merge queue.  A watchdog
+   thread turns a hang into a hard failure instead of a stuck CI job. *)
+let test_exchange_partition_fault_is_typed_and_terminates () =
+  let plan = dynamic_plan q1 in
+  (* High selectivity makes the file-scan alternative the start-up-time
+     choice, so the exchange is what hits the broken page first.  The
+     B-tree fallback fetches matching tuples from the same heap, so at
+     this selectivity it trips over the page too: the run must end in a
+     typed exhaustion, not a hang. *)
+  let b = bindings1 0.9 in
+  let db = D.Database.build ~seed:11 q1.D.Queries.catalog in
+  let heap_pages = D.Heap_file.page_ids (D.Database.heap db "R1") in
+  Alcotest.(check bool) "relation spans several pages" true
+    (List.length heap_pages > 4);
+  (* Break one mid-file page: exactly one exchange partition faults while
+     its siblings keep producing into the merge queue. *)
+  let broken = List.nth heap_pages (List.length heap_pages / 2) in
+  drain_pool db;
+  install db
+    (D.Fault.config ~broken_pages:[ (broken, D.Fault.Permanent) ] ~seed:1 ());
+  let finished = Atomic.make false in
+  let _watchdog : Thread.t =
+    Thread.create
+      (fun () ->
+        let deadline = 60.0 in
+        let rec wait elapsed =
+          if Atomic.get finished then ()
+          else if elapsed >= deadline then begin
+            prerr_endline
+              "suite_resilience: exchange-partition fault test deadlocked";
+            exit 124
+          end
+          else begin
+            Thread.delay 0.25;
+            wait (elapsed +. 0.25)
+          end
+        in
+        wait 0.)
+      ()
+  in
+  let config =
+    D.Resilience.config ~engine:D.Exec_common.Batch ~workers:4 ()
+  in
+  let result, rstats = D.Resilience.run ~config db b plan in
+  Atomic.set finished true;
+  (match result with
+  | Ok (_, stats) ->
+    (* Acceptable only if the supervisor actually routed around the
+       fault via another alternative. *)
+    Alcotest.(check bool) "success implies failover" true
+      (stats.D.Executor.failovers >= 1)
+  | Error (D.Resilience.Exhausted { last_error; excluded }) ->
+    Alcotest.(check bool) "alternatives were excluded along the way" true
+      (excluded <> []);
+    (match last_error with
+    | D.Fault.Io_fault { kind = D.Fault.Permanent; page; _ } ->
+      Alcotest.(check int) "the typed error names the broken page" broken page
+    | e ->
+      Alcotest.failf "terminal error is not a typed Io_fault: %s"
+        (Printexc.to_string e))
+  | Error f ->
+    Alcotest.failf "unexpected failure kind: %a" D.Resilience.pp_failure f);
+  Alcotest.(check bool) "the broken partition forced a failover" true
+    (rstats.D.Resilience.failovers >= 1);
+  Alcotest.(check bool) "faults were absorbed, not leaked" true
+    (rstats.D.Resilience.faults_absorbed >= 1);
+  Alcotest.(check int) "permanent faults are never retried" 0
+    rstats.D.Resilience.retries;
+  set_faults db None
+
 let suite =
   ( "resilience",
     [ Alcotest.test_case "fault-free supervision is transparent" `Quick
@@ -325,4 +398,6 @@ let suite =
       Alcotest.test_case "infeasible plan reports typed problems" `Quick
         test_infeasible_plan_reports_problems;
       Alcotest.test_case "partially infeasible plan prunes and runs" `Quick
-        test_partially_infeasible_plan_prunes_and_runs ] )
+        test_partially_infeasible_plan_prunes_and_runs;
+      Alcotest.test_case "exchange partition fault is typed, never hangs"
+        `Quick test_exchange_partition_fault_is_typed_and_terminates ] )

@@ -11,6 +11,7 @@ let () =
       Suite_startup.suite;
       Suite_optimizer.suite;
       Suite_exec.suite;
+      Suite_batch.suite;
       Suite_experiments.suite;
       Suite_sql.suite;
       Suite_modes.suite;
