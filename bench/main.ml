@@ -378,13 +378,172 @@ let exec_bench ~check () =
       (row.cpu_seconds *. 1e3)
   end
 
+(* --- part 4: resource governance ----------------------------------------- *)
+
+(* Two governance metrics CI gates on:
+
+   - cancellation latency: how long after Governor.cancel a running
+     query actually stops (raises through its next check).  Measured
+     wall-clock across repeated runs, cancel issued from another domain
+     once the query is observably mid-flight.
+   - shed rate: the fraction of submissions a zero-queue session rejects
+     at the door while a slot is busy — admission control doing its job
+     under overload.
+
+   Results go to BENCH_govern.json; `govern --check` gates on the p95
+   cancellation latency staying under a generous scheduling bound, on
+   overload actually shedding, and on zero buffer-pool pin leaks. *)
+
+let govern_latency_bound_s = 0.1
+
+let percentile sorted p =
+  match sorted with
+  | [] -> 0.
+  | l ->
+    let n = List.length l in
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    List.nth l (Int.max 0 (Int.min (n - 1) idx))
+
+let govern_bench ~check () =
+  Format.printf "=== resource governance: cancellation and shedding ===@.";
+  let q = D.Queries.chain ~relations:2 in
+  let plan =
+    (Result.get_ok
+       (D.Optimizer.optimize
+          ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ())
+          q.D.Queries.catalog q.D.Queries.query))
+      .D.Optimizer.plan
+  in
+  let bindings =
+    D.Bindings.make ~selectivities:[ ("hv1", 0.5); ("hv2", 0.5) ]
+      ~memory_pages:64
+  in
+  let leaks = ref 0 in
+  let note_leaks db =
+    match D.Buffer_pool.leak_check (D.Database.pool db) with
+    | Ok () -> ()
+    | Error msg ->
+      incr leaks;
+      Printf.eprintf "govern: pin leak: %s\n" msg
+  in
+  (* Cancellation latency: cancel mid-run from this domain, the worker
+     records when the cancellation surfaced. *)
+  let rounds = 30 in
+  let samples = ref [] in
+  let completed_early = ref 0 in
+  for seed = 1 to rounds do
+    let db = D.Database.build ~seed q.D.Queries.catalog in
+    let gov = D.Governor.create ~check_every:1 () in
+    let finished = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          let r =
+            try
+              ignore (D.Executor.run db ~gov bindings plan);
+              None
+            with D.Governor.Cancelled _ -> Some (Unix.gettimeofday ())
+          in
+          Atomic.set finished true;
+          r)
+    in
+    while D.Governor.checks gov < 200 && not (Atomic.get finished) do
+      Domain.cpu_relax ()
+    done;
+    let cancelled_at = Unix.gettimeofday () in
+    D.Governor.cancel gov ~reason:"bench";
+    (match Domain.join d with
+    | Some observed_at -> samples := (observed_at -. cancelled_at) :: !samples
+    | None -> incr completed_early);
+    note_leaks db
+  done;
+  let sorted = List.sort Float.compare !samples in
+  let p50 = percentile sorted 0.50 and p95 = percentile sorted 0.95 in
+  Format.printf
+    "cancellation: %d/%d cancelled mid-run, latency p50 %.3f ms, p95 %.3f \
+     ms (bound %.0f ms)@."
+    (List.length sorted) rounds (p50 *. 1e3) (p95 *. 1e3)
+    (govern_latency_bound_s *. 1e3);
+  (* Shed rate: a zero-queue, single-slot session under three competing
+     submitters — overlapping submissions shed at the door. *)
+  let session =
+    D.Session.create
+      ~config:(D.Session.config ~max_inflight:1 ~max_queue:0 ())
+      ()
+  in
+  let jobs = 24 in
+  let next = Atomic.make 0 in
+  let shed = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let j = Atomic.fetch_and_add next 1 in
+      if j < jobs then begin
+        let db = D.Database.build ~seed:(100 + j) q.D.Queries.catalog in
+        (match D.Session.submit session db bindings plan with
+        | D.Session.Shed _ -> ignore (Atomic.fetch_and_add shed 1 : int)
+        | D.Session.Completed _ | D.Session.Failed _ -> ());
+        note_leaks db;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let shed = Atomic.get shed in
+  let shed_rate = float_of_int shed /. float_of_int jobs in
+  Format.printf "shedding: %d/%d submissions shed at the door (rate %.2f)@."
+    shed jobs shed_rate;
+  let path = "BENCH_govern.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "dqep resource governance",
+  "cancellation": {
+    "rounds": %d,
+    "cancelled_mid_run": %d,
+    "completed_early": %d,
+    "latency_p50_s": %.6f,
+    "latency_p95_s": %.6f,
+    "latency_bound_s": %.3f
+  },
+  "shedding": { "submitted": %d, "shed": %d, "shed_rate": %.4f },
+  "pin_leaks": %d
+}
+|}
+    rounds (List.length sorted) !completed_early p50 p95
+    govern_latency_bound_s jobs shed shed_rate !leaks;
+  close_out oc;
+  Format.printf "wrote %s@." path;
+  if check then begin
+    let failures = ref [] in
+    if sorted = [] then
+      failures := "no run was cancelled mid-flight" :: !failures;
+    if p95 > govern_latency_bound_s then
+      failures :=
+        Printf.sprintf "p95 cancellation latency %.3f ms over the %.0f ms bound"
+          (p95 *. 1e3)
+          (govern_latency_bound_s *. 1e3)
+        :: !failures;
+    if shed = 0 then
+      failures := "overload produced no shedding" :: !failures;
+    if !leaks > 0 then
+      failures := Printf.sprintf "%d pin leak(s)" !leaks :: !failures;
+    match !failures with
+    | [] -> Format.printf "govern --check: ok@."
+    | fs ->
+      List.iter (Printf.eprintf "govern --check: %s\n") (List.rev fs);
+      exit 1
+  end
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | [] ->
     reproduce ();
     run_benchmarks ()
   | "exec" :: rest -> exec_bench ~check:(List.mem "--check" rest) ()
+  | "govern" :: rest -> govern_bench ~check:(List.mem "--check" rest) ()
   | args ->
-    Printf.eprintf "usage: %s [exec [--check]] (got: %s)\n" Sys.argv.(0)
+    Printf.eprintf "usage: %s [exec [--check] | govern [--check]] (got: %s)\n"
+      Sys.argv.(0)
       (String.concat " " args);
     exit 2

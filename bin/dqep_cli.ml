@@ -178,6 +178,39 @@ let optimize_cmd =
 
 (* --- run ----------------------------------------------------------------- *)
 
+(* Typed failures map to distinct exit codes so scripts and CI can
+   discriminate outcomes without parsing output; 16 is reserved for
+   session shedding (admission control, not reachable from `run`). *)
+let failure_exit_code = function
+  | D.Resilience.Infeasible _ -> 10
+  | D.Resilience.Rejected _ -> 11
+  | D.Resilience.Exhausted _ -> 12
+  | D.Resilience.Deadline_exceeded _ -> 13
+  | D.Resilience.Memory_exceeded _ -> 14
+  | D.Resilience.Cancelled _ -> 15
+
+let failure_name = function
+  | D.Resilience.Infeasible _ -> "infeasible"
+  | D.Resilience.Rejected _ -> "rejected"
+  | D.Resilience.Exhausted _ -> "exhausted"
+  | D.Resilience.Deadline_exceeded _ -> "deadline_exceeded"
+  | D.Resilience.Memory_exceeded _ -> "memory_exceeded"
+  | D.Resilience.Cancelled _ -> "cancelled"
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let run_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Data and binding seed.") in
   let memory = Arg.(value & opt int 64 & info [ "memory" ] ~doc:"Memory pages at run time.") in
@@ -216,8 +249,30 @@ let run_cmd =
            ~doc:"Exchange scan partitions/worker domains for the batch \
                  engine. Default: \\$DQEP_WORKERS, else 1 (sequential).")
   in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~env:(Cmd.Env.info "DQEP_DEADLINE_MS")
+             ~doc:"Wall-clock budget per plan execution in milliseconds; a \
+                   run past it is cancelled cooperatively and fails with \
+                   exit code 13.")
+  in
+  let memory_kb =
+    Arg.(value & opt (some int) None
+         & info [ "memory-kb" ]
+             ~env:(Cmd.Env.info "DQEP_MEMORY_KB")
+             ~doc:"Memory budget per plan execution in KiB; spilling \
+                   operators degrade first, and a plan that still cannot \
+                   fit fails with exit code 14 (the dynamic plan fails over \
+                   to a lower-memory alternative before giving up).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object per plan instead of text.")
+  in
   let run relations seed memory sels fault_rate fault_seed retries
-      io_budget_factor engine workers =
+      io_budget_factor engine workers deadline_ms memory_kb json =
     let q = D.Queries.chain ~relations in
     let bindings =
       match sels with
@@ -275,46 +330,112 @@ let run_cmd =
         ~io_budget_factor:(Option.value ~default:0. io_budget_factor)
         ?engine ?workers ()
     in
-    Format.printf "bindings: %a@." D.Bindings.pp bindings;
+    (match deadline_ms with
+    | Some d when d <= 0. ->
+      Printf.eprintf "dqep: --deadline-ms must be > 0 (got %g)\n" d;
+      exit 2
+    | _ -> ());
+    (match memory_kb with
+    | Some k when k <= 0 ->
+      Printf.eprintf "dqep: --memory-kb must be > 0 (got %d)\n" k;
+      exit 2
+    | _ -> ());
+    (* Fresh governor per plan execution: the deadline clock starts when
+       the plan does, and one plan's charges never bleed into the next. *)
+    let governor () =
+      match (deadline_ms, memory_kb) with
+      | None, None -> D.Governor.none
+      | d, m ->
+        D.Governor.create
+          ?deadline:(Option.map (fun ms -> ms /. 1000.) d)
+          ?memory_bytes:(Option.map (fun kb -> kb * 1024) m)
+          ()
+    in
+    if not json then Format.printf "bindings: %a@." D.Bindings.pp bindings;
     let show label mode =
       match D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query with
-      | Error e -> Printf.eprintf "%s: %s\n" label e
+      | Error e ->
+        Printf.eprintf "%s: %s\n" label e;
+        1
       | Ok r -> (
-        match D.Resilience.run ~config db bindings r.D.Optimizer.plan with
+        match
+          D.Resilience.run ~config ~gov:(governor ()) db bindings
+            r.D.Optimizer.plan
+        with
         | Ok (tuples, stats), rstats ->
-          Format.printf
-            "%-8s: %5d tuples, %5d physical reads, %5d writes, %.4fs CPU@."
-            label (List.length tuples)
-            stats.D.Executor.io.D.Buffer_pool.physical_reads
-            stats.D.Executor.io.D.Buffer_pool.physical_writes
-            stats.D.Executor.cpu_seconds;
-          Format.printf
-            "  resilience: %d retries, %d faults absorbed, %d budget aborts, \
-             %d failovers@."
-            stats.D.Executor.retries stats.D.Executor.faults_absorbed
-            stats.D.Executor.budget_aborts stats.D.Executor.failovers;
-          Format.printf "  exec: %a@." D.Exec_common.pp_profile
-            stats.D.Executor.exec;
-          ignore rstats;
-          Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
-            stats.D.Executor.resolved_plan
+          if json then
+            Printf.printf
+              {|{"plan":"%s","status":"ok","tuples":%d,"physical_reads":%d,"physical_writes":%d,"cpu_seconds":%.6f,"retries":%d,"faults_absorbed":%d,"budget_aborts":%d,"memory_aborts":%d,"failovers":%d}|}
+              label (List.length tuples)
+              stats.D.Executor.io.D.Buffer_pool.physical_reads
+              stats.D.Executor.io.D.Buffer_pool.physical_writes
+              stats.D.Executor.cpu_seconds stats.D.Executor.retries
+              stats.D.Executor.faults_absorbed stats.D.Executor.budget_aborts
+              rstats.D.Resilience.memory_aborts stats.D.Executor.failovers
+          else begin
+            Format.printf
+              "%-8s: %5d tuples, %5d physical reads, %5d writes, %.4fs CPU@."
+              label (List.length tuples)
+              stats.D.Executor.io.D.Buffer_pool.physical_reads
+              stats.D.Executor.io.D.Buffer_pool.physical_writes
+              stats.D.Executor.cpu_seconds;
+            Format.printf
+              "  resilience: %d retries, %d faults absorbed, %d budget \
+               aborts, %d memory aborts, %d failovers@."
+              stats.D.Executor.retries stats.D.Executor.faults_absorbed
+              stats.D.Executor.budget_aborts rstats.D.Resilience.memory_aborts
+              stats.D.Executor.failovers;
+            Format.printf "  exec: %a@." D.Exec_common.pp_profile
+              stats.D.Executor.exec;
+            Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
+              stats.D.Executor.resolved_plan
+          end;
+          if json then print_newline ();
+          0
         | Error failure, rstats ->
-          Format.printf
-            "%-8s: failed (%a) after %d attempts, %d retries, %d budget \
-             aborts, %d failovers@."
-            label D.Resilience.pp_failure failure rstats.D.Resilience.attempts
-            rstats.D.Resilience.retries rstats.D.Resilience.budget_aborts
-            rstats.D.Resilience.failovers)
+          let code = failure_exit_code failure in
+          if json then
+            Printf.printf
+              {|{"plan":"%s","status":"error","failure":"%s","detail":"%s","exit_code":%d,"attempts":%d,"retries":%d,"budget_aborts":%d,"memory_aborts":%d,"failovers":%d}|}
+              label (failure_name failure)
+              (json_escape
+                 (Format.asprintf "%a" D.Resilience.pp_failure failure))
+              code rstats.D.Resilience.attempts rstats.D.Resilience.retries
+              rstats.D.Resilience.budget_aborts
+              rstats.D.Resilience.memory_aborts rstats.D.Resilience.failovers
+          else
+            Format.printf
+              "%-8s: failed (%a) after %d attempts, %d retries, %d budget \
+               aborts, %d memory aborts, %d failovers [exit %d]@."
+              label D.Resilience.pp_failure failure
+              rstats.D.Resilience.attempts rstats.D.Resilience.retries
+              rstats.D.Resilience.budget_aborts
+              rstats.D.Resilience.memory_aborts rstats.D.Resilience.failovers
+              code;
+          if json then print_newline ();
+          code)
     in
-    show "static" D.Optimizer.static;
-    show "dynamic" (D.Optimizer.dynamic ~uncertain_memory:true ())
+    let static_code = show "static" D.Optimizer.static in
+    let dynamic_code =
+      show "dynamic" (D.Optimizer.dynamic ~uncertain_memory:true ())
+    in
+    (* The dynamic plan is the headline result: its typed outcome is the
+       process exit code (a static-only failure — e.g. no lower-memory
+       alternative to fail over to — still reports through output and
+       JSON). *)
+    ignore static_code;
+    if dynamic_code <> 0 then exit dynamic_code
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute a chain query on synthetic data with static and dynamic \
-             plans, optionally under injected storage faults.")
+             plans, optionally under injected storage faults and per-query \
+             resource budgets. Exit status follows the dynamic plan's typed \
+             outcome: 0 ok, 10 infeasible, 11 rejected, 12 exhausted, 13 \
+             deadline exceeded, 14 memory exceeded, 15 cancelled.")
     Term.(const run $ relations_arg $ seed $ memory $ sels $ fault_rate
-          $ fault_seed $ retries $ io_budget_factor $ engine $ workers)
+          $ fault_seed $ retries $ io_budget_factor $ engine $ workers
+          $ deadline_ms $ memory_kb $ json)
 
 (* --- sql ----------------------------------------------------------------- *)
 

@@ -98,6 +98,8 @@ module Scheduler = Dqep_exec.Scheduler
 module Reference = Dqep_exec.Reference
 module Midquery = Dqep_exec.Midquery
 module Resilience = Dqep_exec.Resilience
+module Governor = Dqep_exec.Governor
+module Session = Dqep_exec.Session
 
 (** {1 Workloads and experiments} *)
 
@@ -113,4 +115,5 @@ module Experiments = struct
   module Table1 = Dqep_experiments.Table1
   module Validation = Dqep_experiments.Validation
   module Ablations = Dqep_experiments.Ablations
+  module Chaos = Dqep_experiments.Chaos
 end

@@ -60,6 +60,13 @@ let device t = t.device
 let memory_pages t = t.memory_pages
 let io_budget_factor t = t.io_budget_factor
 
+(* Same bindings, different memory grant: the resilient executor
+   re-resolves dynamic plans under a lowered memory environment after a
+   memory-budget abort, so the decision procedure prefers a lower-memory
+   alternative.  Point-ness is preserved only if the new grant is one. *)
+let with_memory_pages t memory_pages =
+  { t with memory_pages; point = t.point && Interval.is_point memory_pages }
+
 let selectivity t (p : Predicate.select) =
   match p.selectivity with
   | Predicate.Bound s -> Interval.point s

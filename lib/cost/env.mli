@@ -62,6 +62,12 @@ val catalog : t -> Dqep_catalog.Catalog.t
 val device : t -> Device.t
 val memory_pages : t -> Interval.t
 
+val with_memory_pages : t -> Interval.t -> t
+(** The same environment under a different memory grant.  Used by the
+    resilient executor to re-resolve a dynamic plan after a
+    memory-budget abort: under the lowered grant the decision procedure
+    prefers a lower-memory alternative. *)
+
 val io_budget_factor : t -> float
 (** How far observed physical I/O may exceed the anticipated cost before
     the resilient executor aborts the run ({!Dqep_exec.Resilience}):

@@ -55,6 +55,7 @@ type iterator = {
 type ctx = {
   db : Database.t;
   env : Env.t;
+  gov : Governor.t; (* cancellation token + memory budget; domain-safe *)
   mat : (int * tuple list) list;
   scheduler : Scheduler.t;
   capacity : int;
@@ -133,6 +134,11 @@ let scan_stripe ctx schema fused pages ~emit =
   in
   List.iter
     (fun page ->
+      (* One cancellation point per page, outside the storage critical
+         section.  Exchange workers run this on their own domains, so a
+         cancelled governor stops every stripe producer; the raised
+         exception travels through the merge queue as a Fault message. *)
+      Governor.check ctx.gov;
       let tuples = locked ctx (fun () -> read_page_tuples ctx page) in
       List.iter
         (fun t ->
@@ -277,6 +283,7 @@ let btree_scan ctx schema ~rel ~attr ~hi =
         match !rids with
         | [] -> None
         | _ ->
+          Governor.check ctx.gov;
           let batch = Batch.create ~capacity:ctx.capacity schema in
           locked ctx (fun () ->
               let continue_ = ref true in
@@ -432,7 +439,8 @@ and hash_join ctx (plan : Plan.t) preds =
            close before the next starts. *)
         let build = consume left_it in
         let probe = consume right_it in
-        Exec_common.hash_join_core ctx.db ctx.env ~left_schema ~right_schema
+        Exec_common.hash_join_core ~gov:ctx.gov ctx.db ctx.env ~left_schema
+          ~right_schema
           ~left_width ~right_width ~preds
           ~emit:(fun l r ->
             if residual l r then out_push ob (Array.append l r))
@@ -451,6 +459,11 @@ and merge_join ctx (plan : Plan.t) preds =
   in
   let lpos = Schema.position_exn left_schema first.Predicate.left in
   let rpos = Schema.position_exn right_schema first.Predicate.right in
+  let right_width =
+    match plan.Plan.inputs with
+    | [ _; r ] -> r.Plan.bytes_per_row
+    | _ -> invalid_arg "Batch_exec: merge join expects two inputs"
+  in
   let residual =
     Pred_eval.equi_matches ~left:left_schema ~right:right_schema preds
   in
@@ -461,25 +474,32 @@ and merge_join ctx (plan : Plan.t) preds =
         out_reset ob;
         let left = consume left_it in
         let right = Array.of_list (consume right_it) in
-        (* Same pointer discipline as the row engine: never advance the
-           group pointer past the current key — the next left tuple may
-           carry it again. *)
-        let rpointer = ref 0 in
-        List.iter
-          (fun l ->
-            let key = l.(lpos) in
-            while
-              !rpointer < Array.length right && right.(!rpointer).(rpos) < key
-            do
-              incr rpointer
-            done;
-            let stop = ref !rpointer in
-            while !stop < Array.length right && right.(!stop).(rpos) = key do
-              (let r = right.(!stop) in
-               if residual l r then out_push ob (Array.append l r));
-              incr stop
-            done)
-          left);
+        (* The materialized right side is the operator's working set;
+           charge it for the duration of the merge pass. *)
+        Governor.with_charge ctx.gov
+          (Array.length right * Int.max 1 right_width)
+          (fun () ->
+            (* Same pointer discipline as the row engine: never advance
+               the group pointer past the current key — the next left
+               tuple may carry it again. *)
+            let rpointer = ref 0 in
+            List.iter
+              (fun l ->
+                Governor.check ctx.gov;
+                let key = l.(lpos) in
+                while
+                  !rpointer < Array.length right
+                  && right.(!rpointer).(rpos) < key
+                do
+                  incr rpointer
+                done;
+                let stop = ref !rpointer in
+                while !stop < Array.length right && right.(!stop).(rpos) = key do
+                  (let r = right.(!stop) in
+                   if residual l r then out_push ob (Array.append l r));
+                  incr stop
+                done)
+              left));
     next = (fun () -> out_pop ob);
     close = (fun () -> out_reset ob) }
 
@@ -530,6 +550,7 @@ and index_join ctx (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
             match outer_it.next () with
             | None -> None
             | Some outer_batch ->
+              Governor.check ctx.gov;
               let n = Batch.length outer_batch in
               for i = 0 to n - 1 do
                 let outer = Batch.tuple outer_batch i in
@@ -569,7 +590,8 @@ and sort ctx (plan : Plan.t) cols =
       (fun () ->
         let tuples = consume child in
         let sorted =
-          Exec_common.sort_core ctx.db ctx.env ~width ~compare_tuples tuples
+          Exec_common.sort_core ~gov:ctx.gov ctx.db ctx.env ~width
+            ~compare_tuples tuples
         in
         pending := Batch.of_tuples ~capacity:ctx.capacity schema sorted);
     next =
@@ -583,10 +605,11 @@ and sort ctx (plan : Plan.t) cols =
 
 (* --- entry points -------------------------------------------------------- *)
 
-let make_ctx db env ~materialized ~workers ~capacity =
+let make_ctx db env ~gov ~materialized ~workers ~capacity =
   let scheduler = Scheduler.create ~workers in
   { db;
     env;
+    gov;
     mat = materialized;
     scheduler;
     capacity;
@@ -594,27 +617,31 @@ let make_ctx db env ~materialized ~workers ~capacity =
       (if Scheduler.is_parallel scheduler then Some (Mutex.create ()) else None);
     partitions = 0 }
 
-let compile_with db env ?(materialized = []) ?(workers = 1)
-    ?(capacity = Batch.default_capacity) plan =
-  let ctx = make_ctx db env ~materialized ~workers ~capacity in
+let compile_with db env ?(gov = Governor.none) ?(materialized = [])
+    ?(workers = 1) ?(capacity = Batch.default_capacity) plan =
+  let ctx = make_ctx db env ~gov ~materialized ~workers ~capacity in
   (ctx, compile_node ctx plan)
 
 (* Execute a plan and return its tuples plus the run's execution profile.
    Per-batch accounting happens at the plan root: [on_batch] (when given)
    observes every root batch's selected row count as it is delivered —
    Midquery uses this to accumulate cardinalities batch by batch. *)
-let run_plan db env ?(materialized = []) ?(workers = 1)
+let run_plan db env ?(gov = Governor.none) ?(materialized = []) ?(workers = 1)
     ?(capacity = Batch.default_capacity) ?on_batch plan =
-  let ctx, it = compile_with db env ~materialized ~workers ~capacity plan in
+  let ctx, it =
+    compile_with db env ~gov ~materialized ~workers ~capacity plan
+  in
   let batches = ref 0 and max_rows = ref 0 and total_rows = ref 0 in
   let counting =
     { it with
       next =
         (fun () ->
+          Governor.check gov;
           match it.next () with
           | None -> None
           | Some b ->
             let n = Batch.length b in
+            Governor.count_rows gov n;
             incr batches;
             max_rows := Int.max !max_rows n;
             total_rows := !total_rows + n;

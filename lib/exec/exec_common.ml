@@ -66,6 +66,18 @@ let pp_profile ppf p =
 let memory_pages env =
   Int.max 2 (int_of_float (Interval.mid (Env.memory_pages env)))
 
+(* The working-set bound for the spilling cores: the environment's memory
+   grant, further narrowed by the governor's remaining memory headroom.
+   This is the graceful-degradation half of the memory budget — under
+   pressure the cores spill *earlier* (smaller in-memory partitions and
+   runs) instead of aborting; only an allocation that cannot fit even
+   after maximal partitioning raises [Governor.Memory_exceeded]. *)
+let governed_memory_pages env gov ~page_bytes =
+  let mem = memory_pages env in
+  match Governor.headroom gov with
+  | None -> mem
+  | Some bytes -> Int.max 2 (Int.min mem (bytes / Int.max 1 page_bytes))
+
 let base_schema db rel =
   Schema.of_relation (Catalog.relation_exn (Database.catalog db) rel)
 
@@ -100,21 +112,30 @@ let join_key ~left_schema preds side tuple =
    memory grant, a single in-memory hash table; otherwise fan both sides
    out to temporary heap files and recurse per partition.  [emit] is
    called once per joined pair. *)
-let hash_join_core db env ~left_schema ~right_schema ~left_width ~right_width
-    ~preds ~emit build probe =
+let hash_join_core ?(gov = Governor.none) db env ~left_schema ~right_schema
+    ~left_width ~right_width ~preds ~emit build probe =
   let page_bytes = Catalog.page_bytes (Database.catalog db) in
-  let mem = memory_pages env in
   let build_key = join_key ~left_schema preds `Left in
   let probe_key = join_key ~left_schema preds (`Right right_schema) in
   let join_in_memory build probe =
-    let table = Hashtbl.create (List.length build + 1) in
-    List.iter (fun t -> Hashtbl.add table (build_key t) t) build;
-    List.iter
-      (fun r ->
-        List.iter (fun l -> emit l r) (Hashtbl.find_all table (probe_key r)))
-      probe
+    (* The hash table over the build side is the core's materialization:
+       charge it against the memory budget for the duration of the probe.
+       A partition that cannot fit even here (after maximal Grace
+       partitioning under budget pressure) aborts with Memory_exceeded. *)
+    Governor.with_charge gov (List.length build * Int.max 1 left_width)
+      (fun () ->
+        let table = Hashtbl.create (List.length build + 1) in
+        List.iter (fun t -> Hashtbl.add table (build_key t) t) build;
+        List.iter
+          (fun r ->
+            Governor.check gov;
+            List.iter (fun l -> emit l r) (Hashtbl.find_all table (probe_key r)))
+          probe)
   in
   let rec join_partition depth build probe =
+    (* Re-read the grant per partition: governed headroom shrinks as
+       sibling queries charge the shared pool. *)
+    let mem = governed_memory_pages env gov ~page_bytes in
     let build_pages = List.length build * left_width / page_bytes in
     if build_pages <= mem - 1 || depth >= 3 then join_in_memory build probe
     else begin
@@ -151,19 +172,29 @@ let compare_on positions (a : tuple) (b : tuple) =
 
 (* Stable sort, spilling sorted runs to temporary heap files when the
    input exceeds the memory grant, then merging in one pass. *)
-let sort_core db env ~width ~compare_tuples tuples =
+let sort_core ?(gov = Governor.none) db env ~width ~compare_tuples tuples =
   let page_bytes = Catalog.page_bytes (Database.catalog db) in
-  let mem = memory_pages env in
+  let mem = governed_memory_pages env gov ~page_bytes in
   let pages = List.length tuples * width / page_bytes in
-  if pages <= mem then List.stable_sort compare_tuples tuples
+  if pages <= mem then
+    (* In-memory sort: the whole input is the working set. *)
+    Governor.with_charge gov (List.length tuples * Int.max 1 width) (fun () ->
+        List.stable_sort compare_tuples tuples)
   else begin
     let per_run = Int.max 1 (mem * page_bytes / Int.max 1 width) in
     let rec runs acc = function
       | [] -> List.rev acc
       | rest ->
+        Governor.check gov;
         let run = List.filteri (fun i _ -> i < per_run) rest in
         let remainder = List.filteri (fun i _ -> i >= per_run) rest in
-        runs (spill db width (List.stable_sort compare_tuples run) :: acc) remainder
+        let sorted =
+          (* Each run is sized to the governed grant; charge it while
+             sorting so a shrinking shared pool still surfaces. *)
+          Governor.with_charge gov (List.length run * Int.max 1 width)
+            (fun () -> List.stable_sort compare_tuples run)
+        in
+        runs (spill db width sorted :: acc) remainder
     in
     let run_files = runs [] tuples in
     let sorted_runs = List.map (fun h -> unspill db h) run_files in

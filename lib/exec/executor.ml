@@ -75,7 +75,7 @@ let base_schema = Exec_common.base_schema
 
 (* Stream a heap file page by page, copying each page's tuples out while
    pinned. *)
-let heap_iterator db schema heap =
+let heap_iterator db gov schema heap =
   let pages = ref [] in
   let buffered = ref [] in
   { Iterator.schema;
@@ -86,6 +86,7 @@ let heap_iterator db schema heap =
     next =
       (fun () ->
         let rec go () =
+          Governor.check gov;
           match !buffered with
           | t :: rest ->
             buffered := rest;
@@ -111,11 +112,12 @@ let heap_iterator db schema heap =
     close = (fun () -> ()) }
 
 (* Fetch records for a list of rids, one at a time. *)
-let rid_fetch_iterator db schema rids_ref =
+let rid_fetch_iterator db gov schema rids_ref =
   { Iterator.schema;
     open_ = (fun () -> ());
     next =
       (fun () ->
+        Governor.check gov;
         match !rids_ref with
         | [] -> None
         | rid :: rest ->
@@ -129,7 +131,7 @@ let filter_iterator pred child = { child with Iterator.next = pred child.Iterato
 
 let schema_of db plan = Plan.schema (Database.catalog db) plan
 
-let rec compile_node db env mat (plan : Plan.t) : Iterator.t =
+let rec compile_node db env gov mat (plan : Plan.t) : Iterator.t =
   match List.assoc_opt plan.Plan.pid mat with
   | Some tuples ->
     (* The subplan was already materialized (mid-query adaptation):
@@ -138,20 +140,21 @@ let rec compile_node db env mat (plan : Plan.t) : Iterator.t =
   | None ->
   match plan.Plan.op with
   | Physical.File_scan rel ->
-    heap_iterator db (base_schema db rel) (Database.heap db rel)
+    heap_iterator db gov (base_schema db rel) (Database.heap db rel)
   | Physical.Btree_scan { rel; attr } ->
     let schema = base_schema db rel in
     let rids = ref [] in
-    let base = rid_fetch_iterator db schema rids in
+    let base = rid_fetch_iterator db gov schema rids in
     { base with
       Iterator.open_ =
         (fun () ->
+          Governor.check gov;
           let acc = ref [] in
           Btree.range (Database.pool db) (Database.index db ~rel ~attr) ~lo:None
             ~hi:None (fun _ rid -> acc := rid :: !acc);
           rids := List.rev !acc) }
   | Physical.Filter pred ->
-    let child = compile_child db env mat plan in
+    let child = compile_child db env gov mat plan in
     let matches = Pred_eval.select_matches env child.Iterator.schema pred in
     filter_iterator
       (fun next ->
@@ -166,37 +169,38 @@ let rec compile_node db env mat (plan : Plan.t) : Iterator.t =
   | Physical.Filter_btree_scan { rel; attr; pred } ->
     let schema = base_schema db rel in
     let rids = ref [] in
-    let base = rid_fetch_iterator db schema rids in
+    let base = rid_fetch_iterator db gov schema rids in
     { base with
       Iterator.open_ =
         (fun () ->
+          Governor.check gov;
           let cutoff = Pred_eval.threshold env pred in
           let acc = ref [] in
           if cutoff > 0 then
             Btree.range (Database.pool db) (Database.index db ~rel ~attr) ~lo:None
               ~hi:(Some (cutoff - 1)) (fun _ rid -> acc := rid :: !acc);
           rids := List.rev !acc) }
-  | Physical.Hash_join preds -> hash_join db env mat plan preds
-  | Physical.Merge_join preds -> merge_join db env mat plan preds
+  | Physical.Hash_join preds -> hash_join db env gov mat plan preds
+  | Physical.Merge_join preds -> merge_join db env gov mat plan preds
   | Physical.Index_join { preds; inner_rel; inner_attr; inner_filter } ->
-    index_join db env mat plan preds ~inner_rel ~inner_attr ~inner_filter
-  | Physical.Sort cols -> sort db env mat plan cols
+    index_join db env gov mat plan preds ~inner_rel ~inner_attr ~inner_filter
+  | Physical.Sort cols -> sort db env gov mat plan cols
   | Physical.Choose_plan ->
     let resolved = Startup.resolve env plan in
-    compile_node db env mat resolved.Startup.plan
+    compile_node db env gov mat resolved.Startup.plan
 
-and compile_child db env mat (plan : Plan.t) =
+and compile_child db env gov mat (plan : Plan.t) =
   match plan.Plan.inputs with
-  | [ child ] -> compile_node db env mat child
+  | [ child ] -> compile_node db env gov mat child
   | _ -> invalid_arg "Executor: expected unary operator"
 
-and compile_children db env mat (plan : Plan.t) =
+and compile_children db env gov mat (plan : Plan.t) =
   match plan.Plan.inputs with
-  | [ l; r ] -> (compile_node db env mat l, compile_node db env mat r)
+  | [ l; r ] -> (compile_node db env gov mat l, compile_node db env gov mat r)
   | _ -> invalid_arg "Executor: expected binary operator"
 
-and hash_join db env mat (plan : Plan.t) preds =
-  let left_it, right_it = compile_children db env mat plan in
+and hash_join db env gov mat (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env gov mat plan in
   let left_schema = left_it.Iterator.schema
   and right_schema = right_it.Iterator.schema in
   let schema = Schema.concat left_schema right_schema in
@@ -216,7 +220,7 @@ and hash_join db env mat (plan : Plan.t) preds =
         results := [];
         let build = Iterator.consume left_it in
         let probe = Iterator.consume right_it in
-        Exec_common.hash_join_core db env ~left_schema ~right_schema
+        Exec_common.hash_join_core ~gov db env ~left_schema ~right_schema
           ~left_width ~right_width ~preds ~emit build probe;
         pending := List.rev !results);
     next =
@@ -228,8 +232,8 @@ and hash_join db env mat (plan : Plan.t) preds =
           Some t);
     close = (fun () -> ()) }
 
-and merge_join db env mat (plan : Plan.t) preds =
-  let left_it, right_it = compile_children db env mat plan in
+and merge_join db env gov mat (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env gov mat plan in
   let left_schema = left_it.Iterator.schema
   and right_schema = right_it.Iterator.schema in
   let schema = Schema.concat left_schema right_schema in
@@ -241,22 +245,38 @@ and merge_join db env mat (plan : Plan.t) preds =
   let lpos = Schema.position_exn left_schema first.Predicate.left in
   let rpos = Schema.position_exn right_schema first.Predicate.right in
   let residual = Pred_eval.equi_matches ~left:left_schema ~right:right_schema preds in
+  let right_width =
+    match plan.Plan.inputs with
+    | [ _; r ] -> r.Plan.bytes_per_row
+    | _ -> invalid_arg "Executor: merge join expects two inputs"
+  in
   let right_arr = ref [||] in
   let rpointer = ref 0 in
   let group = ref [||] in
   let group_idx = ref 0 in
   let current_left = ref None in
+  let charged = ref 0 in
+  let release () =
+    Governor.release gov !charged;
+    charged := 0
+  in
   { Iterator.schema;
     open_ =
       (fun () ->
+        release ();
         left_it.Iterator.open_ ();
-        right_arr := Array.of_list (Iterator.consume right_it);
+        let right = Iterator.consume right_it in
+        (* The materialized right side is this operator's working set. *)
+        Governor.charge gov (List.length right * Int.max 1 right_width);
+        charged := List.length right * Int.max 1 right_width;
+        right_arr := Array.of_list right;
         rpointer := 0;
         group := [||];
         group_idx := 0;
         current_left := None);
     next =
       (fun () ->
+        Governor.check gov;
         let rec emit () =
           match !current_left with
           | Some l when !group_idx < Array.length !group ->
@@ -291,12 +311,13 @@ and merge_join db env mat (plan : Plan.t) preds =
     close =
       (fun () ->
         left_it.Iterator.close ();
-        right_arr := [||]) }
+        right_arr := [||];
+        release ()) }
 
-and index_join db env mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
+and index_join db env gov mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
   let outer_it =
     match plan.Plan.inputs with
-    | [ o ] -> compile_node db env mat o
+    | [ o ] -> compile_node db env gov mat o
     | _ -> invalid_arg "Executor: index join expects one input"
   in
   let outer_schema = outer_it.Iterator.schema in
@@ -332,6 +353,7 @@ and index_join db env mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_fi
     next =
       (fun () ->
         let rec go () =
+          Governor.check gov;
           match !pending with
           | t :: rest ->
             pending := rest;
@@ -358,8 +380,8 @@ and index_join db env mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_fi
         go ());
     close = outer_it.Iterator.close }
 
-and sort db env mat (plan : Plan.t) cols =
-  let child = compile_child db env mat plan in
+and sort db env gov mat (plan : Plan.t) cols =
+  let child = compile_child db env gov mat plan in
   let schema = child.Iterator.schema in
   let positions = List.map (Schema.position_exn schema) cols in
   let compare_tuples = Exec_common.compare_on positions in
@@ -369,7 +391,7 @@ and sort db env mat (plan : Plan.t) cols =
     open_ =
       (fun () ->
         let tuples = Iterator.consume child in
-        pending := Exec_common.sort_core db env ~width ~compare_tuples tuples);
+        pending := Exec_common.sort_core ~gov db env ~width ~compare_tuples tuples);
     next =
       (fun () ->
         match !pending with
@@ -382,17 +404,33 @@ and sort db env mat (plan : Plan.t) cols =
 (* compile_node resolves any remaining choose-plan operators lazily, and
    materialized substitution is checked before anything else, so plans
    containing overridden choose nodes compile correctly. *)
-let compile_with db env ?(materialized = []) plan =
-  compile_node db env materialized plan
+let compile_with db env ?(gov = Governor.none) ?(materialized = []) plan =
+  compile_node db env gov materialized plan
 
 let compile db env plan = compile_with db env plan
+
+(* The plan root's cancellation point and row accounting: every tuple
+   delivered out of the engine passes one governor check. *)
+let governed_iterator gov it =
+  if Governor.is_unlimited gov then it
+  else
+    { it with
+      Iterator.next =
+        (fun () ->
+          Governor.check gov;
+          match it.Iterator.next () with
+          | None -> None
+          | Some t ->
+            Governor.count_rows gov 1;
+            Some t) }
 
 (* Engine-dispatching execution: drain the plan through the selected
    engine and report the run's execution profile.  Defaults come from the
    DQEP_ENGINE / DQEP_WORKERS environment variables (see Exec_common), so
    an unmodified caller — including every existing test suite — can be
    pushed through the batch engine externally. *)
-let execute db env ?(materialized = []) ?engine ?workers ?on_batch plan =
+let execute db env ?(gov = Governor.none) ?(materialized = []) ?engine ?workers
+    ?on_batch plan =
   let engine =
     match engine with Some e -> e | None -> Exec_common.default_engine ()
   in
@@ -401,13 +439,14 @@ let execute db env ?(materialized = []) ?engine ?workers ?on_batch plan =
   in
   match engine with
   | Exec_common.Row ->
-    let tuples = Iterator.consume (compile_with db env ~materialized plan) in
+    let it = governed_iterator gov (compile_with db env ~gov ~materialized plan) in
+    let tuples = Iterator.consume it in
     Option.iter (fun f -> f (List.length tuples)) on_batch;
     (tuples, Exec_common.row_profile)
   | Exec_common.Batch ->
-    Batch_exec.run_plan db env ~materialized ~workers ?on_batch plan
+    Batch_exec.run_plan db env ~gov ~materialized ~workers ?on_batch plan
 
-let run db ?engine ?workers bindings plan =
+let run db ?(gov = Governor.none) ?engine ?workers bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let plan = check_feasible db env plan in
   let resolved =
@@ -418,7 +457,7 @@ let run db ?engine ?workers bindings plan =
   Buffer_pool.resize pool (memory_pages env);
   let before = Buffer_pool.stats pool in
   let (tuples, profile), cpu_seconds =
-    Timer.cpu (fun () -> execute db env ?engine ?workers resolved)
+    Timer.cpu (fun () -> execute db env ~gov ?engine ?workers resolved)
   in
   let after = Buffer_pool.stats pool in
   ( tuples,

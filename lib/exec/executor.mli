@@ -60,16 +60,21 @@ val compile :
 val compile_with :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
+  ?gov:Governor.t ->
   ?materialized:(int * Iterator.tuple list) list ->
   Dqep_plans.Plan.t ->
   Iterator.t
 (** Like {!compile}, but nodes whose pid appears in [materialized] are
     served from the given temporary results instead of being executed —
-    the execution half of mid-query adaptation ({!Midquery}). *)
+    the execution half of mid-query adaptation ({!Midquery}).  When a
+    [gov] is given, every iterator's [next] is a cancellation point and
+    the spilling operators charge their working sets against its memory
+    budget ({!Governor}); default {!Governor.none} governs nothing. *)
 
 val execute :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
+  ?gov:Governor.t ->
   ?materialized:(int * Iterator.tuple list) list ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
@@ -82,17 +87,19 @@ val execute :
     observes the selected row count of every batch delivered at the plan
     root as it is produced (the row engine reports one "batch" holding
     the whole result) — {!Midquery} accumulates observed cardinalities
-    through it. *)
+    through it.  [gov] as in {!compile_with}; the plan root additionally
+    counts delivered rows against the governor's row limit. *)
 
 val run :
   Dqep_storage.Database.t ->
+  ?gov:Governor.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
   Iterator.tuple list * run_stats
 (** Resolve, execute and drain a plan, reporting I/O and CPU.
-    [engine]/[workers] as in {!execute}. *)
+    [gov]/[engine]/[workers] as in {!execute}. *)
 
 val memory_pages : Dqep_cost.Env.t -> int
 (** The engine's working-memory budget under the environment. *)

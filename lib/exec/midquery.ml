@@ -65,8 +65,8 @@ let shared_subplan (plan : Plan.t) =
       |> Option.map snd)
   | _ -> None
 
-let plain_run db ?engine ?workers bindings plan =
-  let tuples, run = Executor.run db ?engine ?workers bindings plan in
+let plain_run db ?(gov = Governor.none) ?engine ?workers bindings plan =
+  let tuples, run = Executor.run db ~gov ?engine ?workers bindings plan in
   let env = Env.of_bindings (Database.catalog db) bindings in
   let cost, _ = Startup.evaluate env run.Executor.resolved_plan in
   ( tuples,
@@ -85,7 +85,7 @@ type observation = {
   materialized : (int * Iterator.tuple list) list;
 }
 
-let observe db env ?engine ?workers plan ~sub =
+let observe db env ?(gov = Governor.none) ?engine ?workers plan ~sub =
   (* Evaluate the shared subplan into a temporary and propagate the
      observation to every subplan computing the same logical result (same
      relations and selections — witnessed by an identical compile-time
@@ -95,7 +95,7 @@ let observe db env ?engine ?workers plan ~sub =
      batch as the root delivers them. *)
   let observed = ref 0 in
   let temp, profile =
-    Executor.execute db env ?engine ?workers
+    Executor.execute db env ~gov ?engine ?workers
       ~on_batch:(fun n -> observed := !observed + n)
       sub
   in
@@ -131,11 +131,11 @@ let observe db env ?engine ?workers plan ~sub =
   in
   { observed_rows = observed; batches; overrides; materialized }
 
-let run db ?engine ?workers bindings plan =
+let run db ?(gov = Governor.none) ?engine ?workers bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let plan = Executor.check_feasible db env plan in
   match shared_subplan plan with
-  | None -> plain_run db ?engine ?workers bindings plan
+  | None -> plain_run db ~gov ?engine ?workers bindings plan
   | Some sub ->
     let pool = Database.pool db in
     Buffer_pool.resize pool (Executor.memory_pages env);
@@ -143,7 +143,7 @@ let run db ?engine ?workers bindings plan =
     let start = Sys.time () in
     (* Phase 1: evaluate the shared subplan into a temporary. *)
     let { observed_rows = observed; batches = _; overrides; materialized } =
-      observe db env ?engine ?workers plan ~sub
+      observe db env ~gov ?engine ?workers plan ~sub
     in
     (* Phase 2: decide with the observation, execute with the temporary. *)
     let default_resolution = Startup.resolve env plan in
@@ -154,7 +154,7 @@ let run db ?engine ?workers bindings plan =
     in
     let adapted = Startup.resolve ~overrides env plan in
     let tuples, profile =
-      Executor.execute db env ~materialized ?engine ?workers
+      Executor.execute db env ~gov ~materialized ?engine ?workers
         adapted.Startup.plan
     in
     let cpu_seconds = Sys.time () -. start in

@@ -46,6 +46,7 @@ type observation = {
 val observe :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
+  ?gov:Governor.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
   Dqep_plans.Plan.t ->
@@ -61,11 +62,14 @@ val observe :
 
 val run :
   Dqep_storage.Database.t ->
+  ?gov:Governor.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
   Iterator.tuple list * stats
 (** Execute with mid-query adaptation; falls back to plain start-up
-    resolution when there is nothing to observe.  [engine]/[workers] as
-    in {!Executor.execute}. *)
+    resolution when there is nothing to observe.  [gov]/[engine]/[workers]
+    as in {!Executor.execute}: the observation phase and the final
+    execution run under the same governor, so deadlines and memory
+    budgets span the whole adapted query. *)

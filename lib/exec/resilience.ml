@@ -1,5 +1,7 @@
 module Env = Dqep_cost.Env
 module Device = Dqep_cost.Device
+module Interval = Dqep_util.Interval
+module Rng = Dqep_util.Rng
 module Startup = Dqep_plans.Startup
 module Database = Dqep_storage.Database
 module Buffer_pool = Dqep_storage.Buffer_pool
@@ -9,6 +11,7 @@ module Timer = Dqep_util.Timer
 type config = {
   max_retries : int;
   backoff_base : float;
+  backoff_seed : int;
   io_budget_factor : float option;
   max_failovers : int;
   observe_on_failover : bool;
@@ -16,14 +19,15 @@ type config = {
   workers : int option;
 }
 
-let config ?(max_retries = 2) ?(backoff_base = 0.01) ?io_budget_factor
-    ?(max_failovers = 8) ?(observe_on_failover = true) ?engine ?workers () =
+let config ?(max_retries = 2) ?(backoff_base = 0.01) ?(backoff_seed = 0x5eed)
+    ?io_budget_factor ?(max_failovers = 8) ?(observe_on_failover = true)
+    ?engine ?workers () =
   if max_retries < 0 then invalid_arg "Resilience.config: max_retries < 0";
   if max_failovers < 0 then invalid_arg "Resilience.config: max_failovers < 0";
   (match workers with
   | Some w when w < 1 -> invalid_arg "Resilience.config: workers < 1"
   | Some _ | None -> ());
-  { max_retries; backoff_base; io_budget_factor; max_failovers;
+  { max_retries; backoff_base; backoff_seed; io_budget_factor; max_failovers;
     observe_on_failover; engine; workers }
 
 let default = config ()
@@ -32,6 +36,9 @@ type failure =
   | Infeasible of Dqep_plans.Validate.problem list
   | Rejected of Dqep_util.Diagnostic.t list
   | Exhausted of { excluded : int list; last_error : exn }
+  | Deadline_exceeded of { elapsed : float; budget : float }
+  | Memory_exceeded of { budget : int; in_use : int; requested : int }
+  | Cancelled of string
 
 let pp_failure ppf = function
   | Infeasible problems ->
@@ -51,11 +58,20 @@ let pp_failure ppf = function
          Format.pp_print_int)
       excluded
       (Printexc.to_string last_error)
+  | Deadline_exceeded { elapsed; budget } ->
+    Format.fprintf ppf "deadline exceeded: %.3fs elapsed of %.3fs budget"
+      elapsed budget
+  | Memory_exceeded { budget; in_use; requested } ->
+    Format.fprintf ppf
+      "memory budget exceeded: %d bytes requested with %d in use of %d budget"
+      requested in_use budget
+  | Cancelled reason -> Format.fprintf ppf "cancelled: %s" reason
 
 type stats = {
   retries : int;
   faults_absorbed : int;
   budget_aborts : int;
+  memory_aborts : int;
   failovers : int;
   backoff_seconds : float;
   attempts : int;
@@ -72,12 +88,14 @@ let budget_pages env ~factor ~anticipated_cost =
     Some (Int.max 16 (int_of_float (Float.ceil pages)))
   end
 
-let run ?(config = default) db bindings plan =
+let run ?(config = default) ?(gov = Governor.none) db bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let pool = Database.pool db in
+  let rng = Rng.create config.backoff_seed in
   let retries = ref 0 in
   let faults = ref 0 in
   let budget_aborts = ref 0 in
+  let memory_aborts = ref 0 in
   let failovers = ref 0 in
   let backoff = ref 0. in
   let attempts = ref 0 in
@@ -85,6 +103,7 @@ let run ?(config = default) db bindings plan =
     { retries = !retries;
       faults_absorbed = !faults;
       budget_aborts = !budget_aborts;
+      memory_aborts = !memory_aborts;
       failovers = !failovers;
       backoff_seconds = !backoff;
       attempts = !attempts }
@@ -95,7 +114,6 @@ let run ?(config = default) db bindings plan =
   | exception Executor.Invalid_plan diags ->
     (Error (Rejected diags), snapshot ())
   | plan ->
-    Buffer_pool.resize pool (Executor.memory_pages env);
     let factor =
       match config.io_budget_factor with
       | Some f -> f
@@ -105,8 +123,29 @@ let run ?(config = default) db bindings plan =
     let overrides = ref [] in
     let materialized = ref [] in
     let observed = ref false in
+    (* The environment the remaining attempts resolve and execute under.
+       A memory-budget abort lowers its grant (and the buffer pool with
+       it), so the decision procedure prefers a lower-memory alternative
+       on failover — graceful degradation through plan choice. *)
+    let mem_env = ref env in
+    let lower_memory () =
+      let current = Executor.memory_pages !mem_env in
+      let lowered = Int.max 2 (current / 2) in
+      if lowered < current then begin
+        mem_env :=
+          Env.with_memory_pages !mem_env (Interval.point (float_of_int lowered));
+        (* The attempt that aborted has unwound, so nothing is pinned and
+           its I/O limit is about to be re-armed; resize under no limit. *)
+        Buffer_pool.set_io_limit pool None;
+        Buffer_pool.resize pool lowered
+      end
+    in
     (* Best-effort: re-deciding with observed cardinalities is an
-       optimization of the failover, never a reason to fail it. *)
+       optimization of the failover, never a reason to fail it.  The
+       observation runs under the same governor — a deadline or
+       cancellation during it still ends the whole run (propagated and
+       mapped to its typed failure below); a memory violation merely
+       skips the observation. *)
     let try_observe () =
       if config.observe_on_failover && not !observed then begin
         observed := true;
@@ -114,18 +153,27 @@ let run ?(config = default) db bindings plan =
         | None -> ()
         | Some sub -> (
           match
-            Midquery.observe db env ?engine:config.engine
+            Midquery.observe db !mem_env ~gov ?engine:config.engine
               ?workers:config.workers plan ~sub
           with
           | obs ->
             overrides := obs.Midquery.overrides;
             materialized := obs.Midquery.materialized
-          | exception (Fault.Io_fault _ | Buffer_pool.Io_budget_exceeded _) ->
+          | exception
+              ( Fault.Io_fault _ | Buffer_pool.Io_budget_exceeded _
+              | Governor.Memory_exceeded _ ) ->
             ())
       end
     in
     let exhausted last_error =
-      Error (Exhausted { excluded = !excluded; last_error })
+      (* A memory violation that survives to the end (no alternative
+         left, or none that fits) is its own typed outcome, not a generic
+         exhaustion: callers triage it differently (grant more memory vs
+         give up). *)
+      match last_error with
+      | Governor.Memory_exceeded { budget; in_use; requested } ->
+        Error (Memory_exceeded { budget; in_use; requested })
+      | _ -> Error (Exhausted { excluded = !excluded; last_error })
     in
     let rec attempt (resolution : Startup.resolution) attempt_no =
       let before = Buffer_pool.stats pool in
@@ -134,12 +182,12 @@ let run ?(config = default) db bindings plan =
            (fun pages ->
              before.Buffer_pool.physical_reads
              + before.Buffer_pool.physical_writes + pages)
-           (budget_pages env ~factor
+           (budget_pages !mem_env ~factor
               ~anticipated_cost:resolution.Startup.anticipated_cost));
       incr attempts;
       match
         Timer.cpu (fun () ->
-          Executor.execute db env ~materialized:!materialized
+          Executor.execute db !mem_env ~gov ~materialized:!materialized
             ?engine:config.engine ?workers:config.workers
             resolution.Startup.plan)
       with
@@ -160,13 +208,28 @@ let run ?(config = default) db bindings plan =
         when attempt_no < config.max_retries ->
         incr retries;
         incr faults;
-        backoff := !backoff +. (config.backoff_base *. (2. ** float_of_int attempt_no));
+        (* Full-jitter exponential backoff, modeled rather than slept:
+           the delay before retry [n] is uniform over
+           [0, backoff_base * 2^n), drawn from a generator seeded by the
+           config so reruns reproduce the exact schedule. *)
+        backoff :=
+          !backoff
+          +. Rng.uniform rng 0.
+               (config.backoff_base *. (2. ** float_of_int attempt_no));
         attempt resolution (attempt_no + 1)
       | exception (Fault.Io_fault _ as error) ->
         incr faults;
         fail_over resolution error
       | exception (Buffer_pool.Io_budget_exceeded _ as error) ->
         incr budget_aborts;
+        fail_over resolution error
+      | exception (Governor.Memory_exceeded _ as error) ->
+        (* Spilling already degraded as far as the budget allowed; the
+           chosen alternative simply needs more memory than granted.
+           Lower the grant and fail over — the re-resolution prefers an
+           alternative whose working set fits. *)
+        incr memory_aborts;
+        lower_memory ();
         fail_over resolution error
     and fail_over resolution error =
       (* A static plan (no choose-plan decisions) has nothing to fall
@@ -182,7 +245,7 @@ let run ?(config = default) db bindings plan =
       end
     and resolve_and_attempt ?last () =
       match
-        Startup.resolve ~overrides:!overrides ~excluded:!excluded env plan
+        Startup.resolve ~overrides:!overrides ~excluded:!excluded !mem_env plan
       with
       | resolution -> attempt resolution 0
       | exception (Startup.Exhausted _ as error) ->
@@ -194,6 +257,29 @@ let run ?(config = default) db bindings plan =
     let result =
       Fun.protect
         ~finally:(fun () -> Buffer_pool.set_io_limit pool None)
-        (fun () -> resolve_and_attempt ())
+        (fun () ->
+          match
+            (* A cancellation queued before the run started (admission
+               shedding, a caller racing submission) surfaces before any
+               I/O happens. *)
+            Governor.check gov;
+            Buffer_pool.resize pool (Executor.memory_pages env);
+            resolve_and_attempt ()
+          with
+          | result -> result
+          (* Deadline and cancellation end the whole supervised run —
+             retrying or failing over cannot buy back wall-clock time. *)
+          | exception Governor.Deadline_exceeded { elapsed; budget } ->
+            Error (Deadline_exceeded { elapsed; budget })
+          | exception Governor.Cancelled reason -> Error (Cancelled reason)
+          | exception Governor.Memory_exceeded { budget; in_use; requested }
+            ->
+            Error (Memory_exceeded { budget; in_use; requested })
+          | exception
+              (( Fault.Io_fault _ | Buffer_pool.Io_budget_exceeded _ ) as
+               error) ->
+            (* Storage faults outside an attempt (initial resize, a
+               failover resize): still a typed outcome, never an escape. *)
+            Error (Exhausted { excluded = !excluded; last_error = error }))
     in
     (result, snapshot ())

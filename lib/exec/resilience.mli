@@ -1,27 +1,42 @@
 (** A resilient execution supervisor: bounded retry, an I/O budget
-    guard, and graceful degradation through choose-plan alternatives.
+    guard, resource governance, and graceful degradation through
+    choose-plan alternatives.
 
     Dynamic plans keep several cost-incomparable alternatives until
     run-time ({!Dqep_plans.Startup}); this module exploits the same
     structure for fault tolerance.  When the chosen alternative fails —
     a transient fault persists past the retry budget, a page is truly
-    broken, or the run's physical I/O blows past its anticipated cost —
-    the supervisor re-enters the decision procedure with the failed
-    alternative excluded and carries any observed cardinalities along
-    ({!Midquery.observe}), falling back through the plan DAG until an
-    alternative completes or all are exhausted.
+    broken, the run's physical I/O blows past its anticipated cost, or
+    its working set cannot fit the memory budget even after maximal
+    spilling — the supervisor re-enters the decision procedure with the
+    failed alternative excluded and carries any observed cardinalities
+    along ({!Midquery.observe}), falling back through the plan DAG until
+    an alternative completes or all are exhausted.  A memory-budget
+    abort additionally lowers the memory grant for the re-resolution, so
+    the decision procedure prefers a lower-memory alternative.
+
+    Governor violations that no alternative can repair are their own
+    typed outcomes: a deadline or cancellation ends the run immediately
+    ({!Deadline_exceeded}, {!Cancelled}) — retrying cannot buy back
+    wall-clock time — and a memory violation with no viable fallback
+    reports {!Memory_exceeded}.
 
     Backoff between retries is deterministic and {e modeled}, not slept:
-    the accumulated delay is reported in {!stats.backoff_seconds} so
-    tests and benchmarks stay fast and reproducible. *)
+    full-jitter exponential delays drawn from a generator seeded by
+    {!config.backoff_seed}, accumulated into {!stats.backoff_seconds},
+    so tests and benchmarks stay fast and exactly reproducible. *)
 
 type config = {
   max_retries : int;
       (** transient-fault retries per chosen plan before failing over
           (default 2) *)
   backoff_base : float;
-      (** modeled delay before retry [n] is [backoff_base *. 2. ** n]
-          seconds (default 0.01) *)
+      (** modeled delay before retry [n] is uniform over
+          [\[0, backoff_base *. 2. ** n)] seconds — full jitter
+          (default 0.01) *)
+  backoff_seed : int;
+      (** seed of the jitter generator ({!Dqep_util.Rng}); the same seed
+          reproduces the same backoff schedule (default [0x5eed]) *)
   io_budget_factor : float option;
       (** observed physical I/O may exceed the anticipated cost by this
           factor before the attempt is aborted; [None] defers to
@@ -47,6 +62,7 @@ type config = {
 val config :
   ?max_retries:int ->
   ?backoff_base:float ->
+  ?backoff_seed:int ->
   ?io_budget_factor:float ->
   ?max_failovers:int ->
   ?observe_on_failover:bool ->
@@ -68,6 +84,15 @@ type failure =
       (** no surviving choose-plan alternative completes; [excluded]
           lists the alternative pids ruled out along the way and
           [last_error] is the error that ended the final attempt *)
+  | Deadline_exceeded of { elapsed : float; budget : float }
+      (** the governor's wall-clock budget ran out (seconds); the run
+          ends immediately — no retry or failover *)
+  | Memory_exceeded of { budget : int; in_use : int; requested : int }
+      (** a memory-budget violation (bytes) that no lower-memory
+          alternative could repair *)
+  | Cancelled of string
+      (** the governor was cancelled (explicitly, by row limit, or by an
+          injected test cancellation); the reason names the source *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
@@ -75,6 +100,9 @@ type stats = {
   retries : int;  (** attempts repeated after a transient fault *)
   faults_absorbed : int;  (** injected faults caught by the supervisor *)
   budget_aborts : int;  (** attempts aborted by the I/O budget guard *)
+  memory_aborts : int;
+      (** attempts aborted by the governor's memory budget (each one
+          lowers the grant and fails over) *)
   failovers : int;  (** re-resolutions onto another alternative *)
   backoff_seconds : float;  (** total modeled backoff delay *)
   attempts : int;  (** executions started, including the successful one *)
@@ -82,6 +110,7 @@ type stats = {
 
 val run :
   ?config:config ->
+  ?gov:Governor.t ->
   Dqep_storage.Database.t ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
@@ -89,4 +118,9 @@ val run :
 (** Supervised execution.  On success the embedded
     {!Executor.run_stats} has its resilience counters filled in and its
     I/O window covers the final (successful) attempt.  [stats] is
-    reported in both arms, so failed runs are observable too. *)
+    reported in both arms, so failed runs are observable too.
+
+    [gov] (default {!Governor.none}) governs every attempt {e and} the
+    failover observation: deadlines, cancellation, memory budgets and
+    row limits all surface here as typed failures, never as escaped
+    exceptions. *)

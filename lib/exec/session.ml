@@ -1,0 +1,232 @@
+(* Query sessions: admission control in front of the resilient executor.
+
+   A session bounds what runs concurrently (admission slots), what waits
+   (a bounded FIFO ticket queue with deadline shedding), and what the
+   admitted queries may collectively hold (a shared Governor.pool every
+   admitted query's charges count against).
+
+   Concurrency model: session state is guarded by one mutex + condition;
+   submitters on any number of domains take a ticket, wait FIFO for a
+   slot, run, release.  Storage is NOT shared — each submitter executes
+   against its own Database (the engines are not thread-safe across
+   concurrent executions); the session governs only admission and the
+   global memory pool, which are domain-safe by construction.
+
+   Waiters are only re-examined on wakeups (OCaml's Condition has no
+   timed wait), so queue-deadline shedding is observed when a completion
+   or another shed broadcasts.  Governed queries carry their own
+   deadlines, so slots turn over and the queue drains; a session used
+   without any per-query deadline should set max_queue instead. *)
+
+type shed_reason = Queue_full | Queue_timeout
+
+let shed_reason_name = function
+  | Queue_full -> "queue_full"
+  | Queue_timeout -> "queue_timeout"
+
+type outcome =
+  | Completed of Iterator.tuple list * Executor.run_stats
+  | Failed of Resilience.failure
+  | Shed of shed_reason
+
+type config = {
+  max_inflight : int;
+  max_queue : int;
+  queue_deadline : float option;
+  memory_pool_bytes : int option;
+  resilience : Resilience.config;
+}
+
+let default_max_inflight () =
+  match Option.bind (Sys.getenv_opt "DQEP_MAX_INFLIGHT") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 4
+
+let config ?max_inflight ?(max_queue = 16) ?queue_deadline ?memory_pool_bytes
+    ?(resilience = Resilience.default) () =
+  let max_inflight =
+    match max_inflight with Some n -> n | None -> default_max_inflight ()
+  in
+  if max_inflight < 1 then invalid_arg "Session.config: max_inflight < 1";
+  if max_queue < 0 then invalid_arg "Session.config: max_queue < 0";
+  (match queue_deadline with
+  | Some d when d < 0. -> invalid_arg "Session.config: queue_deadline < 0"
+  | Some _ | None -> ());
+  (match memory_pool_bytes with
+  | Some b when b <= 0 -> invalid_arg "Session.config: memory_pool_bytes <= 0"
+  | Some _ | None -> ());
+  { max_inflight; max_queue; queue_deadline; memory_pool_bytes; resilience }
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  completed : int;
+  failed : int;
+  shed_queue_full : int;
+  shed_queue_timeout : int;
+  peak_inflight : int;
+  peak_queued : int;
+}
+
+type t = {
+  cfg : config;
+  pool : Governor.pool option;
+  mu : Mutex.t;
+  cond : Condition.t;
+  abandoned : (int, unit) Hashtbl.t;
+  mutable inflight : int;
+  mutable queued : int;
+  mutable next_ticket : int;
+  mutable serving : int;
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable shed_queue_full : int;
+  mutable shed_queue_timeout : int;
+  mutable peak_inflight : int;
+  mutable peak_queued : int;
+}
+
+let create ?(config = config ()) () =
+  { cfg = config;
+    pool =
+      Option.map
+        (fun capacity_bytes -> Governor.pool ~capacity_bytes)
+        config.memory_pool_bytes;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    abandoned = Hashtbl.create 16;
+    inflight = 0;
+    queued = 0;
+    next_ticket = 0;
+    serving = 0;
+    submitted = 0;
+    admitted = 0;
+    completed = 0;
+    failed = 0;
+    shed_queue_full = 0;
+    shed_queue_timeout = 0;
+    peak_inflight = 0;
+    peak_queued = 0 }
+
+let memory_pool t = t.pool
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    { submitted = t.submitted;
+      admitted = t.admitted;
+      completed = t.completed;
+      failed = t.failed;
+      shed_queue_full = t.shed_queue_full;
+      shed_queue_timeout = t.shed_queue_timeout;
+      peak_inflight = t.peak_inflight;
+      peak_queued = t.peak_queued }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let inflight t =
+  Mutex.lock t.mu;
+  let n = t.inflight in
+  Mutex.unlock t.mu;
+  n
+
+let queued t =
+  Mutex.lock t.mu;
+  let n = t.queued in
+  Mutex.unlock t.mu;
+  n
+
+(* Skip tickets whose holders shed on queue deadline; call with mu held. *)
+let advance t =
+  while Hashtbl.mem t.abandoned t.serving do
+    Hashtbl.remove t.abandoned t.serving;
+    t.serving <- t.serving + 1
+  done
+
+let admit t ~clock =
+  Mutex.lock t.mu;
+  t.submitted <- t.submitted + 1;
+  if
+    t.queued >= t.cfg.max_queue
+    && (t.queued > 0 || t.inflight >= t.cfg.max_inflight)
+  then begin
+    (* The wait queue is full and this submission would have to wait
+       (someone is queued ahead, or every slot is taken): shed at the
+       door.  With [max_queue = 0] only immediately admissible
+       submissions get in. *)
+    t.shed_queue_full <- t.shed_queue_full + 1;
+    Mutex.unlock t.mu;
+    Error Queue_full
+  end
+  else begin
+    let ticket = t.next_ticket in
+    t.next_ticket <- ticket + 1;
+    t.queued <- t.queued + 1;
+    t.peak_queued <- Int.max t.peak_queued t.queued;
+    let enqueued_at = clock () in
+    let rec wait () =
+      advance t;
+      if t.serving = ticket && t.inflight < t.cfg.max_inflight then begin
+        t.serving <- ticket + 1;
+        t.queued <- t.queued - 1;
+        t.inflight <- t.inflight + 1;
+        t.peak_inflight <- Int.max t.peak_inflight t.inflight;
+        t.admitted <- t.admitted + 1;
+        (* The ticket behind may be admissible too (several free slots). *)
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mu;
+        Ok ()
+      end
+      else
+        match t.cfg.queue_deadline with
+        | Some d when clock () -. enqueued_at >= d ->
+          t.queued <- t.queued - 1;
+          t.shed_queue_timeout <- t.shed_queue_timeout + 1;
+          if t.serving = ticket then t.serving <- ticket + 1
+          else Hashtbl.replace t.abandoned ticket ();
+          advance t;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mu;
+          Error Queue_timeout
+        | _ ->
+          Condition.wait t.cond t.mu;
+          wait ()
+    in
+    wait ()
+  end
+
+let release t ~outcome =
+  Mutex.lock t.mu;
+  t.inflight <- t.inflight - 1;
+  (match outcome with
+  | `Completed -> t.completed <- t.completed + 1
+  | `Failed -> t.failed <- t.failed + 1);
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let submit t ?(gov = Governor.none) ?resilience ?(clock = Unix.gettimeofday)
+    db bindings plan =
+  match admit t ~clock with
+  | Error reason -> Shed reason
+  | Ok () ->
+    let gov =
+      match t.pool with Some p -> Governor.with_pool gov p | None -> gov
+    in
+    let rconfig = Option.value resilience ~default:t.cfg.resilience in
+    let outcome =
+      match Resilience.run ~config:rconfig ~gov db bindings plan with
+      | Ok (tuples, stats), _ -> Completed (tuples, stats)
+      | Error failure, _ -> Failed failure
+      | exception e ->
+        (* Resilience.run types every expected error; anything else is a
+           bug, but the slot must still be released. *)
+        release t ~outcome:`Failed;
+        raise e
+    in
+    (match outcome with
+    | Completed _ -> release t ~outcome:`Completed
+    | Failed _ | Shed _ -> release t ~outcome:`Failed);
+    outcome

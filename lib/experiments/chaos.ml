@@ -1,0 +1,224 @@
+(* Multi-domain chaos/soak harness for resource-governed sessions.
+
+   Worker domains pull seeded query jobs from a shared counter and
+   submit them through ONE shared Session — admission slots, the
+   bounded wait queue and the global memory pool are all contended for
+   real.  Each job gets its OWN Database (the storage layer is not
+   thread-safe across concurrent executions; the session governs
+   admission and memory, not storage), a Plangen instance, a dynamic
+   plan, and a scenario drawn from the seeded mix:
+
+   - clean: no limits;
+   - deadline: a few milliseconds of wall-clock budget;
+   - cancel: deterministic cancellation at a seeded check tick;
+   - memory: a tight per-query memory budget (plus the shared pool);
+   - faulty: an injected I/O fault schedule on the job's disk.
+
+   Jobs alternate row/batch engines, some with parallel exchange
+   workers, so cancellation also lands mid-exchange on worker domains.
+
+   The harness asserts the governed-session contract structurally: every
+   job yields exactly one typed outcome (anything escaping
+   Session.submit is recorded in [escaped], which must stay empty), and
+   after every outcome — completed, failed, shed, cancelled mid-spill —
+   the job's buffer pool holds zero pinned pages ([leaks] must stay
+   empty).  Hang-freedom is enforced by the caller's watchdog. *)
+
+module Governor = Dqep_exec.Governor
+module Session = Dqep_exec.Session
+module Resilience = Dqep_exec.Resilience
+module Exec_common = Dqep_exec.Exec_common
+module Executor = Dqep_exec.Executor
+module Plangen = Dqep_workload.Plangen
+module Optimizer = Dqep_optimizer.Optimizer
+module Database = Dqep_storage.Database
+module Buffer_pool = Dqep_storage.Buffer_pool
+module Disk = Dqep_storage.Disk
+module Fault = Dqep_storage.Fault
+
+type scenario = Clean | Deadline | Cancel | Memory | Faulty
+
+let scenario_name = function
+  | Clean -> "clean"
+  | Deadline -> "deadline"
+  | Cancel -> "cancel"
+  | Memory -> "memory"
+  | Faulty -> "faulty"
+
+let scenarios = [| Clean; Deadline; Cancel; Memory; Faulty |]
+
+type tally = {
+  total : int;
+  completed : int;
+  deadline_exceeded : int;
+  memory_exceeded : int;
+  cancelled : int;
+  shed : int;
+  exhausted : int;
+  other_failures : int;  (** Infeasible/Rejected — expected to stay 0 *)
+  failovers : int;
+  memory_aborts_recovered : int;
+      (** jobs that hit a memory abort yet still completed (failover
+          onto a lower-memory alternative) *)
+  leaks : string list;  (** pin-leak reports; the contract demands [] *)
+  escaped : string list;  (** exceptions escaping submit; must be [] *)
+  session : Session.stats;
+}
+
+let pp_tally ppf t =
+  Format.fprintf ppf
+    "@[<v>%d jobs: %d completed (%d via memory failover), %d deadline, %d \
+     memory, %d cancelled, %d shed, %d exhausted, %d other; %d failovers; \
+     %d leaks; %d escaped@]"
+    t.total t.completed t.memory_aborts_recovered t.deadline_exceeded
+    t.memory_exceeded t.cancelled t.shed t.exhausted t.other_failures
+    t.failovers (List.length t.leaks) (List.length t.escaped)
+
+(* One job, executed on whatever domain claimed it.  Deterministic in
+   (seed, job): the instance, bindings, scenario, engine and fault
+   schedule all derive from them. *)
+let run_job ~session ~seed ~deadline_s job =
+  let inst = Plangen.generate ~seed:(1 + ((seed * 131) + job) mod 97) in
+  let db = Database.build ~seed:((seed * 7919) + job) inst.Plangen.catalog in
+  let mode = Optimizer.dynamic ~uncertain_memory:true () in
+  let plan =
+    match Optimizer.optimize ~mode inst.Plangen.catalog inst.Plangen.query with
+    | Ok r -> r.Optimizer.plan
+    | Error _ -> invalid_arg "Chaos: optimizer failed on a Plangen instance"
+  in
+  let bindings = Plangen.bindings inst ~seed:(seed + (job * 13)) in
+  let scenario = scenarios.(job mod Array.length scenarios) in
+  let gov =
+    match scenario with
+    | Clean | Faulty -> Governor.none
+    | Deadline -> Governor.create ~deadline:deadline_s ()
+    | Cancel -> Governor.create ~cancel_after_checks:(1 + (job * 37 mod 200)) ()
+    | Memory ->
+      (* Tight enough that large builds must spill and some still abort;
+         wide enough that small jobs complete.  [job / 5] varies across
+         memory-scenario jobs ([job mod 5] is what selected the
+         scenario, so it is constant here). *)
+      Governor.create ~memory_bytes:(2048 + (job / 5 mod 4 * 4096)) ()
+  in
+  (match scenario with
+  | Faulty ->
+    Disk.set_faults
+      (Buffer_pool.disk (Database.pool db))
+      (Some
+         (Fault.create
+            (Fault.config ~read_fault_rate:0.02 ~seed:(seed + job) ())))
+  | Clean | Deadline | Cancel | Memory -> ());
+  let engine =
+    if job land 1 = 0 then Exec_common.Row else Exec_common.Batch
+  in
+  let workers =
+    (* Every fourth job drains a parallel exchange, so cancellation and
+       deadlines land on scan-worker domains too. *)
+    match engine with Exec_common.Batch when job mod 4 = 1 -> 3 | _ -> 1
+  in
+  let resilience =
+    Resilience.config ~engine ~workers ~backoff_seed:(seed + job) ()
+  in
+  let outcome =
+    try Ok (Session.submit session ~gov ~resilience db bindings plan)
+    with e -> Error (Printexc.to_string e)
+  in
+  let leak =
+    match Buffer_pool.leak_check (Database.pool db) with
+    | Ok () -> None
+    | Error msg ->
+      Some
+        (Printf.sprintf "job %d (%s, %s): %s" job (scenario_name scenario)
+           (Exec_common.engine_name engine) msg)
+  in
+  (scenario, outcome, leak)
+
+let empty_session_stats =
+  { Session.submitted = 0; admitted = 0; completed = 0; failed = 0;
+    shed_queue_full = 0; shed_queue_timeout = 0; peak_inflight = 0;
+    peak_queued = 0 }
+
+let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
+    ?(max_queue = 64) ?(pool_bytes = 1 lsl 20) ?(deadline_s = 0.003) () =
+  if workers < 1 then invalid_arg "Chaos.run: workers < 1";
+  if jobs < 1 then invalid_arg "Chaos.run: jobs < 1";
+  let session =
+    Session.create
+      ~config:
+        (Session.config ~max_inflight ~max_queue ~memory_pool_bytes:pool_bytes
+           ())
+      ()
+  in
+  let next = Atomic.make 0 in
+  let mu = Mutex.create () in
+  let results = ref [] in
+  let record r =
+    Mutex.lock mu;
+    results := r :: !results;
+    Mutex.unlock mu
+  in
+  let worker () =
+    let rec loop () =
+      let job = Atomic.fetch_and_add next 1 in
+      if job < jobs then begin
+        record (run_job ~session ~seed ~deadline_s job);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init workers (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let results = !results in
+  let count p = List.length (List.filter p results) in
+  let completed = function
+    | _, Ok (Session.Completed _), _ -> true
+    | _ -> false
+  in
+  { total = List.length results;
+    completed = count completed;
+    deadline_exceeded =
+      count (function
+        | _, Ok (Session.Failed (Resilience.Deadline_exceeded _)), _ -> true
+        | _ -> false);
+    memory_exceeded =
+      count (function
+        | _, Ok (Session.Failed (Resilience.Memory_exceeded _)), _ -> true
+        | _ -> false);
+    cancelled =
+      count (function
+        | _, Ok (Session.Failed (Resilience.Cancelled _)), _ -> true
+        | _ -> false);
+    shed =
+      count (function _, Ok (Session.Shed _), _ -> true | _ -> false);
+    exhausted =
+      count (function
+        | _, Ok (Session.Failed (Resilience.Exhausted _)), _ -> true
+        | _ -> false);
+    other_failures =
+      count (function
+        | ( _,
+            Ok
+              (Session.Failed
+                 (Resilience.Infeasible _ | Resilience.Rejected _)),
+            _ ) ->
+          true
+        | _ -> false);
+    failovers =
+      List.fold_left
+        (fun acc -> function
+          | _, Ok (Session.Completed (_, stats)), _ ->
+            acc + stats.Executor.failovers
+          | _ -> acc)
+        0 results;
+    memory_aborts_recovered =
+      count (function
+        | Memory, Ok (Session.Completed (_, stats)), _ ->
+          stats.Executor.failovers > 0
+        | _ -> false);
+    leaks = List.filter_map (fun (_, _, leak) -> leak) results;
+    escaped =
+      List.filter_map
+        (function _, Error msg, _ -> Some msg | _, Ok _, _ -> None)
+        results;
+    session = (try Session.stats session with _ -> empty_session_stats) }

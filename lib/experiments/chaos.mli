@@ -1,0 +1,52 @@
+(** Multi-domain chaos/soak harness for resource-governed sessions.
+
+    Worker domains submit seeded query jobs — a mix of clean runs,
+    wall-clock deadlines, deterministic cancellations, tight memory
+    budgets and injected I/O faults, across both engines including
+    parallel exchange — through one shared {!Dqep_exec.Session}.  The
+    harness checks the governed-session contract: every job gets exactly
+    one typed outcome ({!tally.escaped} empty), and no outcome leaks a
+    buffer-pool pin ({!tally.leaks} empty).  Hang-freedom is the
+    caller's watchdog's job.
+
+    Deterministic in [seed] up to domain scheduling: the job set is
+    fixed, but which outcomes race to completion (shedding, pool
+    pressure) varies with interleaving — the contract holds for all of
+    them. *)
+
+type scenario = Clean | Deadline | Cancel | Memory | Faulty
+
+val scenario_name : scenario -> string
+
+type tally = {
+  total : int;
+  completed : int;
+  deadline_exceeded : int;
+  memory_exceeded : int;
+  cancelled : int;
+  shed : int;
+  exhausted : int;
+  other_failures : int;  (** Infeasible/Rejected — expected to stay 0 *)
+  failovers : int;  (** across completed jobs *)
+  memory_aborts_recovered : int;
+      (** memory-scenario jobs that completed via failover *)
+  leaks : string list;  (** pin-leak reports; the contract demands [] *)
+  escaped : string list;  (** exceptions escaping submit; must be [] *)
+  session : Dqep_exec.Session.stats;
+}
+
+val pp_tally : Format.formatter -> tally -> unit
+
+val run :
+  ?workers:int ->
+  ?jobs:int ->
+  ?seed:int ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?pool_bytes:int ->
+  ?deadline_s:float ->
+  unit ->
+  tally
+(** Defaults: 4 worker domains, 32 jobs, seed 1, 3 admission slots,
+    queue bound 64, a 1 MiB shared memory pool, 3 ms deadlines.  Blocks
+    until every job has its outcome. *)

@@ -101,6 +101,22 @@ let ensure_room t =
 let pinned_count t =
   Hashtbl.fold (fun _ f n -> if f.pins > 0 then n + 1 else n) t.table 0
 
+let pinned_pages t =
+  Hashtbl.fold (fun id f acc -> if f.pins > 0 then (id, f.pins) :: acc else acc)
+    t.table []
+  |> List.sort compare
+
+let leak_check t =
+  match pinned_pages t with
+  | [] -> Ok ()
+  | leaks ->
+    Error
+      (Printf.sprintf "%d pinned page(s) leaked: %s" (List.length leaks)
+         (String.concat ", "
+            (List.map
+               (fun (id, pins) -> Printf.sprintf "page %d (%d pins)" id pins)
+               leaks)))
+
 let resize t capacity =
   if capacity <= 0 then invalid_arg "Buffer_pool.resize: capacity <= 0";
   if capacity < pinned_count t then

@@ -1,0 +1,62 @@
+(* Standalone chaos soak driver for CI.
+
+   Runs the multi-domain governed-session harness with configurable
+   scale and fails loudly — nonzero exit — on any breach of the
+   contract: a job without a typed outcome, a leaked buffer-pool pin, an
+   unexpected failure class, or a hang (own watchdog; CI adds a hard
+   step timeout on top). *)
+
+let () =
+  let workers = ref 4 in
+  let jobs = ref 32 in
+  let seed = ref 1 in
+  let max_inflight = ref 3 in
+  let deadline = ref 180. in
+  Arg.parse
+    [ ("--workers", Arg.Set_int workers, "N  submitter domains (default 4)");
+      ("--jobs", Arg.Set_int jobs, "N  queries to submit (default 32)");
+      ("--seed", Arg.Set_int seed, "N  harness seed (default 1)");
+      ( "--max-inflight",
+        Arg.Set_int max_inflight,
+        "N  admission slots (default 3)" );
+      ( "--watchdog",
+        Arg.Set_float deadline,
+        "SECONDS  abort if the soak runs longer (default 180)" ) ]
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "soak_main [options] -- governed-session chaos soak";
+  (* Watchdog on a daemon thread: a hang is a contract breach, not a
+     slow run, so exit with the conventional timeout status. *)
+  let finished = Atomic.make false in
+  ignore
+    (Thread.create
+       (fun () ->
+         let waited = ref 0. in
+         while (not (Atomic.get finished)) && !waited < !deadline do
+           Thread.delay 0.25;
+           waited := !waited +. 0.25
+         done;
+         if not (Atomic.get finished) then begin
+           Printf.eprintf "soak: no result after %.0fs — hang\n%!" !deadline;
+           exit 124
+         end)
+       ());
+  let t =
+    Dqep.Experiments.Chaos.run ~workers:!workers ~jobs:!jobs ~seed:!seed
+      ~max_inflight:!max_inflight ()
+  in
+  Atomic.set finished true;
+  Format.printf "%a@." Dqep.Experiments.Chaos.pp_tally t;
+  let errors = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  if t.Dqep.Experiments.Chaos.total <> !jobs then
+    fail "%d jobs submitted, %d outcomes" !jobs t.Dqep.Experiments.Chaos.total;
+  List.iter (fail "escaped exception: %s") t.Dqep.Experiments.Chaos.escaped;
+  List.iter (fail "pin leak: %s") t.Dqep.Experiments.Chaos.leaks;
+  if t.Dqep.Experiments.Chaos.other_failures > 0 then
+    fail "%d unexpected failure outcomes"
+      t.Dqep.Experiments.Chaos.other_failures;
+  match !errors with
+  | [] -> ()
+  | es ->
+    List.iter (Printf.eprintf "soak: %s\n") (List.rev es);
+    exit 1

@@ -20,7 +20,7 @@ let optimize_exn ~mode catalog query =
 
 let differential_seeds = 50
 
-let test_differential () =
+let run_differential () =
   let runs = ref 0 in
   for seed = 1 to differential_seeds do
     let inst = D.Plangen.generate ~seed in
@@ -92,6 +92,10 @@ let test_differential () =
   Alcotest.(check bool)
     (Printf.sprintf "enough differential runs (%d)" !runs)
     true (!runs >= 200)
+
+let test_differential () =
+  Test_util.with_watchdog ~deadline:300.
+    "batch: randomized differential harness" run_differential
 
 (* --- qcheck properties of Batch.t ----------------------------------------- *)
 

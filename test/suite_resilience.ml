@@ -209,8 +209,6 @@ let test_io_budget_guard_aborts_and_exhausts () =
   in
   match D.Resilience.run ~config db b plan with
   | Ok _, _ -> Alcotest.fail "a 16-page budget cannot cover this query"
-  | Error ((D.Resilience.Infeasible _ | D.Resilience.Rejected _) as f), _ ->
-    Alcotest.failf "not an exhaustion: %a" D.Resilience.pp_failure f
   | Error (D.Resilience.Exhausted { last_error; _ }), rstats ->
     Alcotest.(check bool) "every alternative aborted on budget" true
       (rstats.D.Resilience.budget_aborts >= 2);
@@ -220,6 +218,7 @@ let test_io_budget_guard_aborts_and_exhausts () =
     (match last_error with
     | D.Buffer_pool.Io_budget_exceeded _ | D.Startup.Exhausted _ -> ()
     | e -> Alcotest.failf "unexpected final error: %s" (Printexc.to_string e))
+  | Error f, _ -> Alcotest.failf "not an exhaustion: %a" D.Resilience.pp_failure f
 
 let test_budget_guard_disabled_by_zero_factor () =
   let plan = dynamic_plan q1 in
@@ -271,12 +270,12 @@ let test_infeasible_plan_reports_problems () =
       (List.mem (D.Validate.Missing_relation "R1") problems));
   match D.Resilience.run db b plan with
   | Ok _, _ -> Alcotest.fail "infeasible plan executed (supervised)"
-  | Error ((D.Resilience.Exhausted _ | D.Resilience.Rejected _) as f), _ ->
-    Alcotest.failf "wrong failure kind: %a" D.Resilience.pp_failure f
   | Error (D.Resilience.Infeasible problems), rstats ->
     Alcotest.(check bool) "typed problems surface" true
       (List.mem (D.Validate.Missing_relation "R1") problems);
     Alcotest.(check int) "nothing was attempted" 0 rstats.D.Resilience.attempts
+  | Error f, _ ->
+    Alcotest.failf "wrong failure kind: %a" D.Resilience.pp_failure f
 
 let test_partially_infeasible_plan_prunes_and_runs () =
   (* A dropped index invalidates only the alternatives that used it: the
@@ -329,31 +328,13 @@ let test_exchange_partition_fault_is_typed_and_terminates () =
   drain_pool db;
   install db
     (D.Fault.config ~broken_pages:[ (broken, D.Fault.Permanent) ] ~seed:1 ());
-  let finished = Atomic.make false in
-  let _watchdog : Thread.t =
-    Thread.create
-      (fun () ->
-        let deadline = 60.0 in
-        let rec wait elapsed =
-          if Atomic.get finished then ()
-          else if elapsed >= deadline then begin
-            prerr_endline
-              "suite_resilience: exchange-partition fault test deadlocked";
-            exit 124
-          end
-          else begin
-            Thread.delay 0.25;
-            wait (elapsed +. 0.25)
-          end
-        in
-        wait 0.)
-      ()
-  in
   let config =
     D.Resilience.config ~engine:D.Exec_common.Batch ~workers:4 ()
   in
-  let result, rstats = D.Resilience.run ~config db b plan in
-  Atomic.set finished true;
+  let result, rstats =
+    Test_util.with_watchdog "resilience: exchange-partition fault" (fun () ->
+        D.Resilience.run ~config db b plan)
+  in
   (match result with
   | Ok (_, stats) ->
     (* Acceptable only if the supervisor actually routed around the

@@ -18,6 +18,8 @@ let () =
       Suite_midquery.suite;
       Suite_validate.suite;
       Suite_resilience.suite;
+      Suite_governor.suite;
+      Suite_session.suite;
       Suite_integration.suite;
       Suite_bounds.suite;
       Suite_exec_edge.suite;

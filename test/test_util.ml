@@ -1,0 +1,32 @@
+(* Shared helpers for the test suites.
+
+   [with_watchdog] turns a hang into a hard failure: a daemon thread
+   polls a completion flag and kills the whole process (exit 124, the
+   conventional timeout status) if the wrapped case is still running at
+   the deadline.  Long-running cases — anything draining a parallel
+   exchange, the chaos/soak harnesses, the differential suites — wrap
+   themselves in it so a deadlock fails CI in seconds instead of
+   stalling the job until the runner's own timeout. *)
+
+let with_watchdog ?(deadline = 60.) name f =
+  let finished = Atomic.make false in
+  let _watchdog : Thread.t =
+    Thread.create
+      (fun () ->
+        let rec wait elapsed =
+          if Atomic.get finished then ()
+          else if elapsed >= deadline then begin
+            prerr_endline
+              (Printf.sprintf "watchdog: %s still running after %.0fs" name
+                 deadline);
+            exit 124
+          end
+          else begin
+            Thread.delay 0.25;
+            wait (elapsed +. 0.25)
+          end
+        in
+        wait 0.)
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Atomic.set finished true) f
