@@ -312,31 +312,28 @@ let exec_series (name, catalog, query, bindings) =
   (name, points)
 
 let exec_json benchmarks =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"benchmark\": \"dqep exec engines\",\n";
-  Buffer.add_string buf "  \"unit\": \"cpu_seconds_per_run\",\n";
-  Buffer.add_string buf "  \"results\": [\n";
-  List.iteri
-    (fun i (name, points) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    { \"name\": \"%s\", \"series\": [\n" name);
-      List.iteri
-        (fun j p ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               "      { \"engine\": \"%s\", \"workers\": %d, \
-                \"cpu_seconds\": %.6f, \"rows\": %d, \"batches\": %d, \
-                \"partitions\": %d }%s\n"
-               p.engine p.point_workers p.cpu_seconds p.rows p.batches
-               p.partitions
-               (if j = List.length points - 1 then "" else ",")))
-        points;
-      Buffer.add_string buf
-        (Printf.sprintf "    ] }%s\n"
-           (if i = List.length benchmarks - 1 then "" else ",")))
-    benchmarks;
-  Buffer.add_string buf "  ]\n}\n";
-  Buffer.contents buf
+  let open D.Json in
+  let point p =
+    Obj
+      [ ("engine", String p.engine);
+        ("workers", Int p.point_workers);
+        ("cpu_seconds", Float p.cpu_seconds);
+        ("rows", Int p.rows);
+        ("batches", Int p.batches);
+        ("partitions", Int p.partitions) ]
+  in
+  to_string_pretty
+    (Obj
+       [ ("benchmark", String "dqep exec engines");
+         ("unit", String "cpu_seconds_per_run");
+         ( "results",
+           List
+             (List.map
+                (fun (name, points) ->
+                  Obj
+                    [ ("name", String name);
+                      ("series", List (List.map point points)) ])
+                benchmarks) ) ])
 
 let exec_bench ~check () =
   Format.printf "=== execution engines: row vs batch ===@.";
@@ -396,13 +393,10 @@ let exec_bench ~check () =
 
 let govern_latency_bound_s = 0.1
 
-let percentile sorted p =
-  match sorted with
-  | [] -> 0.
-  | l ->
-    let n = List.length l in
-    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
-    List.nth l (Int.max 0 (Int.min (n - 1) idx))
+(* Nearest-rank percentile, tolerating the all-runs-completed-early case
+   where no latency samples exist. *)
+let percentile samples p =
+  match samples with [] -> 0. | l -> D.Stats.percentile p l
 
 let govern_bench ~check () =
   Format.printf "=== resource governance: cancellation and shedding ===@.";
@@ -457,7 +451,7 @@ let govern_bench ~check () =
     note_leaks db
   done;
   let sorted = List.sort Float.compare !samples in
-  let p50 = percentile sorted 0.50 and p95 = percentile sorted 0.95 in
+  let p50 = percentile sorted 50. and p95 = percentile sorted 95. in
   Format.printf
     "cancellation: %d/%d cancelled mid-run, latency p50 %.3f ms, p95 %.3f \
      ms (bound %.0f ms)@."
@@ -495,23 +489,25 @@ let govern_bench ~check () =
     shed jobs shed_rate;
   let path = "BENCH_govern.json" in
   let oc = open_out path in
-  Printf.fprintf oc
-    {|{
-  "benchmark": "dqep resource governance",
-  "cancellation": {
-    "rounds": %d,
-    "cancelled_mid_run": %d,
-    "completed_early": %d,
-    "latency_p50_s": %.6f,
-    "latency_p95_s": %.6f,
-    "latency_bound_s": %.3f
-  },
-  "shedding": { "submitted": %d, "shed": %d, "shed_rate": %.4f },
-  "pin_leaks": %d
-}
-|}
-    rounds (List.length sorted) !completed_early p50 p95
-    govern_latency_bound_s jobs shed shed_rate !leaks;
+  output_string oc
+    D.Json.(
+      to_string_pretty
+        (Obj
+           [ ("benchmark", String "dqep resource governance");
+             ( "cancellation",
+               Obj
+                 [ ("rounds", Int rounds);
+                   ("cancelled_mid_run", Int (List.length sorted));
+                   ("completed_early", Int !completed_early);
+                   ("latency_p50_s", Float p50);
+                   ("latency_p95_s", Float p95);
+                   ("latency_bound_s", Float govern_latency_bound_s) ] );
+             ( "shedding",
+               Obj
+                 [ ("submitted", Int jobs);
+                   ("shed", Int shed);
+                   ("shed_rate", Float shed_rate) ] );
+             ("pin_leaks", Int !leaks) ]));
   close_out oc;
   Format.printf "wrote %s@." path;
   if check then begin
@@ -535,6 +531,89 @@ let govern_bench ~check () =
       exit 1
   end
 
+(* --- part 5: observation pipeline overhead -------------------------------- *)
+
+(* The observation layer's contract is "free when off, cheap when on":
+   every instrumented call sites a single boolean short-circuit when no
+   trace is attached, a plain atomic add when counters are enabled, and
+   per-operator taps only when explicitly requested.  This mode measures
+   all three regimes on the exec scan/filter workload and gates CI on the
+   counters-on run staying within [obs_overhead_budget] of the untraced
+   run (plus a small absolute epsilon to absorb timer jitter on a
+   millisecond-scale workload). *)
+
+let obs_overhead_budget = 0.05
+let obs_epsilon_s = 5e-4
+
+let obs_bench ~check () =
+  Format.printf "=== observation pipeline: tracing overhead ===@.";
+  let _, catalog, query, bindings = exec_scan_instance () in
+  let plan =
+    (Result.get_ok (D.Optimizer.optimize ~mode:D.Optimizer.static catalog query))
+      .D.Optimizer.plan
+  in
+  let db = D.Database.build ~frames:1024 ~seed:7 catalog in
+  let env = D.Env.of_bindings catalog bindings in
+  let measure name run =
+    ignore (run ());
+    (* warm the buffer pool *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let _, per_run = D.Timer.cpu_auto ~min_seconds:0.05 run in
+      if per_run < !best then best := per_run
+    done;
+    Format.printf "%-34s %10.3f ms/run@." name (!best *. 1e3);
+    (name, !best)
+  in
+  let off = measure "off (Trace.null)" (fun () -> D.Executor.execute db env plan) in
+  let metrics =
+    let obs = D.Obs.Trace.create () in
+    measure "metrics (counters, no sink)" (fun () ->
+        D.Executor.execute db env ~obs plan)
+  in
+  let taps =
+    let obs = D.Obs.Trace.create ~taps:true () in
+    measure "taps (operator cardinalities)" (fun () ->
+        D.Executor.execute db env ~obs plan)
+  in
+  let base = snd off in
+  let overhead (_, s) = if base > 0. then (s -. base) /. base else 0. in
+  let path = "BENCH_obs.json" in
+  let oc = open_out path in
+  output_string oc
+    D.Json.(
+      to_string_pretty
+        (Obj
+           [ ("benchmark", String "dqep observation overhead");
+             ("workload", String "exec scan_filter");
+             ("unit", String "cpu_seconds_per_run");
+             ( "series",
+               List
+                 (List.map
+                    (fun ((name, s) as pt) ->
+                      Obj
+                        [ ("mode", String name);
+                          ("cpu_seconds", Float s);
+                          ("overhead_vs_off", Float (overhead pt)) ])
+                    [ off; metrics; taps ]) );
+             ("budget", Float obs_overhead_budget) ]));
+  close_out oc;
+  Format.printf "wrote %s@." path;
+  if check then begin
+    let limit = (base *. (1. +. obs_overhead_budget)) +. obs_epsilon_s in
+    if snd metrics > limit then begin
+      Printf.eprintf
+        "obs --check: counters-on run %.3f ms over budget (off %.3f ms, \
+         limit %.3f ms)\n"
+        (snd metrics *. 1e3) (base *. 1e3) (limit *. 1e3);
+      exit 1
+    end;
+    Format.printf
+      "obs --check: ok (metrics %.3f ms <= %.3f ms = off %.3f ms + %.0f%%)@."
+      (snd metrics *. 1e3) (limit *. 1e3) (base *. 1e3)
+      (obs_overhead_budget *. 100.)
+  end
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | [] ->
@@ -542,8 +621,10 @@ let () =
     run_benchmarks ()
   | "exec" :: rest -> exec_bench ~check:(List.mem "--check" rest) ()
   | "govern" :: rest -> govern_bench ~check:(List.mem "--check" rest) ()
+  | "obs" :: rest -> obs_bench ~check:(List.mem "--check" rest) ()
   | args ->
-    Printf.eprintf "usage: %s [exec [--check] | govern [--check]] (got: %s)\n"
+    Printf.eprintf
+      "usage: %s [exec [--check] | govern [--check] | obs [--check]] (got: %s)\n"
       Sys.argv.(0)
       (String.concat " " args);
     exit 2

@@ -197,20 +197,6 @@ let failure_name = function
   | D.Resilience.Memory_exceeded _ -> "memory_exceeded"
   | D.Resilience.Cancelled _ -> "cancelled"
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 32 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let run_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Data and binding seed.") in
   let memory = Arg.(value & opt int 64 & info [ "memory" ] ~doc:"Memory pages at run time.") in
@@ -271,8 +257,15 @@ let run_cmd =
          & info [ "json" ]
              ~doc:"Emit one JSON object per plan instead of text.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Write the observation trace (counters, spans, operator \
+                   cardinality taps) as JSON lines to this file; validate \
+                   with `dqep trace validate`.")
+  in
   let run relations seed memory sels fault_rate fault_seed retries
-      io_budget_factor engine workers deadline_ms memory_kb json =
+      io_budget_factor engine workers deadline_ms memory_kb json trace =
     let q = D.Queries.chain ~relations in
     let bindings =
       match sels with
@@ -352,26 +345,54 @@ let run_cmd =
           ()
     in
     if not json then Format.printf "bindings: %a@." D.Bindings.pp bindings;
+    let trace_oc = Option.map open_out trace in
+    let trace_sink = Option.map (fun oc -> D.Obs.Sink.channel oc) trace_oc in
     let show label mode =
+      (* One trace per plan execution, sharing the file sink: each plan's
+         events arrive inside a span named after it, with its counter and
+         tap totals flushed before the next plan starts. *)
+      let obs =
+        match trace_sink with
+        | Some sink -> D.Obs.Trace.create ~sink ~taps:true ()
+        | None -> D.Obs.Trace.null
+      in
+      let finish code =
+        D.Obs.Trace.flush obs;
+        code
+      in
+      finish @@
       match D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query with
       | Error e ->
         Printf.eprintf "%s: %s\n" label e;
         1
       | Ok r -> (
         match
-          D.Resilience.run ~config ~gov:(governor ()) db bindings
-            r.D.Optimizer.plan
+          D.Obs.Trace.span obs label (fun () ->
+              D.Resilience.run ~config ~gov:(governor ()) ~obs db bindings
+                r.D.Optimizer.plan)
         with
         | Ok (tuples, stats), rstats ->
           if json then
-            Printf.printf
-              {|{"plan":"%s","status":"ok","tuples":%d,"physical_reads":%d,"physical_writes":%d,"cpu_seconds":%.6f,"retries":%d,"faults_absorbed":%d,"budget_aborts":%d,"memory_aborts":%d,"failovers":%d}|}
-              label (List.length tuples)
-              stats.D.Executor.io.D.Buffer_pool.physical_reads
-              stats.D.Executor.io.D.Buffer_pool.physical_writes
-              stats.D.Executor.cpu_seconds stats.D.Executor.retries
-              stats.D.Executor.faults_absorbed stats.D.Executor.budget_aborts
-              rstats.D.Resilience.memory_aborts stats.D.Executor.failovers
+            print_endline
+              (D.Json.to_string
+                 (D.Json.Obj
+                    [ ("plan", D.Json.String label);
+                      ("status", D.Json.String "ok");
+                      ("tuples", D.Json.Int (List.length tuples));
+                      ( "physical_reads",
+                        D.Json.Int
+                          stats.D.Executor.io.D.Buffer_pool.physical_reads );
+                      ( "physical_writes",
+                        D.Json.Int
+                          stats.D.Executor.io.D.Buffer_pool.physical_writes );
+                      ("cpu_seconds", D.Json.Float stats.D.Executor.cpu_seconds);
+                      ("retries", D.Json.Int stats.D.Executor.retries);
+                      ( "faults_absorbed",
+                        D.Json.Int stats.D.Executor.faults_absorbed );
+                      ("budget_aborts", D.Json.Int stats.D.Executor.budget_aborts);
+                      ( "memory_aborts",
+                        D.Json.Int rstats.D.Resilience.memory_aborts );
+                      ("failovers", D.Json.Int stats.D.Executor.failovers) ]))
           else begin
             Format.printf
               "%-8s: %5d tuples, %5d physical reads, %5d writes, %.4fs CPU@."
@@ -390,19 +411,28 @@ let run_cmd =
             Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
               stats.D.Executor.resolved_plan
           end;
-          if json then print_newline ();
           0
         | Error failure, rstats ->
           let code = failure_exit_code failure in
           if json then
-            Printf.printf
-              {|{"plan":"%s","status":"error","failure":"%s","detail":"%s","exit_code":%d,"attempts":%d,"retries":%d,"budget_aborts":%d,"memory_aborts":%d,"failovers":%d}|}
-              label (failure_name failure)
-              (json_escape
-                 (Format.asprintf "%a" D.Resilience.pp_failure failure))
-              code rstats.D.Resilience.attempts rstats.D.Resilience.retries
-              rstats.D.Resilience.budget_aborts
-              rstats.D.Resilience.memory_aborts rstats.D.Resilience.failovers
+            print_endline
+              (D.Json.to_string
+                 (D.Json.Obj
+                    [ ("plan", D.Json.String label);
+                      ("status", D.Json.String "error");
+                      ("failure", D.Json.String (failure_name failure));
+                      ( "detail",
+                        D.Json.String
+                          (Format.asprintf "%a" D.Resilience.pp_failure failure)
+                      );
+                      ("exit_code", D.Json.Int code);
+                      ("attempts", D.Json.Int rstats.D.Resilience.attempts);
+                      ("retries", D.Json.Int rstats.D.Resilience.retries);
+                      ( "budget_aborts",
+                        D.Json.Int rstats.D.Resilience.budget_aborts );
+                      ( "memory_aborts",
+                        D.Json.Int rstats.D.Resilience.memory_aborts );
+                      ("failovers", D.Json.Int rstats.D.Resilience.failovers) ]))
           else
             Format.printf
               "%-8s: failed (%a) after %d attempts, %d retries, %d budget \
@@ -412,13 +442,19 @@ let run_cmd =
               rstats.D.Resilience.budget_aborts
               rstats.D.Resilience.memory_aborts rstats.D.Resilience.failovers
               code;
-          if json then print_newline ();
           code)
     in
     let static_code = show "static" D.Optimizer.static in
     let dynamic_code =
       show "dynamic" (D.Optimizer.dynamic ~uncertain_memory:true ())
     in
+    (match trace_oc with
+    | None -> ()
+    | Some oc ->
+      close_out oc;
+      if not json then
+        Format.printf "wrote trace %s (validate with: dqep trace validate %s)@."
+          (Option.get trace) (Option.get trace));
     (* The dynamic plan is the headline result: its typed outcome is the
        process exit code (a static-only failure — e.g. no lower-memory
        alternative to fail over to — still reports through output and
@@ -435,7 +471,7 @@ let run_cmd =
              deadline exceeded, 14 memory exceeded, 15 cancelled.")
     Term.(const run $ relations_arg $ seed $ memory $ sels $ fault_rate
           $ fault_seed $ retries $ io_budget_factor $ engine $ workers
-          $ deadline_ms $ memory_kb $ json)
+          $ deadline_ms $ memory_kb $ json $ trace)
 
 (* --- sql ----------------------------------------------------------------- *)
 
@@ -578,11 +614,13 @@ let analyze_cmd =
     let warnings = List.length findings - errors in
     if json then begin
       let record (name, mode, phase, d) =
-        Printf.sprintf
-          {|{"query":"%s","mode":"%s","phase":"%s","diagnostic":%s}|} name mode
-          phase (D.Diagnostic.to_json d)
+        D.Json.Obj
+          [ ("query", D.Json.String name);
+            ("mode", D.Json.String mode);
+            ("phase", D.Json.String phase);
+            ("diagnostic", D.Diagnostic.to_jsonv d) ]
       in
-      print_endline ("[" ^ String.concat "," (List.map record findings) ^ "]")
+      print_endline (D.Json.to_string (D.Json.List (List.map record findings)))
     end
     else begin
       List.iter
@@ -602,6 +640,57 @@ let analyze_cmd =
     Term.(const run $ strict $ json $ modes_arg $ names $ list_flag
           $ verbose_arg)
 
+(* --- trace --------------------------------------------------------------- *)
+
+(* Validate a JSON-lines trace file against the event schema — the
+   consumer-side contract check for `run --trace` output (CI's trace
+   smoke job runs this over the corpus). *)
+let trace_cmd =
+  let action =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ACTION" ~doc:"Only 'validate' is supported.")
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"FILE" ~doc:"JSON-lines trace file to check.")
+  in
+  let run action file =
+    if action <> "validate" then begin
+      Printf.eprintf "dqep trace: unknown action %s (try 'validate')\n" action;
+      exit 2
+    end;
+    let ic =
+      try open_in file
+      with Sys_error e ->
+        Printf.eprintf "dqep trace: %s\n" e;
+        exit 2
+    in
+    let errors = ref 0 in
+    let events = ref 0 in
+    (try
+       let line_no = ref 0 in
+       while true do
+         let line = input_line ic in
+         incr line_no;
+         if String.trim line <> "" then begin
+           incr events;
+           match D.Obs.Event.validate_json line with
+           | Ok () -> ()
+           | Error e ->
+             incr errors;
+             Printf.eprintf "%s:%d: %s\n" file !line_no e
+         end
+       done
+     with End_of_file -> close_in ic);
+    Printf.printf "%s: %d events, %d invalid\n" file !events !errors;
+    if !errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Validate an observation trace written by `dqep run --trace` \
+             against the event schema.")
+    Term.(const run $ action $ file)
+
 (* --- catalog ------------------------------------------------------------- *)
 
 let catalog_cmd =
@@ -616,4 +705,5 @@ let () =
   let doc = "Dynamic query evaluation plans: optimizer, executor, experiments." in
   let info = Cmd.info "dqep" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ report_cmd; optimize_cmd; run_cmd; analyze_cmd; sql_cmd; catalog_cmd ]))
+       [ report_cmd; optimize_cmd; run_cmd; analyze_cmd; sql_cmd; trace_cmd;
+         catalog_cmd ]))

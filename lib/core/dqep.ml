@@ -24,6 +24,21 @@ module Rng = Dqep_util.Rng
 module Stats = Dqep_util.Stats
 module Timer = Dqep_util.Timer
 module Diagnostic = Dqep_util.Diagnostic
+module Json = Dqep_util.Json
+
+(** {1 Observation pipeline}
+
+    Structured telemetry — typed counters, spans, gauges, per-operator
+    cardinality taps — plus the per-session observation cache that feeds
+    re-optimization.  See DESIGN.md, "Observation pipeline". *)
+
+module Obs = struct
+  module Counter = Dqep_obs.Counter
+  module Event = Dqep_obs.Event
+  module Sink = Dqep_obs.Sink
+  module Trace = Dqep_obs.Trace
+  module Feedback = Dqep_obs.Feedback
+end
 
 (** {1 Catalog} *)
 

@@ -67,6 +67,25 @@ let io_budget_factor t = t.io_budget_factor
 let with_memory_pages t memory_pages =
   { t with memory_pages; point = t.point && Interval.is_point memory_pages }
 
+(* Feedback re-optimization: narrow each listed host variable's prior by
+   its observed band (Interval.refine never steps outside the prior, so
+   re-costing with the refined env cannot assume better than the priors
+   other plan costs were derived under).  Unlisted variables keep their
+   prior; [point] is cleared unless every consultation still returns a
+   point, which we can't know, so a refined env reports interval-ness
+   conservatively only when it was already point. *)
+let refine t ~selectivities =
+  match selectivities with
+  | [] -> t
+  | _ ->
+    let selectivity var =
+      let prior = t.selectivity var in
+      match List.assoc_opt var selectivities with
+      | Some observed -> Interval.refine prior observed
+      | None -> prior
+    in
+    { t with selectivity }
+
 let selectivity t (p : Predicate.select) =
   match p.selectivity with
   | Predicate.Bound s -> Interval.point s

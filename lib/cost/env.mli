@@ -68,6 +68,16 @@ val with_memory_pages : t -> Interval.t -> t
     memory-budget abort: under the lowered grant the decision procedure
     prefers a lower-memory alternative. *)
 
+val refine : t -> selectivities:(string * Interval.t) list -> t
+(** [refine t ~selectivities] is [t] with each listed host variable's
+    prior interval narrowed by its observed band via [Interval.refine]
+    — the feedback step of the observation pipeline.  Narrowing never
+    steps outside the prior, so plans re-costed under the refined
+    environment stay comparable with plans costed under the original:
+    the refined upper bound of any cost is at most the original upper
+    bound.  Bands usually come from
+    [Dqep_obs.Feedback.selectivity_bounds]. *)
+
 val io_budget_factor : t -> float
 (** How far observed physical I/O may exceed the anticipated cost before
     the resilient executor aborts the run ({!Dqep_exec.Resilience}):

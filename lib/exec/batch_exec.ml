@@ -41,6 +41,8 @@ module Buffer_pool = Dqep_storage.Buffer_pool
 module Heap_file = Dqep_storage.Heap_file
 module Btree = Dqep_storage.Btree
 module Page = Dqep_storage.Page
+module Trace = Dqep_obs.Trace
+module Counter = Dqep_obs.Counter
 
 type tuple = int array
 
@@ -56,6 +58,7 @@ type ctx = {
   db : Database.t;
   env : Env.t;
   gov : Governor.t; (* cancellation token + memory budget; domain-safe *)
+  obs : Trace.t;
   mat : (int * tuple list) list;
   scheduler : Scheduler.t;
   capacity : int;
@@ -344,7 +347,39 @@ let schema_of ctx plan = Plan.schema (Database.catalog ctx.db) plan
 
 let materialized_tuples ctx (plan : Plan.t) = List.assoc_opt plan.Plan.pid ctx.mat
 
+(* Per-operator cardinality tap, the batch-engine counterpart of the row
+   engine's per-tuple wrapper: each delivered batch records its selected
+   row count in one call.  An operator that delivers nothing still taps
+   once with zero rows, so feedback distinguishes "ran empty" from "not
+   observed". *)
+let tap_iterator obs (plan : Plan.t) it =
+  let op = Physical.name plan.Plan.op in
+  let pid = plan.Plan.pid in
+  let delivered = ref false in
+  { it with
+    open_ =
+      (fun () ->
+        delivered := false;
+        it.open_ ());
+    next =
+      (fun () ->
+        match it.next () with
+        | Some b ->
+          delivered := true;
+          Trace.tap obs ~pid ~op ~rows:(Batch.length b);
+          Some b
+        | None ->
+          if not !delivered then begin
+            delivered := true;
+            Trace.tap obs ~pid ~op ~rows:0
+          end;
+          None) }
+
 let rec compile_node ctx (plan : Plan.t) : iterator =
+  let it = compile_op ctx plan in
+  if Trace.taps_enabled ctx.obs then tap_iterator ctx.obs plan it else it
+
+and compile_op ctx (plan : Plan.t) : iterator =
   match materialized_tuples ctx plan with
   | Some tuples ->
     (* The subplan was already materialized (mid-query adaptation). *)
@@ -439,7 +474,8 @@ and hash_join ctx (plan : Plan.t) preds =
            close before the next starts. *)
         let build = consume left_it in
         let probe = consume right_it in
-        Exec_common.hash_join_core ~gov:ctx.gov ctx.db ctx.env ~left_schema
+        Exec_common.hash_join_core ~gov:ctx.gov ~obs:ctx.obs ctx.db ctx.env
+          ~left_schema
           ~right_schema
           ~left_width ~right_width ~preds
           ~emit:(fun l r ->
@@ -590,8 +626,8 @@ and sort ctx (plan : Plan.t) cols =
       (fun () ->
         let tuples = consume child in
         let sorted =
-          Exec_common.sort_core ~gov:ctx.gov ctx.db ctx.env ~width
-            ~compare_tuples tuples
+          Exec_common.sort_core ~gov:ctx.gov ~obs:ctx.obs ctx.db ctx.env
+            ~width ~compare_tuples tuples
         in
         pending := Batch.of_tuples ~capacity:ctx.capacity schema sorted);
     next =
@@ -605,11 +641,12 @@ and sort ctx (plan : Plan.t) cols =
 
 (* --- entry points -------------------------------------------------------- *)
 
-let make_ctx db env ~gov ~materialized ~workers ~capacity =
+let make_ctx db env ~gov ~obs ~materialized ~workers ~capacity =
   let scheduler = Scheduler.create ~workers in
   { db;
     env;
     gov;
+    obs;
     mat = materialized;
     scheduler;
     capacity;
@@ -617,19 +654,21 @@ let make_ctx db env ~gov ~materialized ~workers ~capacity =
       (if Scheduler.is_parallel scheduler then Some (Mutex.create ()) else None);
     partitions = 0 }
 
-let compile_with db env ?(gov = Governor.none) ?(materialized = [])
-    ?(workers = 1) ?(capacity = Batch.default_capacity) plan =
-  let ctx = make_ctx db env ~gov ~materialized ~workers ~capacity in
+let compile_with db env ?(gov = Governor.none) ?(obs = Trace.null)
+    ?(materialized = []) ?(workers = 1) ?(capacity = Batch.default_capacity)
+    plan =
+  let ctx = make_ctx db env ~gov ~obs ~materialized ~workers ~capacity in
   (ctx, compile_node ctx plan)
 
 (* Execute a plan and return its tuples plus the run's execution profile.
    Per-batch accounting happens at the plan root: [on_batch] (when given)
    observes every root batch's selected row count as it is delivered —
    Midquery uses this to accumulate cardinalities batch by batch. *)
-let run_plan db env ?(gov = Governor.none) ?(materialized = []) ?(workers = 1)
-    ?(capacity = Batch.default_capacity) ?on_batch plan =
+let run_plan db env ?(gov = Governor.none) ?(obs = Trace.null)
+    ?(materialized = []) ?(workers = 1) ?(capacity = Batch.default_capacity)
+    ?on_batch plan =
   let ctx, it =
-    compile_with db env ~gov ~materialized ~workers ~capacity plan
+    compile_with db env ~gov ~obs ~materialized ~workers ~capacity plan
   in
   let batches = ref 0 and max_rows = ref 0 and total_rows = ref 0 in
   let counting =
@@ -642,6 +681,8 @@ let run_plan db env ?(gov = Governor.none) ?(materialized = []) ?(workers = 1)
           | Some b ->
             let n = Batch.length b in
             Governor.count_rows gov n;
+            Trace.add obs Counter.Rows_out n;
+            Trace.incr obs Counter.Batches_out;
             incr batches;
             max_rows := Int.max !max_rows n;
             total_rows := !total_rows + n;

@@ -15,6 +15,8 @@ module Catalog = Dqep_catalog.Catalog
 module Env = Dqep_cost.Env
 module Database = Dqep_storage.Database
 module Heap_file = Dqep_storage.Heap_file
+module Trace = Dqep_obs.Trace
+module Counter = Dqep_obs.Counter
 
 type tuple = int array
 
@@ -112,8 +114,9 @@ let join_key ~left_schema preds side tuple =
    memory grant, a single in-memory hash table; otherwise fan both sides
    out to temporary heap files and recurse per partition.  [emit] is
    called once per joined pair. *)
-let hash_join_core ?(gov = Governor.none) db env ~left_schema ~right_schema
-    ~left_width ~right_width ~preds ~emit build probe =
+let hash_join_core ?(gov = Governor.none) ?(obs = Trace.null) db env
+    ~left_schema ~right_schema ~left_width ~right_width ~preds ~emit build
+    probe =
   let page_bytes = Catalog.page_bytes (Database.catalog db) in
   let build_key = join_key ~left_schema preds `Left in
   let probe_key = join_key ~left_schema preds (`Right right_schema) in
@@ -141,6 +144,9 @@ let hash_join_core ?(gov = Governor.none) db env ~left_schema ~right_schema
     else begin
       (* Grace hash join: fan out both inputs to temporary files. *)
       let fanout = Int.max 2 (mem - 1) in
+      Trace.add obs Counter.Spill_partitions fanout;
+      Trace.add obs Counter.Spilled_tuples
+        (List.length build + List.length probe);
       let part key tuples width =
         let buckets = Array.make fanout [] in
         List.iter
@@ -172,7 +178,8 @@ let compare_on positions (a : tuple) (b : tuple) =
 
 (* Stable sort, spilling sorted runs to temporary heap files when the
    input exceeds the memory grant, then merging in one pass. *)
-let sort_core ?(gov = Governor.none) db env ~width ~compare_tuples tuples =
+let sort_core ?(gov = Governor.none) ?(obs = Trace.null) db env ~width
+    ~compare_tuples tuples =
   let page_bytes = Catalog.page_bytes (Database.catalog db) in
   let mem = governed_memory_pages env gov ~page_bytes in
   let pages = List.length tuples * width / page_bytes in
@@ -194,6 +201,8 @@ let sort_core ?(gov = Governor.none) db env ~width ~compare_tuples tuples =
           Governor.with_charge gov (List.length run * Int.max 1 width)
             (fun () -> List.stable_sort compare_tuples run)
         in
+        Trace.incr obs Counter.Spill_runs;
+        Trace.add obs Counter.Spilled_tuples (List.length sorted);
         runs (spill db width sorted :: acc) remainder
     in
     let run_files = runs [] tuples in

@@ -1,5 +1,7 @@
 module Interval = Dqep_util.Interval
 module Timer = Dqep_util.Timer
+module Trace = Dqep_obs.Trace
+module Counter = Dqep_obs.Counter
 module Schema = Dqep_algebra.Schema
 module Physical = Dqep_algebra.Physical
 module Predicate = Dqep_algebra.Predicate
@@ -131,7 +133,49 @@ let filter_iterator pred child = { child with Iterator.next = pred child.Iterato
 
 let schema_of db plan = Plan.schema (Database.catalog db) plan
 
-let rec compile_node db env gov mat (plan : Plan.t) : Iterator.t =
+(* Per-operator cardinality tap: counts rows through the trace's ring of
+   observed operators.  Wrapped around a compiled node only when the
+   trace asked for taps, so the default path pays nothing.  Rows are
+   buffered in a local ref and reported once per drain (at end-of-stream
+   or close), keeping the per-tuple cost to one increment. *)
+let tap_iterator obs (plan : Plan.t) (it : Iterator.t) =
+  let op = Physical.name plan.Plan.op in
+  let pid = plan.Plan.pid in
+  let rows = ref 0 in
+  let reported = ref false in
+  { it with
+    Iterator.open_ =
+      (fun () ->
+        rows := 0;
+        reported := false;
+        it.Iterator.open_ ());
+    next =
+      (fun () ->
+        match it.Iterator.next () with
+        | Some t ->
+          incr rows;
+          Some t
+        | None ->
+          if not !reported then begin
+            reported := true;
+            Trace.tap obs ~pid ~op ~rows:!rows;
+            rows := 0
+          end;
+          None);
+    close =
+      (fun () ->
+        if (not !reported) && !rows > 0 then begin
+          reported := true;
+          Trace.tap obs ~pid ~op ~rows:!rows;
+          rows := 0
+        end;
+        it.Iterator.close ()) }
+
+let rec compile_node db env gov obs mat (plan : Plan.t) : Iterator.t =
+  let it = compile_op db env gov obs mat plan in
+  if Trace.taps_enabled obs then tap_iterator obs plan it else it
+
+and compile_op db env gov obs mat (plan : Plan.t) : Iterator.t =
   match List.assoc_opt plan.Plan.pid mat with
   | Some tuples ->
     (* The subplan was already materialized (mid-query adaptation):
@@ -154,7 +198,7 @@ let rec compile_node db env gov mat (plan : Plan.t) : Iterator.t =
             ~hi:None (fun _ rid -> acc := rid :: !acc);
           rids := List.rev !acc) }
   | Physical.Filter pred ->
-    let child = compile_child db env gov mat plan in
+    let child = compile_child db env gov obs mat plan in
     let matches = Pred_eval.select_matches env child.Iterator.schema pred in
     filter_iterator
       (fun next ->
@@ -180,27 +224,27 @@ let rec compile_node db env gov mat (plan : Plan.t) : Iterator.t =
             Btree.range (Database.pool db) (Database.index db ~rel ~attr) ~lo:None
               ~hi:(Some (cutoff - 1)) (fun _ rid -> acc := rid :: !acc);
           rids := List.rev !acc) }
-  | Physical.Hash_join preds -> hash_join db env gov mat plan preds
-  | Physical.Merge_join preds -> merge_join db env gov mat plan preds
+  | Physical.Hash_join preds -> hash_join db env gov obs mat plan preds
+  | Physical.Merge_join preds -> merge_join db env gov obs mat plan preds
   | Physical.Index_join { preds; inner_rel; inner_attr; inner_filter } ->
-    index_join db env gov mat plan preds ~inner_rel ~inner_attr ~inner_filter
-  | Physical.Sort cols -> sort db env gov mat plan cols
+    index_join db env gov obs mat plan preds ~inner_rel ~inner_attr ~inner_filter
+  | Physical.Sort cols -> sort db env gov obs mat plan cols
   | Physical.Choose_plan ->
     let resolved = Startup.resolve env plan in
-    compile_node db env gov mat resolved.Startup.plan
+    compile_node db env gov obs mat resolved.Startup.plan
 
-and compile_child db env gov mat (plan : Plan.t) =
+and compile_child db env gov obs mat (plan : Plan.t) =
   match plan.Plan.inputs with
-  | [ child ] -> compile_node db env gov mat child
+  | [ child ] -> compile_node db env gov obs mat child
   | _ -> invalid_arg "Executor: expected unary operator"
 
-and compile_children db env gov mat (plan : Plan.t) =
+and compile_children db env gov obs mat (plan : Plan.t) =
   match plan.Plan.inputs with
-  | [ l; r ] -> (compile_node db env gov mat l, compile_node db env gov mat r)
+  | [ l; r ] -> (compile_node db env gov obs mat l, compile_node db env gov obs mat r)
   | _ -> invalid_arg "Executor: expected binary operator"
 
-and hash_join db env gov mat (plan : Plan.t) preds =
-  let left_it, right_it = compile_children db env gov mat plan in
+and hash_join db env gov obs mat (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env gov obs mat plan in
   let left_schema = left_it.Iterator.schema
   and right_schema = right_it.Iterator.schema in
   let schema = Schema.concat left_schema right_schema in
@@ -220,7 +264,7 @@ and hash_join db env gov mat (plan : Plan.t) preds =
         results := [];
         let build = Iterator.consume left_it in
         let probe = Iterator.consume right_it in
-        Exec_common.hash_join_core ~gov db env ~left_schema ~right_schema
+        Exec_common.hash_join_core ~gov ~obs db env ~left_schema ~right_schema
           ~left_width ~right_width ~preds ~emit build probe;
         pending := List.rev !results);
     next =
@@ -232,8 +276,8 @@ and hash_join db env gov mat (plan : Plan.t) preds =
           Some t);
     close = (fun () -> ()) }
 
-and merge_join db env gov mat (plan : Plan.t) preds =
-  let left_it, right_it = compile_children db env gov mat plan in
+and merge_join db env gov obs mat (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env gov obs mat plan in
   let left_schema = left_it.Iterator.schema
   and right_schema = right_it.Iterator.schema in
   let schema = Schema.concat left_schema right_schema in
@@ -314,10 +358,10 @@ and merge_join db env gov mat (plan : Plan.t) preds =
         right_arr := [||];
         release ()) }
 
-and index_join db env gov mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
+and index_join db env gov obs mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
   let outer_it =
     match plan.Plan.inputs with
-    | [ o ] -> compile_node db env gov mat o
+    | [ o ] -> compile_node db env gov obs mat o
     | _ -> invalid_arg "Executor: index join expects one input"
   in
   let outer_schema = outer_it.Iterator.schema in
@@ -380,8 +424,8 @@ and index_join db env gov mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inne
         go ());
     close = outer_it.Iterator.close }
 
-and sort db env gov mat (plan : Plan.t) cols =
-  let child = compile_child db env gov mat plan in
+and sort db env gov obs mat (plan : Plan.t) cols =
+  let child = compile_child db env gov obs mat plan in
   let schema = child.Iterator.schema in
   let positions = List.map (Schema.position_exn schema) cols in
   let compare_tuples = Exec_common.compare_on positions in
@@ -391,7 +435,7 @@ and sort db env gov mat (plan : Plan.t) cols =
     open_ =
       (fun () ->
         let tuples = Iterator.consume child in
-        pending := Exec_common.sort_core ~gov db env ~width ~compare_tuples tuples);
+        pending := Exec_common.sort_core ~gov ~obs db env ~width ~compare_tuples tuples);
     next =
       (fun () ->
         match !pending with
@@ -404,8 +448,9 @@ and sort db env gov mat (plan : Plan.t) cols =
 (* compile_node resolves any remaining choose-plan operators lazily, and
    materialized substitution is checked before anything else, so plans
    containing overridden choose nodes compile correctly. *)
-let compile_with db env ?(gov = Governor.none) ?(materialized = []) plan =
-  compile_node db env gov materialized plan
+let compile_with db env ?(gov = Governor.none) ?(obs = Trace.null)
+    ?(materialized = []) plan =
+  compile_node db env gov obs materialized plan
 
 let compile db env plan = compile_with db env plan
 
@@ -429,8 +474,8 @@ let governed_iterator gov it =
    DQEP_ENGINE / DQEP_WORKERS environment variables (see Exec_common), so
    an unmodified caller — including every existing test suite — can be
    pushed through the batch engine externally. *)
-let execute db env ?(gov = Governor.none) ?(materialized = []) ?engine ?workers
-    ?on_batch plan =
+let execute db env ?(gov = Governor.none) ?(obs = Trace.null)
+    ?(materialized = []) ?engine ?workers ?on_batch plan =
   let engine =
     match engine with Some e -> e | None -> Exec_common.default_engine ()
   in
@@ -439,14 +484,19 @@ let execute db env ?(gov = Governor.none) ?(materialized = []) ?engine ?workers
   in
   match engine with
   | Exec_common.Row ->
-    let it = governed_iterator gov (compile_with db env ~gov ~materialized plan) in
+    let it =
+      governed_iterator gov (compile_with db env ~gov ~obs ~materialized plan)
+    in
     let tuples = Iterator.consume it in
+    Trace.add obs Counter.Rows_out (List.length tuples);
+    Trace.incr obs Counter.Batches_out;
     Option.iter (fun f -> f (List.length tuples)) on_batch;
     (tuples, Exec_common.row_profile)
   | Exec_common.Batch ->
-    Batch_exec.run_plan db env ~gov ~materialized ~workers ?on_batch plan
+    Batch_exec.run_plan db env ~gov ~obs ~materialized ~workers ?on_batch plan
 
-let run db ?(gov = Governor.none) ?engine ?workers bindings plan =
+let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers bindings
+    plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let plan = check_feasible db env plan in
   let resolved =
@@ -455,14 +505,25 @@ let run db ?(gov = Governor.none) ?engine ?workers bindings plan =
   in
   let pool = Database.pool db in
   Buffer_pool.resize pool (memory_pages env);
-  let before = Buffer_pool.stats pool in
+  (* Every run records through a trace — the caller's when one was
+     supplied, a private one otherwise — and [run_stats] is a view over
+     its counter deltas.  Teeing the buffer pool into the run trace is
+     what replaces the old before/after stats subtraction. *)
+  let rt = if Trace.enabled obs then obs else Trace.create () in
+  let before = Buffer_pool.stats_of_trace rt in
+  Buffer_pool.attach_obs pool rt;
   let (tuples, profile), cpu_seconds =
-    Timer.cpu (fun () -> execute db env ~gov ?engine ?workers resolved)
+    Fun.protect
+      ~finally:(fun () -> Buffer_pool.detach_obs pool)
+      (fun () ->
+        Timer.cpu (fun () ->
+            Trace.span rt "run" (fun () ->
+                execute db env ~gov ~obs:rt ?engine ?workers resolved)))
   in
-  let after = Buffer_pool.stats pool in
+  Trace.gauge rt "cpu_seconds" cpu_seconds;
   ( tuples,
     { tuples = List.length tuples;
-      io = Buffer_pool.diff ~before ~after;
+      io = Buffer_pool.diff ~before ~after:(Buffer_pool.stats_of_trace rt);
       cpu_seconds;
       resolved_plan = resolved;
       retries = 0;

@@ -61,6 +61,7 @@ val compile_with :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
   ?gov:Governor.t ->
+  ?obs:Dqep_obs.Trace.t ->
   ?materialized:(int * Iterator.tuple list) list ->
   Dqep_plans.Plan.t ->
   Iterator.t
@@ -69,12 +70,15 @@ val compile_with :
     the execution half of mid-query adaptation ({!Midquery}).  When a
     [gov] is given, every iterator's [next] is a cancellation point and
     the spilling operators charge their working sets against its memory
-    budget ({!Governor}); default {!Governor.none} governs nothing. *)
+    budget ({!Governor}); default {!Governor.none} governs nothing.
+    [obs] (default {!Dqep_obs.Trace.null}) records spill counters and —
+    when the trace has taps enabled — per-operator cardinalities. *)
 
 val execute :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
   ?gov:Governor.t ->
+  ?obs:Dqep_obs.Trace.t ->
   ?materialized:(int * Iterator.tuple list) list ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
@@ -87,19 +91,24 @@ val execute :
     observes the selected row count of every batch delivered at the plan
     root as it is produced (the row engine reports one "batch" holding
     the whole result) — {!Midquery} accumulates observed cardinalities
-    through it.  [gov] as in {!compile_with}; the plan root additionally
-    counts delivered rows against the governor's row limit. *)
+    through it.  [gov] and [obs] as in {!compile_with}; the plan root
+    additionally counts delivered rows against the governor's row limit
+    and records [Rows_out]/[Batches_out] on the trace. *)
 
 val run :
   Dqep_storage.Database.t ->
   ?gov:Governor.t ->
+  ?obs:Dqep_obs.Trace.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
   Iterator.tuple list * run_stats
 (** Resolve, execute and drain a plan, reporting I/O and CPU.
-    [gov]/[engine]/[workers] as in {!execute}. *)
+    [gov]/[engine]/[workers] as in {!execute}.  The run records through
+    [obs] when one is supplied (the buffer pool is teed into it for the
+    duration, a "run" span brackets execution) and {!run_stats} is
+    computed as a view over the trace's counter deltas. *)
 
 val memory_pages : Dqep_cost.Env.t -> int
 (** The engine's working-memory budget under the environment. *)

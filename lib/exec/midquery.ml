@@ -5,6 +5,7 @@ module Plan = Dqep_plans.Plan
 module Startup = Dqep_plans.Startup
 module Database = Dqep_storage.Database
 module Buffer_pool = Dqep_storage.Buffer_pool
+module Trace = Dqep_obs.Trace
 
 type stats = {
   materialized : Plan.t option;
@@ -65,8 +66,9 @@ let shared_subplan (plan : Plan.t) =
       |> Option.map snd)
   | _ -> None
 
-let plain_run db ?(gov = Governor.none) ?engine ?workers bindings plan =
-  let tuples, run = Executor.run db ~gov ?engine ?workers bindings plan in
+let plain_run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers
+    bindings plan =
+  let tuples, run = Executor.run db ~gov ~obs ?engine ?workers bindings plan in
   let env = Env.of_bindings (Database.catalog db) bindings in
   let cost, _ = Startup.evaluate env run.Executor.resolved_plan in
   ( tuples,
@@ -85,21 +87,37 @@ type observation = {
   materialized : (int * Iterator.tuple list) list;
 }
 
-let observe db env ?(gov = Governor.none) ?engine ?workers plan ~sub =
+let observe db env ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers
+    plan ~sub =
   (* Evaluate the shared subplan into a temporary and propagate the
      observation to every subplan computing the same logical result (same
      relations and selections — witnessed by an identical compile-time
      cardinality interval): alternatives that access the observed input
      through a different physical path are costed against reality too.
-     Under the batch engine the observed cardinality accumulates batch by
-     batch as the root delivers them. *)
-  let observed = ref 0 in
+
+     The observation itself runs under a taps-enabled trace — the
+     caller's when it has taps, a private one otherwise — so the observed
+     cardinality is read back off the root operator's tap: the same
+     channel feedback re-optimization consumes, rather than a separate
+     caller-side accumulator.  The root-batch count ([on_batch]) is kept
+     as the fallback for materialized roots, which bypass operator
+     compilation entirely. *)
+  let ot =
+    if Trace.taps_enabled obs then obs else Trace.create ~taps:true ()
+  in
+  let delivered = ref 0 in
+  let tapped_before = Option.value ~default:0 (Trace.tap_rows ot sub.Plan.pid) in
   let temp, profile =
-    Executor.execute db env ~gov ?engine ?workers
-      ~on_batch:(fun n -> observed := !observed + n)
+    Executor.execute db env ~gov ~obs:ot ?engine ?workers
+      ~on_batch:(fun n -> delivered := !delivered + n)
       sub
   in
-  let observed = !observed in
+  let observed =
+    match Trace.tap_rows ot sub.Plan.pid with
+    | Some rows when rows - tapped_before > 0 || !delivered = 0 ->
+      rows - tapped_before
+    | Some _ | None -> !delivered
+  in
   (* The row engine delivers the whole temporary as one "batch". *)
   let batches =
     match profile.Exec_common.engine with
@@ -131,19 +149,24 @@ let observe db env ?(gov = Governor.none) ?engine ?workers plan ~sub =
   in
   { observed_rows = observed; batches; overrides; materialized }
 
-let run db ?(gov = Governor.none) ?engine ?workers bindings plan =
+let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers
+    bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let plan = Executor.check_feasible db env plan in
   match shared_subplan plan with
-  | None -> plain_run db ~gov ?engine ?workers bindings plan
+  | None -> plain_run db ~gov ~obs ?engine ?workers bindings plan
   | Some sub ->
     let pool = Database.pool db in
     Buffer_pool.resize pool (Executor.memory_pages env);
-    let before = Buffer_pool.stats pool in
+    let rt = if Trace.enabled obs then obs else Trace.create () in
+    let before = Buffer_pool.stats_of_trace rt in
+    Buffer_pool.attach_obs pool rt;
+    Fun.protect ~finally:(fun () -> Buffer_pool.detach_obs pool) @@ fun () ->
     let start = Sys.time () in
     (* Phase 1: evaluate the shared subplan into a temporary. *)
     let { observed_rows = observed; batches = _; overrides; materialized } =
-      observe db env ~gov ?engine ?workers plan ~sub
+      Trace.span rt "observe" (fun () ->
+          observe db env ~gov ~obs:rt ?engine ?workers plan ~sub)
     in
     (* Phase 2: decide with the observation, execute with the temporary. *)
     let default_resolution = Startup.resolve env plan in
@@ -154,11 +177,11 @@ let run db ?(gov = Governor.none) ?engine ?workers bindings plan =
     in
     let adapted = Startup.resolve ~overrides env plan in
     let tuples, profile =
-      Executor.execute db env ~gov ~materialized ?engine ?workers
+      Executor.execute db env ~gov ~obs:rt ~materialized ?engine ?workers
         adapted.Startup.plan
     in
     let cpu_seconds = Sys.time () -. start in
-    let after = Buffer_pool.stats pool in
+    let after = Buffer_pool.stats_of_trace rt in
     ( tuples,
       { materialized = Some sub;
         estimated_rows = Startup.estimated_rows env sub;

@@ -47,6 +47,7 @@ val observe :
   Dqep_storage.Database.t ->
   Dqep_cost.Env.t ->
   ?gov:Governor.t ->
+  ?obs:Dqep_obs.Trace.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
   Dqep_plans.Plan.t ->
@@ -55,14 +56,18 @@ val observe :
 (** Materialize [sub] (a subplan of the plan, typically from
     {!shared_subplan}) and translate its observed cardinality into
     decision-procedure overrides and execution-time splices for every
-    equivalent node of the plan.  Under the batch engine the cardinality
-    accumulates per delivered batch ({!Executor.execute}'s [on_batch]).
-    Also used by {!Resilience} to carry observed cardinalities into
-    failover re-resolution. *)
+    equivalent node of the plan.  The subplan runs under a taps-enabled
+    trace ([obs] when it has taps, a private one otherwise), and the
+    observed cardinality is read off the root operator's tap — the same
+    observation channel feedback re-optimization consumes; the root
+    delivery count is the fallback for materialized roots.  Also used by
+    {!Resilience} to carry observed cardinalities into failover
+    re-resolution. *)
 
 val run :
   Dqep_storage.Database.t ->
   ?gov:Governor.t ->
+  ?obs:Dqep_obs.Trace.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
   Dqep_cost.Bindings.t ->

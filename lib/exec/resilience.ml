@@ -7,6 +7,8 @@ module Database = Dqep_storage.Database
 module Buffer_pool = Dqep_storage.Buffer_pool
 module Fault = Dqep_storage.Fault
 module Timer = Dqep_util.Timer
+module Trace = Dqep_obs.Trace
+module Counter = Dqep_obs.Counter
 
 type config = {
   max_retries : int;
@@ -88,25 +90,35 @@ let budget_pages env ~factor ~anticipated_cost =
     Some (Int.max 16 (int_of_float (Float.ceil pages)))
   end
 
-let run ?(config = default) ?(gov = Governor.none) db bindings plan =
+let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
+    bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let pool = Database.pool db in
   let rng = Rng.create config.backoff_seed in
-  let retries = ref 0 in
-  let faults = ref 0 in
-  let budget_aborts = ref 0 in
-  let memory_aborts = ref 0 in
-  let failovers = ref 0 in
+  (* The supervisor's counters live on a trace — the caller's when one
+     was supplied, a private one otherwise — and [stats] is a view over
+     the trace's deltas from the start of this run, so a session-lifetime
+     trace can aggregate many runs while each run still reports its own
+     window.  Backoff is the one float, kept as a ref and exported as a
+     gauge. *)
+  let rt = if Trace.enabled obs then obs else Trace.create () in
+  let c0 c = Trace.get rt c in
+  let base_retries = c0 Counter.Retries in
+  let base_faults = c0 Counter.Faults_absorbed in
+  let base_budget = c0 Counter.Budget_aborts in
+  let base_memory = c0 Counter.Memory_aborts in
+  let base_failovers = c0 Counter.Failovers in
+  let base_attempts = c0 Counter.Attempts in
   let backoff = ref 0. in
-  let attempts = ref 0 in
   let snapshot () =
-    { retries = !retries;
-      faults_absorbed = !faults;
-      budget_aborts = !budget_aborts;
-      memory_aborts = !memory_aborts;
-      failovers = !failovers;
+    if !backoff > 0. then Trace.gauge rt "backoff_seconds" !backoff;
+    { retries = Trace.get rt Counter.Retries - base_retries;
+      faults_absorbed = Trace.get rt Counter.Faults_absorbed - base_faults;
+      budget_aborts = Trace.get rt Counter.Budget_aborts - base_budget;
+      memory_aborts = Trace.get rt Counter.Memory_aborts - base_memory;
+      failovers = Trace.get rt Counter.Failovers - base_failovers;
       backoff_seconds = !backoff;
-      attempts = !attempts }
+      attempts = Trace.get rt Counter.Attempts - base_attempts }
   in
   match Executor.check_feasible db env plan with
   | exception Executor.Infeasible problems ->
@@ -153,8 +165,9 @@ let run ?(config = default) ?(gov = Governor.none) db bindings plan =
         | None -> ()
         | Some sub -> (
           match
-            Midquery.observe db !mem_env ~gov ?engine:config.engine
-              ?workers:config.workers plan ~sub
+            Trace.span rt "observe" (fun () ->
+                Midquery.observe db !mem_env ~gov ~obs:rt
+                  ?engine:config.engine ?workers:config.workers plan ~sub)
           with
           | obs ->
             overrides := obs.Midquery.overrides;
@@ -184,12 +197,14 @@ let run ?(config = default) ?(gov = Governor.none) db bindings plan =
              + before.Buffer_pool.physical_writes + pages)
            (budget_pages !mem_env ~factor
               ~anticipated_cost:resolution.Startup.anticipated_cost));
-      incr attempts;
+      Trace.incr rt Counter.Attempts;
       match
         Timer.cpu (fun () ->
-          Executor.execute db !mem_env ~gov ~materialized:!materialized
-            ?engine:config.engine ?workers:config.workers
-            resolution.Startup.plan)
+          Trace.span rt "attempt" (fun () ->
+            Executor.execute db !mem_env ~gov ~obs:rt
+              ~materialized:!materialized
+              ?engine:config.engine ?workers:config.workers
+              resolution.Startup.plan))
       with
       | (tuples, profile), cpu_seconds ->
         let after = Buffer_pool.stats pool in
@@ -199,15 +214,16 @@ let run ?(config = default) ?(gov = Governor.none) db bindings plan =
               io = Buffer_pool.diff ~before ~after;
               cpu_seconds;
               resolved_plan = resolution.Startup.plan;
-              retries = !retries;
-              faults_absorbed = !faults;
-              budget_aborts = !budget_aborts;
-              failovers = !failovers;
+              retries = Trace.get rt Counter.Retries - base_retries;
+              faults_absorbed =
+                Trace.get rt Counter.Faults_absorbed - base_faults;
+              budget_aborts = Trace.get rt Counter.Budget_aborts - base_budget;
+              failovers = Trace.get rt Counter.Failovers - base_failovers;
               exec = profile } )
       | exception Fault.Io_fault { kind = Fault.Transient; _ }
         when attempt_no < config.max_retries ->
-        incr retries;
-        incr faults;
+        Trace.incr rt Counter.Retries;
+        Trace.incr rt Counter.Faults_absorbed;
         (* Full-jitter exponential backoff, modeled rather than slept:
            the delay before retry [n] is uniform over
            [0, backoff_base * 2^n), drawn from a generator seeded by the
@@ -218,26 +234,29 @@ let run ?(config = default) ?(gov = Governor.none) db bindings plan =
                (config.backoff_base *. (2. ** float_of_int attempt_no));
         attempt resolution (attempt_no + 1)
       | exception (Fault.Io_fault _ as error) ->
-        incr faults;
+        Trace.incr rt Counter.Faults_absorbed;
         fail_over resolution error
       | exception (Buffer_pool.Io_budget_exceeded _ as error) ->
-        incr budget_aborts;
+        Trace.incr rt Counter.Budget_aborts;
         fail_over resolution error
       | exception (Governor.Memory_exceeded _ as error) ->
         (* Spilling already degraded as far as the budget allowed; the
            chosen alternative simply needs more memory than granted.
            Lower the grant and fail over — the re-resolution prefers an
            alternative whose working set fits. *)
-        incr memory_aborts;
+        Trace.incr rt Counter.Memory_aborts;
         lower_memory ();
         fail_over resolution error
     and fail_over resolution error =
       (* A static plan (no choose-plan decisions) has nothing to fall
          back onto; likewise when the fallback budget is spent. *)
-      if resolution.Startup.choices = [] || !failovers >= config.max_failovers
+      if
+        resolution.Startup.choices = []
+        || Trace.get rt Counter.Failovers - base_failovers
+           >= config.max_failovers
       then exhausted error
       else begin
-        incr failovers;
+        Trace.incr rt Counter.Failovers;
         excluded :=
           List.map snd resolution.Startup.choices @ !excluded;
         try_observe ();
@@ -255,8 +274,14 @@ let run ?(config = default) ?(gov = Governor.none) db bindings plan =
         exhausted (Option.value last ~default:error)
     in
     let result =
+      (* Tee the pool into the run trace for the whole supervised run, so
+         a session-lifetime trace sees the I/O of failed attempts too
+         (the per-attempt [run_stats.io] window stays pool-based). *)
+      Buffer_pool.attach_obs pool rt;
       Fun.protect
-        ~finally:(fun () -> Buffer_pool.set_io_limit pool None)
+        ~finally:(fun () ->
+          Buffer_pool.detach_obs pool;
+          Buffer_pool.set_io_limit pool None)
         (fun () ->
           match
             (* A cancellation queued before the run started (admission
@@ -270,8 +295,11 @@ let run ?(config = default) ?(gov = Governor.none) db bindings plan =
           (* Deadline and cancellation end the whole supervised run —
              retrying or failing over cannot buy back wall-clock time. *)
           | exception Governor.Deadline_exceeded { elapsed; budget } ->
+            Trace.incr rt Counter.Deadline_aborts;
             Error (Deadline_exceeded { elapsed; budget })
-          | exception Governor.Cancelled reason -> Error (Cancelled reason)
+          | exception Governor.Cancelled reason ->
+            Trace.incr rt Counter.Cancellations;
+            Error (Cancelled reason)
           | exception Governor.Memory_exceeded { budget; in_use; requested }
             ->
             Error (Memory_exceeded { budget; in_use; requested })

@@ -111,6 +111,7 @@ type stats = {
 val run :
   ?config:config ->
   ?gov:Governor.t ->
+  ?obs:Dqep_obs.Trace.t ->
   Dqep_storage.Database.t ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
@@ -123,4 +124,12 @@ val run :
     [gov] (default {!Governor.none}) governs every attempt {e and} the
     failover observation: deadlines, cancellation, memory budgets and
     row limits all surface here as typed failures, never as escaped
-    exceptions. *)
+    exceptions.
+
+    [obs] (default {!Dqep_obs.Trace.null}) is the run's observation
+    trace: the supervisor's counters ([Attempts], [Retries],
+    [Faults_absorbed], [Budget_aborts], [Memory_aborts], [Failovers],
+    [Deadline_aborts], [Cancellations]) land there, the buffer pool is
+    teed into it for the whole supervised run, attempts and the failover
+    observation run inside "attempt"/"observe" spans, and [stats] is
+    computed as a view over the trace's deltas. *)

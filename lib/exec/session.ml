@@ -18,6 +18,13 @@
    deadlines, so slots turn over and the queue drains; a session used
    without any per-query deadline should set max_queue instead. *)
 
+module Trace = Dqep_obs.Trace
+module Counter = Dqep_obs.Counter
+module Feedback = Dqep_obs.Feedback
+module Env = Dqep_cost.Env
+module Bindings = Dqep_cost.Bindings
+module Plan = Dqep_plans.Plan
+
 type shed_reason = Queue_full | Queue_timeout
 
 let shed_reason_name = function
@@ -68,9 +75,15 @@ type stats = {
   peak_queued : int;
 }
 
+(* Lifecycle accounting lives on a session-lifetime trace ([stats] is a
+   view over its counters), and completed runs deposit what they measured
+   — realized parameter bindings, per-operator cardinalities — into the
+   session's observation cache, the raw material of {!refined_env}. *)
 type t = {
   cfg : config;
   pool : Governor.pool option;
+  obs : Trace.t;
+  feedback : Feedback.t;
   mu : Mutex.t;
   cond : Condition.t;
   abandoned : (int, unit) Hashtbl.t;
@@ -78,12 +91,6 @@ type t = {
   mutable queued : int;
   mutable next_ticket : int;
   mutable serving : int;
-  mutable submitted : int;
-  mutable admitted : int;
-  mutable completed : int;
-  mutable failed : int;
-  mutable shed_queue_full : int;
-  mutable shed_queue_timeout : int;
   mutable peak_inflight : int;
   mutable peak_queued : int;
 }
@@ -94,6 +101,8 @@ let create ?(config = config ()) () =
       Option.map
         (fun capacity_bytes -> Governor.pool ~capacity_bytes)
         config.memory_pool_bytes;
+    obs = Trace.create ();
+    feedback = Feedback.create ();
     mu = Mutex.create ();
     cond = Condition.create ();
     abandoned = Hashtbl.create 16;
@@ -101,26 +110,26 @@ let create ?(config = config ()) () =
     queued = 0;
     next_ticket = 0;
     serving = 0;
-    submitted = 0;
-    admitted = 0;
-    completed = 0;
-    failed = 0;
-    shed_queue_full = 0;
-    shed_queue_timeout = 0;
     peak_inflight = 0;
     peak_queued = 0 }
 
 let memory_pool t = t.pool
+let obs t = t.obs
+let feedback t = t.feedback
+
+let refined_env t env =
+  Env.refine env ~selectivities:(Feedback.selectivity_bounds t.feedback)
 
 let stats t =
   Mutex.lock t.mu;
+  let c = Trace.get t.obs in
   let s =
-    { submitted = t.submitted;
-      admitted = t.admitted;
-      completed = t.completed;
-      failed = t.failed;
-      shed_queue_full = t.shed_queue_full;
-      shed_queue_timeout = t.shed_queue_timeout;
+    { submitted = c Counter.Submitted;
+      admitted = c Counter.Admitted;
+      completed = c Counter.Completed;
+      failed = c Counter.Failed;
+      shed_queue_full = c Counter.Shed_queue_full;
+      shed_queue_timeout = c Counter.Shed_queue_timeout;
       peak_inflight = t.peak_inflight;
       peak_queued = t.peak_queued }
   in
@@ -148,7 +157,7 @@ let advance t =
 
 let admit t ~clock =
   Mutex.lock t.mu;
-  t.submitted <- t.submitted + 1;
+  Trace.incr t.obs Counter.Submitted;
   if
     t.queued >= t.cfg.max_queue
     && (t.queued > 0 || t.inflight >= t.cfg.max_inflight)
@@ -157,7 +166,7 @@ let admit t ~clock =
        (someone is queued ahead, or every slot is taken): shed at the
        door.  With [max_queue = 0] only immediately admissible
        submissions get in. *)
-    t.shed_queue_full <- t.shed_queue_full + 1;
+    Trace.incr t.obs Counter.Shed_queue_full;
     Mutex.unlock t.mu;
     Error Queue_full
   end
@@ -165,7 +174,10 @@ let admit t ~clock =
     let ticket = t.next_ticket in
     t.next_ticket <- ticket + 1;
     t.queued <- t.queued + 1;
-    t.peak_queued <- Int.max t.peak_queued t.queued;
+    if t.queued > t.peak_queued then begin
+      t.peak_queued <- t.queued;
+      Trace.gauge t.obs "peak_queued" (float_of_int t.queued)
+    end;
     let enqueued_at = clock () in
     let rec wait () =
       advance t;
@@ -173,8 +185,11 @@ let admit t ~clock =
         t.serving <- ticket + 1;
         t.queued <- t.queued - 1;
         t.inflight <- t.inflight + 1;
-        t.peak_inflight <- Int.max t.peak_inflight t.inflight;
-        t.admitted <- t.admitted + 1;
+        if t.inflight > t.peak_inflight then begin
+          t.peak_inflight <- t.inflight;
+          Trace.gauge t.obs "peak_inflight" (float_of_int t.inflight)
+        end;
+        Trace.incr t.obs Counter.Admitted;
         (* The ticket behind may be admissible too (several free slots). *)
         Condition.broadcast t.cond;
         Mutex.unlock t.mu;
@@ -184,7 +199,7 @@ let admit t ~clock =
         match t.cfg.queue_deadline with
         | Some d when clock () -. enqueued_at >= d ->
           t.queued <- t.queued - 1;
-          t.shed_queue_timeout <- t.shed_queue_timeout + 1;
+          Trace.incr t.obs Counter.Shed_queue_timeout;
           if t.serving = ticket then t.serving <- ticket + 1
           else Hashtbl.replace t.abandoned ticket ();
           advance t;
@@ -202,13 +217,39 @@ let release t ~outcome =
   Mutex.lock t.mu;
   t.inflight <- t.inflight - 1;
   (match outcome with
-  | `Completed -> t.completed <- t.completed + 1
-  | `Failed -> t.failed <- t.failed + 1);
+  | `Completed -> Trace.incr t.obs Counter.Completed
+  | `Failed -> Trace.incr t.obs Counter.Failed);
   Condition.broadcast t.cond;
   Mutex.unlock t.mu
 
-let submit t ?(gov = Governor.none) ?resilience ?(clock = Unix.gettimeofday)
-    db bindings plan =
+(* Deposit what a completed run measured into the observation cache: the
+   realized parameter bindings (a bound selectivity is an exact
+   observation of its variable) and every tapped operator's cardinality,
+   keyed by relation set so a later query's node over the same relations
+   finds it. *)
+let record_feedback t rt (bindings : Bindings.t) resolved_plan =
+  List.iter
+    (fun (var, v) -> Feedback.observe_selectivity t.feedback var v)
+    bindings.Bindings.selectivities;
+  let nodes = Hashtbl.create 32 in
+  Plan.iter (fun node -> Hashtbl.replace nodes node.Plan.pid node) resolved_plan;
+  List.iter
+    (fun (pid, _op, rows, _batches) ->
+      match Hashtbl.find_opt nodes pid with
+      | Some node -> Feedback.observe_rows t.feedback ~key:(Plan.rels_key node) rows
+      | None -> ())
+    (Trace.taps rt)
+
+(* Fold a finished run's counter deltas into the session-lifetime trace. *)
+let fold_counters t rt ~base =
+  List.iter
+    (fun c ->
+      let d = Trace.get rt c - base c in
+      if d <> 0 then Trace.add t.obs c d)
+    Counter.all
+
+let submit t ?(gov = Governor.none) ?obs ?resilience
+    ?(clock = Unix.gettimeofday) db bindings plan =
   match admit t ~clock with
   | Error reason -> Shed reason
   | Ok () ->
@@ -216,17 +257,34 @@ let submit t ?(gov = Governor.none) ?resilience ?(clock = Unix.gettimeofday)
       match t.pool with Some p -> Governor.with_pool gov p | None -> gov
     in
     let rconfig = Option.value resilience ~default:t.cfg.resilience in
+    (* Every admitted query runs under a taps-enabled trace (the caller's
+       when one was supplied), so its operator cardinalities can feed the
+       observation cache; its counters are folded into the session trace
+       when it finishes. *)
+    let rt =
+      match obs with
+      | Some tr when Trace.enabled tr -> tr
+      | Some _ | None -> Trace.create ~taps:true ()
+    in
+    let base =
+      let snap = List.map (fun c -> (c, Trace.get rt c)) Counter.all in
+      fun c -> List.assoc c snap
+    in
     let outcome =
-      match Resilience.run ~config:rconfig ~gov db bindings plan with
+      match Resilience.run ~config:rconfig ~gov ~obs:rt db bindings plan with
       | Ok (tuples, stats), _ -> Completed (tuples, stats)
       | Error failure, _ -> Failed failure
       | exception e ->
         (* Resilience.run types every expected error; anything else is a
            bug, but the slot must still be released. *)
+        fold_counters t rt ~base;
         release t ~outcome:`Failed;
         raise e
     in
+    fold_counters t rt ~base;
     (match outcome with
-    | Completed _ -> release t ~outcome:`Completed
+    | Completed (_, stats) ->
+      record_feedback t rt bindings stats.Executor.resolved_plan;
+      release t ~outcome:`Completed
     | Failed _ | Shed _ -> release t ~outcome:`Failed);
     outcome

@@ -61,9 +61,26 @@ val create : ?config:config -> unit -> t
 
 val memory_pool : t -> Governor.pool option
 
+val obs : t -> Dqep_obs.Trace.t
+(** The session-lifetime observation trace: lifecycle counters
+    ([Submitted], [Admitted], [Completed], [Failed], [Shed_*]), the
+    folded counter totals of every finished run, and peak gauges.
+    {!stats} is a view over it. *)
+
+val feedback : t -> Dqep_obs.Feedback.t
+(** The session's observation cache: realized selectivity bindings and
+    per-operator cardinalities deposited by every completed run. *)
+
+val refined_env : t -> Dqep_cost.Env.t -> Dqep_cost.Env.t
+(** Narrow an environment's selectivity priors by the session's observed
+    bands ({!Dqep_cost.Env.refine} over
+    {!Dqep_obs.Feedback.selectivity_bounds}) — the environment to hand
+    the optimizer when re-optimizing within the session. *)
+
 val submit :
   t ->
   ?gov:Governor.t ->
+  ?obs:Dqep_obs.Trace.t ->
   ?resilience:Resilience.config ->
   ?clock:(unit -> float) ->
   Dqep_storage.Database.t ->
@@ -79,7 +96,12 @@ val submit :
     [Failed (Cancelled _)] on the first check).  [resilience] overrides
     the session's supervisor configuration for this one submission (the
     chaos harness mixes engines per query this way).  [clock] is the
-    queue clock, injectable for tests. *)
+    queue clock, injectable for tests.
+
+    [obs] is this submission's run trace (a taps-enabled private trace
+    when omitted): the supervisor records through it, and when the run
+    completes its operator taps and the realized bindings are deposited
+    into {!feedback}, with its counter deltas folded into {!obs}. *)
 
 type stats = {
   submitted : int;

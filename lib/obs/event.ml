@@ -1,0 +1,116 @@
+module Json = Dqep_util.Json
+
+type payload =
+  | Span_begin of { name : string }
+  | Span_end of { name : string; elapsed : float }
+  | Count of { counter : Counter.t; delta : int; total : int }
+  | Gauge of { name : string; value : float }
+  | Tap of { pid : int; op : string; rows : int; batches : int }
+
+type t = { seq : int; at : float; span : int option; payload : payload }
+
+let kind = function
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Count _ -> "count"
+  | Gauge _ -> "gauge"
+  | Tap _ -> "tap"
+
+let to_jsonv e =
+  let base =
+    [ ("seq", Json.Int e.seq); ("at", Json.Float e.at);
+      ("kind", Json.String (kind e.payload)) ]
+  in
+  let span =
+    match e.span with None -> [] | Some id -> [ ("span", Json.Int id) ]
+  in
+  let rest =
+    match e.payload with
+    | Span_begin { name } -> [ ("name", Json.String name) ]
+    | Span_end { name; elapsed } ->
+      [ ("name", Json.String name); ("elapsed", Json.Float elapsed) ]
+    | Count { counter; delta; total } ->
+      [
+        ("counter", Json.String (Counter.name counter));
+        ("delta", Json.Int delta);
+        ("total", Json.Int total);
+      ]
+    | Gauge { name; value } ->
+      [ ("name", Json.String name); ("value", Json.Float value) ]
+    | Tap { pid; op; rows; batches } ->
+      [
+        ("pid", Json.Int pid);
+        ("op", Json.String op);
+        ("rows", Json.Int rows);
+        ("batches", Json.Int batches);
+      ]
+  in
+  Json.Obj (base @ span @ rest)
+
+let to_json e = Json.to_string (to_jsonv e)
+
+(* Schema validation for one trace line — the check behind `dqep trace
+   validate` and the CI smoke job.  Verifies the line parses, carries
+   the required fields for its kind with the right types, and names only
+   counters from the closed taxonomy. *)
+let validate_json line =
+  let ( let* ) r f = Result.bind r f in
+  let require v key to_x =
+    match Option.bind (Json.member key v) to_x with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" key)
+  in
+  let* v = Json.parse line in
+  let* seq = require v "seq" Json.to_int_opt in
+  let* _at = require v "at" Json.to_float_opt in
+  let* () =
+    if seq < 0 then Error "negative seq" else Ok ()
+  in
+  let* () =
+    match Json.member "span" v with
+    | None -> Ok ()
+    | Some s -> (
+      match Json.to_int_opt s with
+      | Some _ -> Ok ()
+      | None -> Error "mistyped field \"span\"")
+  in
+  let* k = require v "kind" Json.to_string_opt in
+  match k with
+  | "span_begin" ->
+    let* _ = require v "name" Json.to_string_opt in
+    Ok ()
+  | "span_end" ->
+    let* _ = require v "name" Json.to_string_opt in
+    let* _ = require v "elapsed" Json.to_float_opt in
+    Ok ()
+  | "count" ->
+    let* name = require v "counter" Json.to_string_opt in
+    let* _ = require v "delta" Json.to_int_opt in
+    let* _ = require v "total" Json.to_int_opt in
+    if Counter.of_name name = None then
+      Error (Printf.sprintf "unknown counter %S" name)
+    else Ok ()
+  | "gauge" ->
+    let* _ = require v "name" Json.to_string_opt in
+    let* _ = require v "value" Json.to_float_opt in
+    Ok ()
+  | "tap" ->
+    let* _ = require v "pid" Json.to_int_opt in
+    let* _ = require v "op" Json.to_string_opt in
+    let* _ = require v "rows" Json.to_int_opt in
+    let* _ = require v "batches" Json.to_int_opt in
+    Ok ()
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let pp_compact ppf e =
+  let pad = match e.span with None -> "" | Some _ -> "  " in
+  match e.payload with
+  | Span_begin { name } -> Format.fprintf ppf "%s> %s @%.6f" pad name e.at
+  | Span_end { name; elapsed } ->
+    Format.fprintf ppf "%s< %s (%.6fs)" pad name elapsed
+  | Count { counter; delta; total } ->
+    Format.fprintf ppf "%s%a +%d = %d" pad Counter.pp counter delta total
+  | Gauge { name; value } -> Format.fprintf ppf "%s%s = %g" pad name value
+  | Tap { pid; op; rows; batches } ->
+    Format.fprintf ppf "%stap #%d %s rows=%d batches=%d" pad pid op rows
+      batches

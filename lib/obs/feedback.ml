@@ -1,0 +1,64 @@
+module Interval = Dqep_util.Interval
+
+type band = { mutable lo : float; mutable hi : float; mutable n : int }
+
+type t = {
+  mu : Mutex.t;
+  selectivities : (string, band) Hashtbl.t;
+  cardinalities : (string, band) Hashtbl.t;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    selectivities = Hashtbl.create 7;
+    cardinalities = Hashtbl.create 7;
+  }
+
+let observe_band table key v =
+  if not (Float.is_nan v) && v >= 0. then
+    match Hashtbl.find_opt table key with
+    | Some b ->
+      b.lo <- Float.min b.lo v;
+      b.hi <- Float.max b.hi v;
+      b.n <- b.n + 1
+    | None -> Hashtbl.add table key { lo = v; hi = v; n = 1 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  let r = f () in
+  Mutex.unlock t.mu;
+  r
+
+let observe_selectivity t var v =
+  locked t (fun () -> observe_band t.selectivities var v)
+
+let observe_rows t ~key rows =
+  locked t (fun () -> observe_band t.cardinalities key (float_of_int rows))
+
+let band_of table key =
+  Option.map
+    (fun b -> Interval.make b.lo b.hi)
+    (Hashtbl.find_opt table key)
+
+let selectivity_band t var = locked t (fun () -> band_of t.selectivities var)
+let rows_band t key = locked t (fun () -> band_of t.cardinalities key)
+
+let bands table =
+  Hashtbl.fold (fun k b acc -> (k, Interval.make b.lo b.hi) :: acc) table []
+  |> List.sort compare
+
+let selectivity_bounds t = locked t (fun () -> bands t.selectivities)
+let cardinality_bounds t = locked t (fun () -> bands t.cardinalities)
+
+let observations t =
+  locked t (fun () ->
+      let tally table =
+        Hashtbl.fold (fun _ b acc -> acc + b.n) table 0
+      in
+      tally t.selectivities + tally t.cardinalities)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.selectivities;
+      Hashtbl.reset t.cardinalities)

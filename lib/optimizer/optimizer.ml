@@ -68,11 +68,15 @@ let env_of_mode options catalog = function
       ~device:options.device catalog
   | Run_time bindings -> Env.of_bindings ~device:options.device catalog bindings
 
-let optimize ?(options = default_options) ~mode catalog query =
+let optimize ?(options = default_options) ?refine ~mode catalog query =
   match Logical.validate catalog query with
   | Error diags -> Error (Dqep_util.Diagnostic.list_to_string diags)
   | Ok () ->
     let env = env_of_mode options catalog mode in
+    (* Feedback re-optimization: the caller narrows the mode's priors
+       with what a session has observed (e.g. [Session.refined_env])
+       before the search costs anything against them. *)
+    let env = match refine with Some f -> f env | None -> env in
     let keep_equal_alternatives =
       match mode with
       | Dynamic _ -> true

@@ -75,10 +75,17 @@ type result = {
 
 val optimize :
   ?options:options ->
+  ?refine:(Dqep_cost.Env.t -> Dqep_cost.Env.t) ->
   mode:mode ->
   Dqep_catalog.Catalog.t ->
   Dqep_algebra.Logical.t ->
   (result, string) Result.t
 (** Validate and optimize a query.  Static and run-time modes always
     return choose-plan-free plans; dynamic mode returns a dynamic plan
-    whenever costs were incomparable. *)
+    whenever costs were incomparable.
+
+    [refine] post-processes the mode's environment before the search
+    runs — the feedback re-optimization hook: pass
+    [Dqep_exec.Session.refined_env session] to cost the search against
+    the selectivity bands the session has actually observed instead of
+    the full priors. *)

@@ -162,6 +162,11 @@ let fold f init plan =
   iter (fun p -> acc := f !acc p) plan;
   !acc
 
+(* Stable identity of a node's relation set, e.g. "R|S|T" — the key the
+   observation cache files cardinality observations under, so a later
+   query's node covering the same relations finds them. *)
+let rels_key node = String.concat "|" node.rels
+
 let node_count plan = fold (fun n _ -> n + 1) 0 plan
 
 let expanded_count plan =

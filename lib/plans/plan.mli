@@ -79,6 +79,12 @@ module Builder : sig
   (** Number of distinct nodes created so far. *)
 end
 
+val rels_key : t -> string
+(** Stable identity of the node's relation set (["R|S|T"]) — the key
+    under which the observation cache ([Dqep_obs.Feedback]) files
+    cardinality observations, so a later query's node covering the same
+    relations finds them. *)
+
 val node_count : t -> int
 (** Distinct nodes in the DAG — the paper's "plan size" (Figure 6). *)
 

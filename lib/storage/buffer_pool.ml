@@ -1,3 +1,6 @@
+module Trace = Dqep_obs.Trace
+module Counter = Dqep_obs.Counter
+
 type frame = {
   page : Page.t;
   mutable pins : int;
@@ -23,18 +26,30 @@ let () =
            limit observed)
     | _ -> None)
 
+(* I/O accounting lives on an owned observation trace: the pool's
+   counters are ordinary [Dqep_obs.Counter]s, and a per-run trace can be
+   teed in with [attach_obs] so an executor run sees its own I/O without
+   windowed before/after subtraction.  [base] implements [reset_stats]
+   by snapshot, since traces are append-only. *)
 type t = {
   disk : Disk.t;
   mutable capacity : int;
   table : (int, frame) Hashtbl.t;
   mutable clock : int;
-  mutable logical_reads : int;
-  mutable physical_reads : int;
-  mutable physical_writes : int;
-  mutable read_faults : int;
-  mutable write_faults : int;
+  obs : Trace.t;
+  mutable obs_extra : Trace.t option;
+  mutable base : stats;
   mutable io_limit : int option;
 }
+
+let zero_stats =
+  {
+    logical_reads = 0;
+    physical_reads = 0;
+    physical_writes = 0;
+    read_faults = 0;
+    write_faults = 0;
+  }
 
 let create ?(frames = 64) disk =
   if frames <= 0 then invalid_arg "Buffer_pool.create: frames <= 0";
@@ -42,15 +57,44 @@ let create ?(frames = 64) disk =
     capacity = frames;
     table = Hashtbl.create (2 * frames);
     clock = 0;
-    logical_reads = 0;
-    physical_reads = 0;
-    physical_writes = 0;
-    read_faults = 0;
-    write_faults = 0;
+    obs = Trace.create ();
+    obs_extra = None;
+    base = zero_stats;
     io_limit = None }
 
 let disk t = t.disk
 let frames t = t.capacity
+
+let obs t = t.obs
+let attach_obs t tr = t.obs_extra <- Some tr
+let detach_obs t = t.obs_extra <- None
+
+let bump t c =
+  Trace.incr t.obs c;
+  match t.obs_extra with Some tr -> Trace.incr tr c | None -> ()
+
+let stats_of_trace tr =
+  {
+    logical_reads = Trace.get tr Counter.Logical_reads;
+    physical_reads = Trace.get tr Counter.Physical_reads;
+    physical_writes = Trace.get tr Counter.Physical_writes;
+    read_faults = Trace.get tr Counter.Read_faults;
+    write_faults = Trace.get tr Counter.Write_faults;
+  }
+
+let raw_stats t = stats_of_trace t.obs
+
+let stats t =
+  let raw = raw_stats t in
+  {
+    logical_reads = raw.logical_reads - t.base.logical_reads;
+    physical_reads = raw.physical_reads - t.base.physical_reads;
+    physical_writes = raw.physical_writes - t.base.physical_writes;
+    read_faults = raw.read_faults - t.base.read_faults;
+    write_faults = raw.write_faults - t.base.write_faults;
+  }
+
+let reset_stats t = t.base <- raw_stats t
 
 let set_io_limit t limit = t.io_limit <- limit
 let io_limit t = t.io_limit
@@ -58,7 +102,8 @@ let io_limit t = t.io_limit
 let check_io_limit t =
   match t.io_limit with
   | Some limit ->
-    let observed = t.physical_reads + t.physical_writes in
+    let s = stats t in
+    let observed = s.physical_reads + s.physical_writes in
     if observed > limit then raise (Io_budget_exceeded { limit; observed })
   | None -> ()
 
@@ -86,9 +131,9 @@ let evict_one t =
          evicted, the retry sees a consistent pool. *)
       (try Disk.write t.disk id
        with Fault.Io_fault _ as e ->
-         t.write_faults <- t.write_faults + 1;
+         bump t Counter.Write_faults;
          raise e);
-      t.physical_writes <- t.physical_writes + 1
+      bump t Counter.Physical_writes
     end;
     Hashtbl.remove t.table id;
     if f.dirty then check_io_limit t
@@ -127,7 +172,7 @@ let resize t capacity =
   done
 
 let pin t id =
-  t.logical_reads <- t.logical_reads + 1;
+  bump t Counter.Logical_reads;
   match Hashtbl.find_opt t.table id with
   | Some f ->
     f.pins <- f.pins + 1;
@@ -139,11 +184,11 @@ let pin t id =
     let page =
       try Disk.read t.disk id
       with Fault.Io_fault _ as e ->
-        t.read_faults <- t.read_faults + 1;
+        bump t Counter.Read_faults;
         raise e
     in
     ensure_room t;
-    t.physical_reads <- t.physical_reads + 1;
+    bump t Counter.Physical_reads;
     (* Pin only after the budget check: if the limit fires here, the page
        is resident but unpinned, so an aborted run leaks no pins. *)
     let f = { page; pins = 0; dirty = false; last_use = tick t } in
@@ -181,20 +226,13 @@ let flush_all t =
       if f.dirty then begin
         (try Disk.write t.disk id
          with Fault.Io_fault _ as e ->
-           t.write_faults <- t.write_faults + 1;
+           bump t Counter.Write_faults;
            raise e);
-        t.physical_writes <- t.physical_writes + 1;
+        bump t Counter.Physical_writes;
         f.dirty <- false;
         check_io_limit t
       end)
     t.table
-
-let stats t =
-  { logical_reads = t.logical_reads;
-    physical_reads = t.physical_reads;
-    physical_writes = t.physical_writes;
-    read_faults = t.read_faults;
-    write_faults = t.write_faults }
 
 let diff ~(before : stats) ~(after : stats) =
   { logical_reads = after.logical_reads - before.logical_reads;
@@ -202,12 +240,5 @@ let diff ~(before : stats) ~(after : stats) =
     physical_writes = after.physical_writes - before.physical_writes;
     read_faults = after.read_faults - before.read_faults;
     write_faults = after.write_faults - before.write_faults }
-
-let reset_stats t =
-  t.logical_reads <- 0;
-  t.physical_reads <- 0;
-  t.physical_writes <- 0;
-  t.read_faults <- 0;
-  t.write_faults <- 0
 
 let resident t = Hashtbl.length t.table

@@ -74,11 +74,33 @@ val flush_all : t -> unit
     flushed before the fault stay clean, the faulted one stays dirty. *)
 
 val stats : t -> stats
+(** Counter totals since creation (or the last {!reset_stats}) — a view
+    over the pool's observation trace ({!obs}). *)
 
 val diff : before:stats -> after:stats -> stats
 (** Per-field difference, for windowed I/O accounting of one run. *)
 
+val stats_of_trace : Dqep_obs.Trace.t -> stats
+(** Read the pool's five I/O counters out of any trace — the adapter
+    between a run's observation trace (see {!attach_obs}) and the
+    windowed [stats] view the execution layers report. *)
+
 val reset_stats : t -> unit
+(** Rebase {!stats} to zero.  The underlying observation trace is
+    append-only; this only moves the view's baseline. *)
+
+val obs : t -> Dqep_obs.Trace.t
+(** The pool's owned observation trace, where every I/O and fault
+    counter lands ([Logical_reads], [Physical_reads], [Physical_writes],
+    [Read_faults], [Write_faults]). *)
+
+val attach_obs : t -> Dqep_obs.Trace.t -> unit
+(** Tee subsequent counter increments into a second trace — how an
+    executor run collects its own I/O window without before/after
+    subtraction.  One extra trace at a time; attaching replaces any
+    previous one. *)
+
+val detach_obs : t -> unit
 val resident : t -> int
 (** Number of pages currently held. *)
 

@@ -1,13 +1,20 @@
+module Trace = Dqep_obs.Trace
+module Counter = Dqep_obs.Counter
+
 type t = {
   mutable pages : Page.t array;
   mutable used : int;
   mutable faults : Fault.t option;
+  obs : Trace.t;
 }
 
 let create () =
   { pages = Array.make 64 { Page.id = -1; payload = Page.Free };
     used = 0;
-    faults = None }
+    faults = None;
+    obs = Trace.create () }
+
+let obs t = t.obs
 
 let allocate t =
   if t.used = Array.length t.pages then begin
@@ -26,11 +33,25 @@ let get t id =
 
 let read t id =
   if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
-  (match t.faults with Some f -> Fault.on_read f ~page:id | None -> ());
+  (match t.faults with
+  | Some f -> (
+    try Fault.on_read f ~page:id
+    with Fault.Io_fault _ as e ->
+      Trace.incr t.obs Counter.Read_faults;
+      raise e)
+  | None -> ());
+  Trace.incr t.obs Counter.Physical_reads;
   t.pages.(id)
 
 let write t id =
-  match t.faults with Some f -> Fault.on_write f ~page:id | None -> ()
+  (match t.faults with
+  | Some f -> (
+    try Fault.on_write f ~page:id
+    with Fault.Io_fault _ as e ->
+      Trace.incr t.obs Counter.Write_faults;
+      raise e)
+  | None -> ());
+  Trace.incr t.obs Counter.Physical_writes
 
 let set_faults t f = t.faults <- f
 let faults t = t.faults

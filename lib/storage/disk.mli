@@ -28,6 +28,12 @@ val write : t -> int -> unit
     no-op; only the fault schedule and I/O accounting observe it).
     @raise Fault.Io_fault when the schedule fails this write. *)
 
+val obs : t -> Dqep_obs.Trace.t
+(** The device's owned observation trace: lifetime [Physical_reads],
+    [Physical_writes], [Read_faults] and [Write_faults] at the disk
+    layer — device totals, independent of any buffer pool's windowed
+    accounting in front of it. *)
+
 val set_faults : t -> Fault.t option -> unit
 (** Install or remove a fault injector.  [None] restores the infallible
     disk. *)

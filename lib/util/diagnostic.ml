@@ -150,36 +150,23 @@ let pp_list ppf l =
 
 let list_to_string l = String.concat "; " (List.map to_string l)
 
-(* Hand-rolled JSON: enough for ASCII diagnostics, correct for anything
-   else that sneaks into a message. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let site_jsonv = function
+  | Query -> Json.Obj [ ("kind", Json.String "query") ]
+  | Node pid -> Json.Obj [ ("kind", Json.String "node"); ("pid", Json.Int pid) ]
+  | Group gid ->
+    Json.Obj [ ("kind", Json.String "group"); ("gid", Json.Int gid) ]
 
-let site_json = function
-  | Query -> {|{"kind":"query"}|}
-  | Node pid -> Printf.sprintf {|{"kind":"node","pid":%d}|} pid
-  | Group gid -> Printf.sprintf {|{"kind":"group","gid":%d}|} gid
+let to_jsonv d =
+  Json.Obj
+    [
+      ("code", Json.String (id d.code));
+      ("name", Json.String (slug d.code));
+      ("severity", Json.String (severity_string d.severity));
+      ("site", site_jsonv d.site);
+      ("message", Json.String d.message);
+    ]
 
-let to_json d =
-  Printf.sprintf {|{"code":"%s","name":"%s","severity":"%s","site":%s,"message":"%s"}|}
-    (id d.code) (slug d.code)
-    (severity_string d.severity)
-    (site_json d.site)
-    (json_escape d.message)
-
-let list_to_json l = "[" ^ String.concat "," (List.map to_json l) ^ "]"
+let to_json d = Json.to_string (to_jsonv d)
+let list_to_json l = Json.to_string (Json.List (List.map to_jsonv l))
 
 let compare = Stdlib.compare

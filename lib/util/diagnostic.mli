@@ -118,8 +118,11 @@ val to_string : t -> string
 val pp_list : Format.formatter -> t list -> unit
 val list_to_string : t list -> string
 
-val to_json : t -> string
+val to_jsonv : t -> Json.t
 (** One JSON object; keys [code], [name], [severity], [site], [message]. *)
+
+val to_json : t -> string
+(** [Json.to_string (to_jsonv d)]. *)
 
 val list_to_json : t list -> string
 

@@ -37,6 +37,20 @@ let scale k a =
 
 let combine_min a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }
 let union a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let refine prior obs =
+  (* Intersect with the prior; an observation disjoint from the prior
+     collapses to the nearest prior bound.  The result is always a valid
+     sub-interval of [prior], so refinement can never widen a bound and
+     repeated refinement is monotone. *)
+  let lo = Float.max prior.lo (Float.min prior.hi obs.lo) in
+  let hi = Float.min prior.hi (Float.max prior.lo obs.hi) in
+  if lo <= hi then { lo; hi }
+  else
+    (* obs sits entirely outside prior: snap to the violated edge. *)
+    let v = if obs.hi < prior.lo then prior.lo else prior.hi in
+    { lo = v; hi = v }
+
 let contains a v = a.lo <= v && v <= a.hi
 let clamp a v = Float.max a.lo (Float.min a.hi v)
 

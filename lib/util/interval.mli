@@ -75,6 +75,19 @@ val combine_min : t -> t -> t
 val union : t -> t -> t
 (** Convex hull of two intervals. *)
 
+val refine : t -> t -> t
+(** [refine prior obs] narrows [prior] by the observation [obs]: the
+    intersection of the two when they overlap, and the nearest [prior]
+    bound (as a point) when they are disjoint — an observation is
+    evidence, but the prior's bounds are the contract other plan costs
+    were derived under, so refinement never steps outside them.
+
+    Laws (property-tested in [suite_interval]):
+    - never widens: [(refine p o).lo >= p.lo] and [(refine p o).hi <= p.hi];
+    - stays within the prior: [refine p o] is a sub-interval of [p];
+    - monotone under repeated observation:
+      [refine (refine p o) o = refine p o]. *)
+
 val contains : t -> float -> bool
 
 val clamp : t -> float -> float

@@ -1,0 +1,46 @@
+(** A minimal JSON value, printer, and parser.
+
+    All JSON the project emits — CLI [--json] output, diagnostics,
+    [BENCH_*.json] benchmark reports, and the observation pipeline's
+    trace sink — is built as a {!t} and printed here, so escaping and
+    number formatting are implemented exactly once.  The parser exists
+    for trace validation ([dqep trace validate] and the CI smoke job);
+    it accepts standard JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** [escape s] is [s] with JSON string escaping applied (quotes,
+    backslashes, control characters); no surrounding quotes. *)
+
+val to_string : t -> string
+(** Compact single-line rendering.  Non-finite floats print as
+    [null]. *)
+
+val to_string_pretty : t -> string
+(** Multi-line rendering with two-space indentation and a trailing
+    newline, for files meant to be read by people. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key v] is the field [key] of an [Obj], [None] otherwise. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [to_float_opt] also accepts [Int] values. *)
+
+val to_string_opt : t -> string option
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** [parse s] parses one JSON value spanning all of [s] (surrounding
+    whitespace allowed).  The error string includes a byte offset. *)

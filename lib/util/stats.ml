@@ -17,6 +17,14 @@ let min_max = function
   | x :: xs ->
     List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
 
+(* Nearest-rank, the one percentile definition used project-wide
+   (bench and obs included): on the ascending sample a.(0..n-1), the
+   p-th percentile is a.(rank - 1) with rank = ceil(p/100 * n) clamped
+   to [1, n].  Consequences worth pinning: p = 0 and any p small enough
+   that rank rounds to 0 return the minimum; p = 100 returns the
+   maximum; n = 1 returns the only element for every p; no
+   interpolation ever happens, so the result is always an actual
+   sample (ties included). *)
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty list"
   | xs ->
@@ -25,7 +33,8 @@ let percentile p = function
     let a = Array.of_list sorted in
     let n = Array.length a in
     let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-    a.(Int.max 0 (Int.min (n - 1) (rank - 1)))
+    let rank = Int.max 1 (Int.min n rank) in
+    a.(rank - 1)
 
 let geometric_mean = function
   | [] -> 0.

@@ -12,8 +12,14 @@ val min_max : float list -> float * float
 val sum : float list -> float
 
 val percentile : float -> float list -> float
-(** [percentile p xs] for [p] in [\[0, 100\]], nearest-rank on the sorted
-    sample.  @raise Invalid_argument on the empty list. *)
+(** [percentile p xs] for [p] in [\[0, 100\]]: {e nearest-rank} on the
+    ascending sample, i.e. element [rank - 1] where
+    [rank = ceil (p /. 100. *. n)] clamped to [\[1, n\]].  The result is
+    always an actual sample — never an interpolated value.  [p = 0]
+    returns the minimum, [p = 100] the maximum, and a single-element
+    sample returns its element for every [p].
+    @raise Invalid_argument on the empty list or [p] outside
+    [\[0, 100\]]. *)
 
 val geometric_mean : float list -> float
 (** Geometric mean of strictly positive samples; 0 for the empty list. *)

@@ -85,6 +85,24 @@ let test_union_contains_clamp () =
   near "clamp high" 6. (I.clamp u 9.);
   near "clamp inside" 3. (I.clamp u 3.)
 
+let test_refine () =
+  (* Overlap: intersection. *)
+  let r = I.refine (I.make 1. 10.) (I.make 2. 5.) in
+  check "overlap lo" 2. r.I.lo;
+  check "overlap hi" 5. r.I.hi;
+  (* Partial overlap clips to the prior. *)
+  let r = I.refine (I.make 1. 10.) (I.make 0. 3.) in
+  check "clip lo" 1. r.I.lo;
+  check "clip hi" 3. r.I.hi;
+  (* Disjoint: the nearest prior bound, as a point — evidence never
+     steps outside the contract the plan costs were derived under. *)
+  let r = I.refine (I.make 1. 10.) (I.make 20. 30.) in
+  check "disjoint above lo" 10. r.I.lo;
+  check "disjoint above hi" 10. r.I.hi;
+  let r = I.refine (I.make 5. 10.) (I.make 0. 2.) in
+  check "disjoint below" 5. r.I.lo;
+  Alcotest.(check bool) "disjoint below is point" true (I.is_point r)
+
 (* --- properties ---------------------------------------------------------- *)
 
 let interval_gen =
@@ -117,6 +135,30 @@ let prop_combine_min_bounds =
       let c = I.combine_min a b in
       c.I.lo = Float.min a.I.lo b.I.lo && c.I.hi = Float.min a.I.hi b.I.hi)
 
+(* The three documented laws of Interval.refine — the contract the
+   feedback re-optimization loop leans on. *)
+
+let prop_refine_never_widens =
+  QCheck.Test.make ~name:"refine never widens the prior" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (p, o) ->
+      let r = I.refine p o in
+      r.I.lo >= p.I.lo && r.I.hi <= p.I.hi)
+
+let prop_refine_within_prior =
+  QCheck.Test.make ~name:"refine stays a sub-interval of the prior"
+    ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (p, o) ->
+      let r = I.refine p o in
+      r.I.lo <= r.I.hi && I.contains p r.I.lo && I.contains p r.I.hi)
+
+let prop_refine_monotone =
+  QCheck.Test.make ~name:"refine monotone under repeated observation"
+    ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (p, o) ->
+      let once = I.refine p o in
+      let twice = I.refine once o in
+      twice.I.lo = once.I.lo && twice.I.hi = once.I.hi)
+
 let prop_union_contains =
   QCheck.Test.make ~name:"union contains operands" ~count:500
     (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
@@ -133,6 +175,10 @@ let suite =
       Alcotest.test_case "partial order" `Quick test_compare;
       Alcotest.test_case "mul, div, scale" `Quick test_mul_div_scale;
       Alcotest.test_case "union, contains, clamp" `Quick test_union_contains_clamp;
+      Alcotest.test_case "refine (observation narrowing)" `Quick test_refine;
+      QCheck_alcotest.to_alcotest prop_refine_never_widens;
+      QCheck_alcotest.to_alcotest prop_refine_within_prior;
+      QCheck_alcotest.to_alcotest prop_refine_monotone;
       QCheck_alcotest.to_alcotest prop_compare_antisymmetric;
       QCheck_alcotest.to_alcotest prop_add_monotone;
       QCheck_alcotest.to_alcotest prop_combine_min_bounds;

@@ -83,6 +83,40 @@ let test_stats () =
   Alcotest.check_raises "empty min_max" (Invalid_argument "Stats.min_max: empty list")
     (fun () -> ignore (Stats.min_max []))
 
+(* The documented nearest-rank edge cases: a single sample answers every
+   p, ties are returned verbatim (never interpolated), p = 100 is the
+   maximum, and the input need not be pre-sorted. *)
+let test_percentile_edges () =
+  near "n=1 p0" 5. (Stats.percentile 0. [ 5. ]);
+  near "n=1 p37" 5. (Stats.percentile 37. [ 5. ]);
+  near "n=1 p100" 5. (Stats.percentile 100. [ 5. ]);
+  let ties = [ 1.; 2.; 2.; 2.; 3. ] in
+  near "ties p25" 2. (Stats.percentile 25. ties);
+  near "ties p50" 2. (Stats.percentile 50. ties);
+  near "ties p75" 2. (Stats.percentile 75. ties);
+  near "ties p100" 3. (Stats.percentile 100. ties);
+  near "unsorted p50" 2. (Stats.percentile 50. [ 3.; 1.; 2. ]);
+  near "p0 is min" 1. (Stats.percentile 0. [ 3.; 1.; 2. ]);
+  (* rank = ceil(90/100 * 4) = 4 on four samples: nearest rank, not
+     interpolation, so p90 of [1..4] is 4. *)
+  near "p90 of four" 4. (Stats.percentile 90. [ 1.; 2.; 3.; 4. ]);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Stats.percentile 50. []));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile 101. [ 1. ]))
+
+let prop_percentile_is_sample =
+  QCheck.Test.make ~name:"percentile returns an actual sample" ~count:500
+    (QCheck.pair
+       (QCheck.list_of_size QCheck.Gen.(int_range 1 20) (QCheck.float_bound_inclusive 100.))
+       (QCheck.float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      match xs with
+      | [] -> true
+      | _ -> List.exists (fun x -> x = Stats.percentile p xs) xs)
+
 let test_timer () =
   let (), t = Dqep.Timer.cpu (fun () -> ()) in
   Alcotest.(check bool) "non-negative" true (t >= 0.);
@@ -98,7 +132,10 @@ let suite =
       Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
       Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
       Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "percentile nearest-rank edges" `Quick
+        test_percentile_edges;
       Alcotest.test_case "timer" `Quick test_timer;
+      QCheck_alcotest.to_alcotest prop_percentile_is_sample;
       QCheck_alcotest.to_alcotest prop_float_range;
       QCheck_alcotest.to_alcotest prop_int_range;
       QCheck_alcotest.to_alcotest prop_int_range_inclusive ] )

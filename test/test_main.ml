@@ -26,4 +26,5 @@ let () =
       Suite_explain.suite;
       Suite_cost_extra.suite;
       Suite_orders.suite;
-      Suite_analysis.suite ]
+      Suite_analysis.suite;
+      Suite_obs.suite ]
