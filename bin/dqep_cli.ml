@@ -188,6 +188,7 @@ let failure_exit_code = function
   | D.Resilience.Deadline_exceeded _ -> 13
   | D.Resilience.Memory_exceeded _ -> 14
   | D.Resilience.Cancelled _ -> 15
+  | D.Resilience.Estimate_busted _ -> 17
 
 let failure_name = function
   | D.Resilience.Infeasible _ -> "infeasible"
@@ -196,6 +197,7 @@ let failure_name = function
   | D.Resilience.Deadline_exceeded _ -> "deadline_exceeded"
   | D.Resilience.Memory_exceeded _ -> "memory_exceeded"
   | D.Resilience.Cancelled _ -> "cancelled"
+  | D.Resilience.Estimate_busted _ -> "estimate_busted"
 
 let run_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Data and binding seed.") in
@@ -252,6 +254,29 @@ let run_cmd =
                    fit fails with exit code 14 (the dynamic plan fails over \
                    to a lower-memory alternative before giving up).")
   in
+  let checkpoints =
+    Arg.(value & flag
+         & info [ "checkpoints" ]
+             ~doc:"Checkpoint intermediates at blocking points (hash-join \
+                   builds, sort outputs). A cardinality observed there \
+                   outside the plan's validity band becomes a typed \
+                   estimate-busted fault: the query is replanned \
+                   incrementally (reusing the optimizer's memo) and resumes \
+                   from the checkpoints; with replans exhausted it fails \
+                   with exit code 17. Also honors \\$DQEP_CHECKPOINTS=1.")
+  in
+  let replan_tolerance =
+    Arg.(value & opt float D.Checkpoint.default_tolerance
+         & info [ "replan-tolerance" ]
+             ~doc:"Validity band half-width factor: an estimate e accepts \
+                   observations in [e/T, (e+1)*T]. Must be > 1.")
+  in
+  let max_replans =
+    Arg.(value & opt int 2
+         & info [ "max-replans" ]
+             ~doc:"Incremental re-optimizations per query before a busted \
+                   estimate becomes the final outcome (with --checkpoints).")
+  in
   let json =
     Arg.(value & flag
          & info [ "json" ]
@@ -265,7 +290,8 @@ let run_cmd =
                    with `dqep trace validate`.")
   in
   let run relations seed memory sels fault_rate fault_seed retries
-      io_budget_factor engine workers deadline_ms memory_kb json trace =
+      io_budget_factor engine workers deadline_ms memory_kb checkpoints
+      replan_tolerance max_replans json trace =
     let q = D.Queries.chain ~relations in
     let bindings =
       match sels with
@@ -316,12 +342,24 @@ let run_cmd =
       Printf.eprintf "dqep: --workers must be >= 1 (got %d)\n" w;
       exit 2
     | _ -> ());
-    let config =
+    if replan_tolerance <= 1. then begin
+      Printf.eprintf "dqep: --replan-tolerance must be > 1 (got %g)\n"
+        replan_tolerance;
+      exit 2
+    end;
+    if max_replans < 0 then begin
+      Printf.eprintf "dqep: --max-replans must be >= 0 (got %d)\n" max_replans;
+      exit 2
+    end;
+    let make_config ?replan () =
       (* The guard defaults off here so a plain `dqep run` matches the
-         unsupervised executor's behavior. *)
+         unsupervised executor's behavior.  Checkpointing stays on the
+         config's env-var default unless --checkpoints forces it on. *)
       D.Resilience.config ~max_retries:retries
         ~io_budget_factor:(Option.value ~default:0. io_budget_factor)
-        ?engine ?workers ()
+        ?engine ?workers
+        ?checkpoints:(if checkpoints then Some true else None)
+        ~checkpoint_tolerance:replan_tolerance ~max_replans ?replan ()
     in
     (match deadline_ms with
     | Some d when d <= 0. ->
@@ -366,6 +404,19 @@ let run_cmd =
         Printf.eprintf "%s: %s\n" label e;
         1
       | Ok r -> (
+        (* With checkpointing requested, retain a parallel optimization of
+           the same query so a busted estimate can re-enter the memo
+           incrementally instead of failing outright. *)
+        let replan =
+          if checkpoints then
+            match
+              D.Reoptimize.prepare ~mode q.D.Queries.catalog q.D.Queries.query
+            with
+            | Ok (rt, _) -> Some (D.Reoptimize.replanner rt)
+            | Error _ -> None
+          else None
+        in
+        let config = make_config ?replan () in
         match
           D.Obs.Trace.span obs label (fun () ->
               D.Resilience.run ~config ~gov:(governor ()) ~obs db bindings
@@ -392,7 +443,12 @@ let run_cmd =
                       ("budget_aborts", D.Json.Int stats.D.Executor.budget_aborts);
                       ( "memory_aborts",
                         D.Json.Int rstats.D.Resilience.memory_aborts );
-                      ("failovers", D.Json.Int stats.D.Executor.failovers) ]))
+                      ("failovers", D.Json.Int stats.D.Executor.failovers);
+                      ("replans", D.Json.Int stats.D.Executor.replans);
+                      ( "checkpoints_taken",
+                        D.Json.Int rstats.D.Resilience.checkpoints_taken );
+                      ("resume_hits", D.Json.Int rstats.D.Resilience.resume_hits)
+                    ]))
           else begin
             Format.printf
               "%-8s: %5d tuples, %5d physical reads, %5d writes, %.4fs CPU@."
@@ -402,10 +458,14 @@ let run_cmd =
               stats.D.Executor.cpu_seconds;
             Format.printf
               "  resilience: %d retries, %d faults absorbed, %d budget \
-               aborts, %d memory aborts, %d failovers@."
+               aborts, %d memory aborts, %d failovers, %d replans@."
               stats.D.Executor.retries stats.D.Executor.faults_absorbed
               stats.D.Executor.budget_aborts rstats.D.Resilience.memory_aborts
-              stats.D.Executor.failovers;
+              stats.D.Executor.failovers stats.D.Executor.replans;
+            if rstats.D.Resilience.checkpoints_taken > 0 then
+              Format.printf "  checkpoints: %d taken, %d resume hits@."
+                rstats.D.Resilience.checkpoints_taken
+                rstats.D.Resilience.resume_hits;
             Format.printf "  exec: %a@." D.Exec_common.pp_profile
               stats.D.Executor.exec;
             Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
@@ -432,7 +492,11 @@ let run_cmd =
                         D.Json.Int rstats.D.Resilience.budget_aborts );
                       ( "memory_aborts",
                         D.Json.Int rstats.D.Resilience.memory_aborts );
-                      ("failovers", D.Json.Int rstats.D.Resilience.failovers) ]))
+                      ("failovers", D.Json.Int rstats.D.Resilience.failovers);
+                      ("replans", D.Json.Int rstats.D.Resilience.replans);
+                      ( "checkpoints_taken",
+                        D.Json.Int rstats.D.Resilience.checkpoints_taken )
+                    ]))
           else
             Format.printf
               "%-8s: failed (%a) after %d attempts, %d retries, %d budget \
@@ -468,10 +532,12 @@ let run_cmd =
              plans, optionally under injected storage faults and per-query \
              resource budgets. Exit status follows the dynamic plan's typed \
              outcome: 0 ok, 10 infeasible, 11 rejected, 12 exhausted, 13 \
-             deadline exceeded, 14 memory exceeded, 15 cancelled.")
+             deadline exceeded, 14 memory exceeded, 15 cancelled, 17 \
+             estimate busted (16 is reserved for session shedding).")
     Term.(const run $ relations_arg $ seed $ memory $ sels $ fault_rate
           $ fault_seed $ retries $ io_budget_factor $ engine $ workers
-          $ deadline_ms $ memory_kb $ json $ trace)
+          $ deadline_ms $ memory_kb $ checkpoints $ replan_tolerance
+          $ max_replans $ json $ trace)
 
 (* --- sql ----------------------------------------------------------------- *)
 

@@ -96,6 +96,7 @@ module Rules = Dqep_optimizer.Rules
 module Pareto = Dqep_optimizer.Pareto
 module Search = Dqep_optimizer.Search
 module Optimizer = Dqep_optimizer.Optimizer
+module Reoptimize = Dqep_optimizer.Reoptimize
 
 (** {1 SQL front-end} *)
 
@@ -114,6 +115,7 @@ module Reference = Dqep_exec.Reference
 module Midquery = Dqep_exec.Midquery
 module Resilience = Dqep_exec.Resilience
 module Governor = Dqep_exec.Governor
+module Checkpoint = Dqep_exec.Checkpoint
 module Session = Dqep_exec.Session
 
 (** {1 Workloads and experiments} *)

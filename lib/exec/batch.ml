@@ -133,6 +133,18 @@ let of_tuples ?(capacity = default_capacity) schema tuples =
   in
   go [] (create ~capacity schema) tuples
 
+(* Present the batch under [target]'s column order, permuting the column
+   pointers by name — the row data is shared, not copied.  Identity when
+   the orders already agree. *)
+let remap ~target t =
+  if Schema.columns t.schema = Schema.columns target then t
+  else begin
+    let perm =
+      Array.map (fun c -> Schema.position_exn t.schema c) (Schema.columns target)
+    in
+    { t with schema = target; cols = Array.map (fun p -> t.cols.(p)) perm }
+  end
+
 (* Copy the selected rows into a fresh dense batch.  Compaction preserves
    the multiset of logical rows (qcheck-checked). *)
 let compact t =

@@ -60,6 +60,7 @@ type ctx = {
   gov : Governor.t; (* cancellation token + memory budget; domain-safe *)
   obs : Trace.t;
   mat : (int * tuple list) list;
+  ckpt : Checkpoint.t;
   scheduler : Scheduler.t;
   capacity : int;
   storage_mu : Mutex.t option; (* Some iff the scheduler is parallel *)
@@ -405,7 +406,20 @@ and compile_op ctx (plan : Plan.t) : iterator =
     | Physical.Sort cols -> sort ctx plan cols
     | Physical.Choose_plan ->
       let resolved = Startup.resolve ctx.env plan in
-      compile_node ctx resolved.Startup.plan)
+      (* Alternatives may concatenate the same columns in different
+         orders; the parent binds positions against this node's nominal
+         schema (the first alternative's), so permute if needed. *)
+      let it = compile_node ctx resolved.Startup.plan in
+      let target = schema_of ctx plan in
+      if Schema.columns it.schema = Schema.columns target then it
+      else
+        { it with
+          schema = target;
+          next =
+            (fun () ->
+              match it.next () with
+              | None -> None
+              | Some b -> Some (Batch.remap ~target b)) })
 
 and compile_child ctx (plan : Plan.t) =
   match plan.Plan.inputs with
@@ -473,6 +487,12 @@ and hash_join ctx (plan : Plan.t) preds =
            subtree is live at once; its domains are joined by [consume]'s
            close before the next starts. *)
         let build = consume left_it in
+        (* Build completion is a blocking point: checkpoint the fully
+           consumed build side before any probe work. *)
+        (match plan.Plan.inputs with
+        | [ l; _ ] ->
+          Checkpoint.take ctx.ckpt ctx.db ctx.env l ~schema:left_schema build
+        | _ -> ());
         let probe = consume right_it in
         Exec_common.hash_join_core ~gov:ctx.gov ~obs:ctx.obs ctx.db ctx.env
           ~left_schema
@@ -629,6 +649,9 @@ and sort ctx (plan : Plan.t) cols =
           Exec_common.sort_core ~gov:ctx.gov ~obs:ctx.obs ctx.db ctx.env
             ~width ~compare_tuples tuples
         in
+        (* The sort's output is fully materialized here — the other
+           blocking point — and carries the node's order property. *)
+        Checkpoint.take ctx.ckpt ctx.db ctx.env plan ~schema sorted;
         pending := Batch.of_tuples ~capacity:ctx.capacity schema sorted);
     next =
       (fun () ->
@@ -641,13 +664,14 @@ and sort ctx (plan : Plan.t) cols =
 
 (* --- entry points -------------------------------------------------------- *)
 
-let make_ctx db env ~gov ~obs ~materialized ~workers ~capacity =
+let make_ctx db env ~gov ~obs ~materialized ~checkpoint ~workers ~capacity =
   let scheduler = Scheduler.create ~workers in
   { db;
     env;
     gov;
     obs;
     mat = materialized;
+    ckpt = checkpoint;
     scheduler;
     capacity;
     storage_mu =
@@ -655,9 +679,11 @@ let make_ctx db env ~gov ~obs ~materialized ~workers ~capacity =
     partitions = 0 }
 
 let compile_with db env ?(gov = Governor.none) ?(obs = Trace.null)
-    ?(materialized = []) ?(workers = 1) ?(capacity = Batch.default_capacity)
-    plan =
-  let ctx = make_ctx db env ~gov ~obs ~materialized ~workers ~capacity in
+    ?(materialized = []) ?(checkpoint = Checkpoint.disabled) ?(workers = 1)
+    ?(capacity = Batch.default_capacity) plan =
+  let ctx =
+    make_ctx db env ~gov ~obs ~materialized ~checkpoint ~workers ~capacity
+  in
   (ctx, compile_node ctx plan)
 
 (* Execute a plan and return its tuples plus the run's execution profile.
@@ -665,10 +691,11 @@ let compile_with db env ?(gov = Governor.none) ?(obs = Trace.null)
    observes every root batch's selected row count as it is delivered —
    Midquery uses this to accumulate cardinalities batch by batch. *)
 let run_plan db env ?(gov = Governor.none) ?(obs = Trace.null)
-    ?(materialized = []) ?(workers = 1) ?(capacity = Batch.default_capacity)
-    ?on_batch plan =
+    ?(materialized = []) ?(checkpoint = Checkpoint.disabled) ?(workers = 1)
+    ?(capacity = Batch.default_capacity) ?on_batch plan =
   let ctx, it =
-    compile_with db env ~gov ~obs ~materialized ~workers ~capacity plan
+    compile_with db env ~gov ~obs ~materialized ~checkpoint ~workers ~capacity
+      plan
   in
   let batches = ref 0 and max_rows = ref 0 and total_rows = ref 0 in
   let counting =

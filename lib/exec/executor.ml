@@ -24,6 +24,7 @@ type run_stats = {
   faults_absorbed : int;
   budget_aborts : int;
   failovers : int;
+  replans : int;
   exec : Exec_common.exec_profile;
 }
 
@@ -171,11 +172,11 @@ let tap_iterator obs (plan : Plan.t) (it : Iterator.t) =
         end;
         it.Iterator.close ()) }
 
-let rec compile_node db env gov obs mat (plan : Plan.t) : Iterator.t =
-  let it = compile_op db env gov obs mat plan in
+let rec compile_node db env gov obs mat ckpt (plan : Plan.t) : Iterator.t =
+  let it = compile_op db env gov obs mat ckpt plan in
   if Trace.taps_enabled obs then tap_iterator obs plan it else it
 
-and compile_op db env gov obs mat (plan : Plan.t) : Iterator.t =
+and compile_op db env gov obs mat ckpt (plan : Plan.t) : Iterator.t =
   match List.assoc_opt plan.Plan.pid mat with
   | Some tuples ->
     (* The subplan was already materialized (mid-query adaptation):
@@ -198,7 +199,7 @@ and compile_op db env gov obs mat (plan : Plan.t) : Iterator.t =
             ~hi:None (fun _ rid -> acc := rid :: !acc);
           rids := List.rev !acc) }
   | Physical.Filter pred ->
-    let child = compile_child db env gov obs mat plan in
+    let child = compile_child db env gov obs mat ckpt plan in
     let matches = Pred_eval.select_matches env child.Iterator.schema pred in
     filter_iterator
       (fun next ->
@@ -224,27 +225,32 @@ and compile_op db env gov obs mat (plan : Plan.t) : Iterator.t =
             Btree.range (Database.pool db) (Database.index db ~rel ~attr) ~lo:None
               ~hi:(Some (cutoff - 1)) (fun _ rid -> acc := rid :: !acc);
           rids := List.rev !acc) }
-  | Physical.Hash_join preds -> hash_join db env gov obs mat plan preds
-  | Physical.Merge_join preds -> merge_join db env gov obs mat plan preds
+  | Physical.Hash_join preds -> hash_join db env gov obs mat ckpt plan preds
+  | Physical.Merge_join preds -> merge_join db env gov obs mat ckpt plan preds
   | Physical.Index_join { preds; inner_rel; inner_attr; inner_filter } ->
-    index_join db env gov obs mat plan preds ~inner_rel ~inner_attr ~inner_filter
-  | Physical.Sort cols -> sort db env gov obs mat plan cols
+    index_join db env gov obs mat ckpt plan preds ~inner_rel ~inner_attr ~inner_filter
+  | Physical.Sort cols -> sort db env gov obs mat ckpt plan cols
   | Physical.Choose_plan ->
     let resolved = Startup.resolve env plan in
-    compile_node db env gov obs mat resolved.Startup.plan
+    (* Alternatives may concatenate the same columns in different
+       orders; the parent binds positions against this node's nominal
+       schema (the first alternative's), so permute if needed. *)
+    Iterator.remap ~target:(schema_of db plan)
+      (compile_node db env gov obs mat ckpt resolved.Startup.plan)
 
-and compile_child db env gov obs mat (plan : Plan.t) =
+and compile_child db env gov obs mat ckpt (plan : Plan.t) =
   match plan.Plan.inputs with
-  | [ child ] -> compile_node db env gov obs mat child
+  | [ child ] -> compile_node db env gov obs mat ckpt child
   | _ -> invalid_arg "Executor: expected unary operator"
 
-and compile_children db env gov obs mat (plan : Plan.t) =
+and compile_children db env gov obs mat ckpt (plan : Plan.t) =
   match plan.Plan.inputs with
-  | [ l; r ] -> (compile_node db env gov obs mat l, compile_node db env gov obs mat r)
+  | [ l; r ] ->
+    (compile_node db env gov obs mat ckpt l, compile_node db env gov obs mat ckpt r)
   | _ -> invalid_arg "Executor: expected binary operator"
 
-and hash_join db env gov obs mat (plan : Plan.t) preds =
-  let left_it, right_it = compile_children db env gov obs mat plan in
+and hash_join db env gov obs mat ckpt (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env gov obs mat ckpt plan in
   let left_schema = left_it.Iterator.schema
   and right_schema = right_it.Iterator.schema in
   let schema = Schema.concat left_schema right_schema in
@@ -263,6 +269,11 @@ and hash_join db env gov obs mat (plan : Plan.t) preds =
       (fun () ->
         results := [];
         let build = Iterator.consume left_it in
+        (* Build completion is a blocking point: checkpoint the fully
+           consumed build side before any probe work. *)
+        (match plan.Plan.inputs with
+        | [ l; _ ] -> Checkpoint.take ckpt db env l ~schema:left_schema build
+        | _ -> ());
         let probe = Iterator.consume right_it in
         Exec_common.hash_join_core ~gov ~obs db env ~left_schema ~right_schema
           ~left_width ~right_width ~preds ~emit build probe;
@@ -276,8 +287,8 @@ and hash_join db env gov obs mat (plan : Plan.t) preds =
           Some t);
     close = (fun () -> ()) }
 
-and merge_join db env gov obs mat (plan : Plan.t) preds =
-  let left_it, right_it = compile_children db env gov obs mat plan in
+and merge_join db env gov obs mat ckpt (plan : Plan.t) preds =
+  let left_it, right_it = compile_children db env gov obs mat ckpt plan in
   let left_schema = left_it.Iterator.schema
   and right_schema = right_it.Iterator.schema in
   let schema = Schema.concat left_schema right_schema in
@@ -358,10 +369,11 @@ and merge_join db env gov obs mat (plan : Plan.t) preds =
         right_arr := [||];
         release ()) }
 
-and index_join db env gov obs mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
+and index_join db env gov obs mat ckpt (plan : Plan.t) preds ~inner_rel ~inner_attr
+    ~inner_filter =
   let outer_it =
     match plan.Plan.inputs with
-    | [ o ] -> compile_node db env gov obs mat o
+    | [ o ] -> compile_node db env gov obs mat ckpt o
     | _ -> invalid_arg "Executor: index join expects one input"
   in
   let outer_schema = outer_it.Iterator.schema in
@@ -424,8 +436,8 @@ and index_join db env gov obs mat (plan : Plan.t) preds ~inner_rel ~inner_attr ~
         go ());
     close = outer_it.Iterator.close }
 
-and sort db env gov obs mat (plan : Plan.t) cols =
-  let child = compile_child db env gov obs mat plan in
+and sort db env gov obs mat ckpt (plan : Plan.t) cols =
+  let child = compile_child db env gov obs mat ckpt plan in
   let schema = child.Iterator.schema in
   let positions = List.map (Schema.position_exn schema) cols in
   let compare_tuples = Exec_common.compare_on positions in
@@ -435,7 +447,13 @@ and sort db env gov obs mat (plan : Plan.t) cols =
     open_ =
       (fun () ->
         let tuples = Iterator.consume child in
-        pending := Exec_common.sort_core ~gov ~obs db env ~width ~compare_tuples tuples);
+        let sorted =
+          Exec_common.sort_core ~gov ~obs db env ~width ~compare_tuples tuples
+        in
+        (* The sort's output is fully materialized here — the other
+           blocking point — and carries the node's order property. *)
+        Checkpoint.take ckpt db env plan ~schema sorted;
+        pending := sorted);
     next =
       (fun () ->
         match !pending with
@@ -449,8 +467,8 @@ and sort db env gov obs mat (plan : Plan.t) cols =
    materialized substitution is checked before anything else, so plans
    containing overridden choose nodes compile correctly. *)
 let compile_with db env ?(gov = Governor.none) ?(obs = Trace.null)
-    ?(materialized = []) plan =
-  compile_node db env gov obs materialized plan
+    ?(materialized = []) ?(checkpoint = Checkpoint.disabled) plan =
+  compile_node db env gov obs materialized checkpoint plan
 
 let compile db env plan = compile_with db env plan
 
@@ -475,7 +493,8 @@ let governed_iterator gov it =
    an unmodified caller — including every existing test suite — can be
    pushed through the batch engine externally. *)
 let execute db env ?(gov = Governor.none) ?(obs = Trace.null)
-    ?(materialized = []) ?engine ?workers ?on_batch plan =
+    ?(materialized = []) ?(checkpoint = Checkpoint.disabled) ?engine ?workers
+    ?on_batch plan =
   let engine =
     match engine with Some e -> e | None -> Exec_common.default_engine ()
   in
@@ -485,7 +504,8 @@ let execute db env ?(gov = Governor.none) ?(obs = Trace.null)
   match engine with
   | Exec_common.Row ->
     let it =
-      governed_iterator gov (compile_with db env ~gov ~obs ~materialized plan)
+      governed_iterator gov
+        (compile_with db env ~gov ~obs ~materialized ~checkpoint plan)
     in
     let tuples = Iterator.consume it in
     Trace.add obs Counter.Rows_out (List.length tuples);
@@ -493,7 +513,8 @@ let execute db env ?(gov = Governor.none) ?(obs = Trace.null)
     Option.iter (fun f -> f (List.length tuples)) on_batch;
     (tuples, Exec_common.row_profile)
   | Exec_common.Batch ->
-    Batch_exec.run_plan db env ~gov ~obs ~materialized ~workers ?on_batch plan
+    Batch_exec.run_plan db env ~gov ~obs ~materialized ~checkpoint ~workers
+      ?on_batch plan
 
 let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers bindings
     plan =
@@ -530,4 +551,5 @@ let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers bindings
       faults_absorbed = 0;
       budget_aborts = 0;
       failovers = 0;
+      replans = 0;
       exec = profile } )

@@ -19,6 +19,7 @@ type run_stats = {
   faults_absorbed : int;  (** injected faults survived without failing the run *)
   budget_aborts : int;  (** attempts aborted by the I/O budget guard *)
   failovers : int;  (** re-resolutions onto another choose-plan alternative *)
+  replans : int;  (** incremental re-optimizations after a busted estimate *)
   exec : Exec_common.exec_profile;
       (** which engine ran and, for the batch engine, its batch and
           exchange accounting *)
@@ -63,6 +64,7 @@ val compile_with :
   ?gov:Governor.t ->
   ?obs:Dqep_obs.Trace.t ->
   ?materialized:(int * Iterator.tuple list) list ->
+  ?checkpoint:Checkpoint.t ->
   Dqep_plans.Plan.t ->
   Iterator.t
 (** Like {!compile}, but nodes whose pid appears in [materialized] are
@@ -72,7 +74,12 @@ val compile_with :
     the spilling operators charge their working sets against its memory
     budget ({!Governor}); default {!Governor.none} governs nothing.
     [obs] (default {!Dqep_obs.Trace.null}) records spill counters and —
-    when the trace has taps enabled — per-operator cardinalities. *)
+    when the trace has taps enabled — per-operator cardinalities.
+    [checkpoint] (default {!Checkpoint.disabled}) captures fully
+    materialized intermediates at blocking points — a hash join's
+    completed build side, a sort's output — and may raise
+    {!Checkpoint.Estimate_busted} when an observation escapes the plan's
+    validity band. *)
 
 val execute :
   Dqep_storage.Database.t ->
@@ -80,6 +87,7 @@ val execute :
   ?gov:Governor.t ->
   ?obs:Dqep_obs.Trace.t ->
   ?materialized:(int * Iterator.tuple list) list ->
+  ?checkpoint:Checkpoint.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
   ?on_batch:(int -> unit) ->

@@ -23,6 +23,32 @@ let count it =
       let rec drain n = match it.next () with None -> n | Some _ -> drain (n + 1) in
       drain 0)
 
+(* Present [it] under [target]'s column order.  A choose-plan node's
+   alternatives may concatenate the same columns in different orders;
+   consumers bind positions against the nominal schema, so a chosen
+   alternative with a different layout must be permuted into it. *)
+let remap ~target it =
+  let module Schema = Dqep_algebra.Schema in
+  if Schema.columns it.schema = Schema.columns target then it
+  else begin
+    let perm =
+      Array.map
+        (fun c ->
+          match Schema.position it.schema c with
+          | Some i -> i
+          | None -> invalid_arg "Iterator.remap: column missing from source")
+        (Schema.columns target)
+    in
+    { schema = target;
+      open_ = it.open_;
+      next =
+        (fun () ->
+          match it.next () with
+          | None -> None
+          | Some t -> Some (Array.map (Array.get t) perm));
+      close = it.close }
+  end
+
 let of_list schema tuples =
   let remaining = ref tuples in
   { schema;

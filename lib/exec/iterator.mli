@@ -27,5 +27,10 @@ val consume : t -> tuple list
 val count : t -> int
 (** Open, drain and close, returning only the tuple count. *)
 
+val remap : target:Dqep_algebra.Schema.t -> t -> t
+(** Present an iterator under [target]'s column order, permuting each
+    tuple by column name.  Identity when the orders already agree.
+    @raise Invalid_argument if a target column is missing. *)
+
 val of_list : Dqep_algebra.Schema.t -> tuple list -> t
 (** A materialized input, for tests. *)

@@ -202,4 +202,5 @@ let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers
             faults_absorbed = 0;
             budget_aborts = 0;
             failovers = 0;
+            replans = 0;
             exec = profile } } )

@@ -19,18 +19,39 @@ type config = {
   observe_on_failover : bool;
   engine : Exec_common.engine option;
   workers : int option;
+  checkpoints : bool;
+  checkpoint_tolerance : float;
+  max_replans : int;
+  replan : (rels_rows:(string * float) list -> Dqep_plans.Plan.t option) option;
 }
+
+(* Checkpointing is strictly opt-in (per config or DQEP_CHECKPOINTS=1):
+   with it off, the supervisor behaves exactly as before this layer
+   existed. *)
+let default_checkpoints () =
+  match Sys.getenv_opt "DQEP_CHECKPOINTS" with
+  | Some ("1" | "true" | "on") -> true
+  | Some _ | None -> false
 
 let config ?(max_retries = 2) ?(backoff_base = 0.01) ?(backoff_seed = 0x5eed)
     ?io_budget_factor ?(max_failovers = 8) ?(observe_on_failover = true)
-    ?engine ?workers () =
+    ?engine ?workers ?checkpoints
+    ?(checkpoint_tolerance = Checkpoint.default_tolerance) ?(max_replans = 2)
+    ?replan () =
   if max_retries < 0 then invalid_arg "Resilience.config: max_retries < 0";
   if max_failovers < 0 then invalid_arg "Resilience.config: max_failovers < 0";
+  if max_replans < 0 then invalid_arg "Resilience.config: max_replans < 0";
+  if checkpoint_tolerance <= 1. then
+    invalid_arg "Resilience.config: checkpoint_tolerance <= 1";
   (match workers with
   | Some w when w < 1 -> invalid_arg "Resilience.config: workers < 1"
   | Some _ | None -> ());
+  let checkpoints =
+    match checkpoints with Some c -> c | None -> default_checkpoints ()
+  in
   { max_retries; backoff_base; backoff_seed; io_budget_factor; max_failovers;
-    observe_on_failover; engine; workers }
+    observe_on_failover; engine; workers; checkpoints; checkpoint_tolerance;
+    max_replans; replan }
 
 let default = config ()
 
@@ -41,6 +62,7 @@ type failure =
   | Deadline_exceeded of { elapsed : float; budget : float }
   | Memory_exceeded of { budget : int; in_use : int; requested : int }
   | Cancelled of string
+  | Estimate_busted of { pid : int; observed : int; lo : float; hi : float }
 
 let pp_failure ppf = function
   | Infeasible problems ->
@@ -68,6 +90,11 @@ let pp_failure ppf = function
       "memory budget exceeded: %d bytes requested with %d in use of %d budget"
       requested in_use budget
   | Cancelled reason -> Format.fprintf ppf "cancelled: %s" reason
+  | Estimate_busted { pid; observed; lo; hi } ->
+    Format.fprintf ppf
+      "estimate busted at plan node %d: observed %d rows outside validity \
+       band [%.1f, %.1f] and no re-plan recovery available"
+      pid observed lo hi
 
 type stats = {
   retries : int;
@@ -77,6 +104,9 @@ type stats = {
   failovers : int;
   backoff_seconds : float;
   attempts : int;
+  replans : int;
+  checkpoints_taken : int;
+  resume_hits : int;
 }
 
 (* The budget is stated in cost units (the cost model's seconds); the
@@ -109,6 +139,9 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
   let base_memory = c0 Counter.Memory_aborts in
   let base_failovers = c0 Counter.Failovers in
   let base_attempts = c0 Counter.Attempts in
+  let base_replans = c0 Counter.Replans in
+  let base_checkpoints = c0 Counter.Checkpoints_taken in
+  let base_resumes = c0 Counter.Resume_hits in
   let backoff = ref 0. in
   let snapshot () =
     if !backoff > 0. then Trace.gauge rt "backoff_seconds" !backoff;
@@ -118,7 +151,11 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
       memory_aborts = Trace.get rt Counter.Memory_aborts - base_memory;
       failovers = Trace.get rt Counter.Failovers - base_failovers;
       backoff_seconds = !backoff;
-      attempts = Trace.get rt Counter.Attempts - base_attempts }
+      attempts = Trace.get rt Counter.Attempts - base_attempts;
+      replans = Trace.get rt Counter.Replans - base_replans;
+      checkpoints_taken =
+        Trace.get rt Counter.Checkpoints_taken - base_checkpoints;
+      resume_hits = Trace.get rt Counter.Resume_hits - base_resumes }
   in
   match Executor.check_feasible db env plan with
   | exception Executor.Infeasible problems ->
@@ -134,7 +171,19 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
     let excluded = ref [] in
     let overrides = ref [] in
     let materialized = ref [] in
-    let observed = ref false in
+    let failover_observed = ref false in
+    (* The checkpoint registry spans the whole supervised run: entries
+       taken by a failed attempt are what the next attempt — same plan or
+       replanned — resumes from. *)
+    let ckpt =
+      if config.checkpoints then
+        Checkpoint.create ~tolerance:config.checkpoint_tolerance ~gov ~obs:rt
+          ()
+      else Checkpoint.disabled
+    in
+    (* The plan the remaining attempts resolve; an incremental re-plan
+       after a busted estimate swaps it wholesale. *)
+    let current_plan = ref plan in
     (* The environment the remaining attempts resolve and execute under.
        A memory-budget abort lowers its grant (and the buffer pool with
        it), so the decision procedure prefers a lower-memory alternative
@@ -159,15 +208,19 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
        mapped to its typed failure below); a memory violation merely
        skips the observation. *)
     let try_observe () =
-      if config.observe_on_failover && not !observed then begin
-        observed := true;
-        match Midquery.shared_subplan plan with
+      (* Observe the plan the next resolution will actually use: after a
+         re-plan, [plan]'s pids belong to an abandoned builder and
+         materializing against them would splice the wrong subtrees. *)
+      if config.observe_on_failover && not !failover_observed then begin
+        failover_observed := true;
+        match Midquery.shared_subplan !current_plan with
         | None -> ()
         | Some sub -> (
           match
             Trace.span rt "observe" (fun () ->
                 Midquery.observe db !mem_env ~gov ~obs:rt
-                  ?engine:config.engine ?workers:config.workers plan ~sub)
+                  ?engine:config.engine ?workers:config.workers !current_plan
+                  ~sub)
           with
           | obs ->
             overrides := obs.Midquery.overrides;
@@ -198,11 +251,17 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
            (budget_pages !mem_env ~factor
               ~anticipated_cost:resolution.Startup.anticipated_cost));
       Trace.incr rt Counter.Attempts;
+      (* Blocking points already passed are served from their
+         checkpoints: a retry or replanned attempt re-reads strictly
+         fewer base pages than a cold restart.  Checkpoint splices come
+         first so they win over a stale failover observation of the same
+         node. *)
+      let resume = Checkpoint.resume_for ckpt db resolution.Startup.plan in
       match
         Timer.cpu (fun () ->
           Trace.span rt "attempt" (fun () ->
             Executor.execute db !mem_env ~gov ~obs:rt
-              ~materialized:!materialized
+              ~materialized:(resume @ !materialized) ~checkpoint:ckpt
               ?engine:config.engine ?workers:config.workers
               resolution.Startup.plan))
       with
@@ -219,6 +278,7 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
                 Trace.get rt Counter.Faults_absorbed - base_faults;
               budget_aborts = Trace.get rt Counter.Budget_aborts - base_budget;
               failovers = Trace.get rt Counter.Failovers - base_failovers;
+              replans = Trace.get rt Counter.Replans - base_replans;
               exec = profile } )
       | exception Fault.Io_fault { kind = Fault.Transient; _ }
         when attempt_no < config.max_retries ->
@@ -247,6 +307,49 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
         Trace.incr rt Counter.Memory_aborts;
         lower_memory ();
         fail_over resolution error
+      | exception Checkpoint.Estimate_busted { pid; observed; lo; hi } ->
+        replan_or_fail ~pid ~observed ~lo ~hi
+    (* A busted estimate is recoverable when the caller supplied a
+       re-planner and the replan budget is not spent: re-enter the
+       optimizer with the observed cardinalities, then resume — the next
+       attempt splices every checkpointed intermediate the new plan can
+       still use.  Without recovery it is a typed failure of its own,
+       never a silent mis-costed completion. *)
+    and replan_or_fail ~pid ~observed ~lo ~hi =
+      let fail () = Error (Estimate_busted { pid; observed; lo; hi }) in
+      let budget_left =
+        Trace.get rt Counter.Replans - base_replans < config.max_replans
+      in
+      match config.replan with
+      | Some replan when budget_left -> (
+        match
+          Trace.span rt "replan" (fun () ->
+              replan ~rels_rows:(Checkpoint.rels_observations ckpt))
+        with
+        | Some new_plan -> (
+          match Executor.check_feasible db !mem_env new_plan with
+          | new_plan ->
+            Trace.incr rt Counter.Replans;
+            current_plan := new_plan;
+            (* Every pid-keyed artifact of the abandoned plan is void: the
+               replanned plan's pids come from a fresh builder and collide
+               numerically, so a stale override, exclusion or materialized
+               subtree would apply to an unrelated node.  Checkpoint
+               splices and overrides are fingerprint-matched against the
+               new plan instead, so nothing that still matters is lost. *)
+            materialized := [];
+            overrides := [];
+            excluded := [];
+            failover_observed := false;
+            resolve_and_attempt ()
+          | exception (Executor.Infeasible _ | Executor.Invalid_plan _) ->
+            fail ())
+        | None -> fail ()
+        | exception
+            ( Fault.Io_fault _ | Buffer_pool.Io_budget_exceeded _
+            | Governor.Memory_exceeded _ ) ->
+          fail ())
+      | Some _ | None -> fail ()
     and fail_over resolution error =
       (* A static plan (no choose-plan decisions) has nothing to fall
          back onto; likewise when the fallback budget is spent. *)
@@ -264,7 +367,10 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
       end
     and resolve_and_attempt ?last () =
       match
-        Startup.resolve ~overrides:!overrides ~excluded:!excluded !mem_env plan
+        Startup.resolve
+          ~overrides:
+            (Checkpoint.overrides_for ckpt db !current_plan @ !overrides)
+          ~excluded:!excluded !mem_env !current_plan
       with
       | resolution -> attempt resolution 0
       | exception (Startup.Exhausted _ as error) ->
@@ -280,6 +386,7 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
       Buffer_pool.attach_obs pool rt;
       Fun.protect
         ~finally:(fun () ->
+          Checkpoint.release ckpt;
           Buffer_pool.detach_obs pool;
           Buffer_pool.set_io_limit pool None)
         (fun () ->

@@ -57,6 +57,26 @@ type config = {
           [DQEP_WORKERS].  Faults raised inside a parallel exchange
           partition surface as typed errors at the merge and take the
           same retry/failover path as row-engine faults. *)
+  checkpoints : bool;
+      (** materialize checkpoints at blocking points ({!Checkpoint}) and
+          validate observed cardinalities against the plan's validity
+          band; defaults to [DQEP_CHECKPOINTS=1] (off when unset), so
+          checkpointed recovery is strictly opt-in *)
+  checkpoint_tolerance : float;
+      (** width of the validity band around the point estimate [e]:
+          [\[e / tolerance, (e + 1) * tolerance\]]
+          (default {!Checkpoint.default_tolerance}) *)
+  max_replans : int;
+      (** bound on incremental re-optimizations per supervised run
+          (default 2) *)
+  replan : (rels_rows:(string * float) list -> Dqep_plans.Plan.t option) option;
+      (** incremental re-planner invoked on a busted estimate with every
+          checkpointed observation (keyed by relation set); returns the
+          replacement plan, or [None] to decline.  [None] (the default)
+          turns a busted estimate into the typed {!Estimate_busted}
+          failure instead.  {!Dqep_optimizer}'s [Reoptimize.replanner]
+          is the intended callback — the supervisor itself stays free of
+          an optimizer dependency. *)
 }
 
 val config :
@@ -68,6 +88,10 @@ val config :
   ?observe_on_failover:bool ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
+  ?checkpoints:bool ->
+  ?checkpoint_tolerance:float ->
+  ?max_replans:int ->
+  ?replan:(rels_rows:(string * float) list -> Dqep_plans.Plan.t option) ->
   unit ->
   config
 
@@ -93,6 +117,11 @@ type failure =
   | Cancelled of string
       (** the governor was cancelled (explicitly, by row limit, or by an
           injected test cancellation); the reason names the source *)
+  | Estimate_busted of { pid : int; observed : int; lo : float; hi : float }
+      (** a checkpointed observation escaped the plan's validity band and
+          no re-plan recovery was available (no [replan] callback, replan
+          budget spent, or the re-planner declined); [pid] is the plan
+          node whose cardinality busted the estimate *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
@@ -106,6 +135,9 @@ type stats = {
   failovers : int;  (** re-resolutions onto another alternative *)
   backoff_seconds : float;  (** total modeled backoff delay *)
   attempts : int;  (** executions started, including the successful one *)
+  replans : int;  (** incremental re-optimizations after busted estimates *)
+  checkpoints_taken : int;  (** intermediates materialized at blocking points *)
+  resume_hits : int;  (** checkpoints served to later attempts *)
 }
 
 val run :
@@ -129,7 +161,15 @@ val run :
     [obs] (default {!Dqep_obs.Trace.null}) is the run's observation
     trace: the supervisor's counters ([Attempts], [Retries],
     [Faults_absorbed], [Budget_aborts], [Memory_aborts], [Failovers],
-    [Deadline_aborts], [Cancellations]) land there, the buffer pool is
-    teed into it for the whole supervised run, attempts and the failover
-    observation run inside "attempt"/"observe" spans, and [stats] is
-    computed as a view over the trace's deltas. *)
+    [Deadline_aborts], [Cancellations], [Replans], [Checkpoints_taken],
+    [Checkpoint_bytes], [Resume_hits]) land there, the buffer pool is
+    teed into it for the whole supervised run, attempts, the failover
+    observation and re-planning run inside "attempt"/"observe"/"replan"
+    spans, and [stats] is computed as a view over the trace's deltas.
+
+    With [config.checkpoints] on, every attempt materializes
+    checkpoints at its blocking points; later attempts — bounded retries
+    after transient faults, failovers, and replanned runs — resume from
+    them instead of redoing completed sort/build work, and checkpoint
+    bytes are charged to [gov] for the duration of the supervised run
+    and always rolled back at the end. *)

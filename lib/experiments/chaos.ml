@@ -31,12 +31,13 @@ module Exec_common = Dqep_exec.Exec_common
 module Executor = Dqep_exec.Executor
 module Plangen = Dqep_workload.Plangen
 module Optimizer = Dqep_optimizer.Optimizer
+module Reoptimize = Dqep_optimizer.Reoptimize
 module Database = Dqep_storage.Database
 module Buffer_pool = Dqep_storage.Buffer_pool
 module Disk = Dqep_storage.Disk
 module Fault = Dqep_storage.Fault
 
-type scenario = Clean | Deadline | Cancel | Memory | Faulty
+type scenario = Clean | Deadline | Cancel | Memory | Faulty | Busted | Faulty_resume
 
 let scenario_name = function
   | Clean -> "clean"
@@ -44,8 +45,11 @@ let scenario_name = function
   | Cancel -> "cancel"
   | Memory -> "memory"
   | Faulty -> "faulty"
+  | Busted -> "busted"
+  | Faulty_resume -> "faulty-resume"
 
-let scenarios = [| Clean; Deadline; Cancel; Memory; Faulty |]
+let scenarios =
+  [| Clean; Deadline; Cancel; Memory; Faulty; Busted; Faulty_resume |]
 
 type tally = {
   total : int;
@@ -60,26 +64,48 @@ type tally = {
   memory_aborts_recovered : int;
       (** jobs that hit a memory abort yet still completed (failover
           onto a lower-memory alternative) *)
+  estimate_busted : int;
+      (** jobs whose final outcome was the typed busted-estimate fault *)
+  replans : int;  (** incremental re-optimizations across completed jobs *)
+  replans_recovered : int;
+      (** busted-scenario jobs that completed after at least one replan *)
   leaks : string list;  (** pin-leak reports; the contract demands [] *)
+  checkpoint_leaks : string list;
+      (** checkpoint bytes still charged after an outcome; must be [] *)
   escaped : string list;  (** exceptions escaping submit; must be [] *)
   session : Session.stats;
 }
 
 let pp_tally ppf t =
   Format.fprintf ppf
-    "@[<v>%d jobs: %d completed (%d via memory failover), %d deadline, %d \
-     memory, %d cancelled, %d shed, %d exhausted, %d other; %d failovers; \
-     %d leaks; %d escaped@]"
-    t.total t.completed t.memory_aborts_recovered t.deadline_exceeded
-    t.memory_exceeded t.cancelled t.shed t.exhausted t.other_failures
-    t.failovers (List.length t.leaks) (List.length t.escaped)
+    "@[<v>%d jobs: %d completed (%d via memory failover, %d via replan), %d \
+     deadline, %d memory, %d cancelled, %d shed, %d exhausted, %d estimate \
+     busted, %d other; %d failovers; %d replans; %d leaks; %d checkpoint \
+     leaks; %d escaped@]"
+    t.total t.completed t.memory_aborts_recovered t.replans_recovered
+    t.deadline_exceeded t.memory_exceeded t.cancelled t.shed t.exhausted
+    t.estimate_busted t.other_failures t.failovers t.replans
+    (List.length t.leaks)
+    (List.length t.checkpoint_leaks)
+    (List.length t.escaped)
 
 (* One job, executed on whatever domain claimed it.  Deterministic in
    (seed, job): the instance, bindings, scenario, engine and fault
    schedule all derive from them. *)
-let run_job ~session ~seed ~deadline_s job =
+let run_job ~session ~seed ~deadline_s ~ckpt_pool job =
   let inst = Plangen.generate ~seed:(1 + ((seed * 131) + job) mod 97) in
-  let db = Database.build ~seed:((seed * 7919) + job) inst.Plangen.catalog in
+  let scenario = scenarios.(job mod Array.length scenarios) in
+  let db =
+    match scenario with
+    | Busted ->
+      (* Deliberately wrong priors: the data is skewed, the optimizer's
+         and bindings' selectivities assume uniform, so blocking-point
+         observations escape the validity band and the busted-estimate
+         path must recover. *)
+      Database.build ~skew:3.0 ~seed:((seed * 7919) + job) inst.Plangen.catalog
+    | Clean | Deadline | Cancel | Memory | Faulty | Faulty_resume ->
+      Database.build ~seed:((seed * 7919) + job) inst.Plangen.catalog
+  in
   let mode = Optimizer.dynamic ~uncertain_memory:true () in
   let plan =
     match Optimizer.optimize ~mode inst.Plangen.catalog inst.Plangen.query with
@@ -87,10 +113,15 @@ let run_job ~session ~seed ~deadline_s job =
     | Error _ -> invalid_arg "Chaos: optimizer failed on a Plangen instance"
   in
   let bindings = Plangen.bindings inst ~seed:(seed + (job * 13)) in
-  let scenario = scenarios.(job mod Array.length scenarios) in
   let gov =
     match scenario with
     | Clean | Faulty -> Governor.none
+    | Busted | Faulty_resume ->
+      (* Unbudgeted but accounted, and attached to the shared pool:
+         checkpoint bytes that outlive the outcome show up both in
+         [charged_bytes] (per job) and in [Governor.pool_in_use] (at the
+         end of the soak). *)
+      Governor.create ~pool:ckpt_pool ()
     | Deadline -> Governor.create ~deadline:deadline_s ()
     | Cancel -> Governor.create ~cancel_after_checks:(1 + (job * 37 mod 200)) ()
     | Memory ->
@@ -107,7 +138,15 @@ let run_job ~session ~seed ~deadline_s job =
       (Some
          (Fault.create
             (Fault.config ~read_fault_rate:0.02 ~seed:(seed + job) ())))
-  | Clean | Deadline | Cancel | Memory -> ());
+  | Faulty_resume ->
+    (* Transient faults land after hash builds and sorts have already
+       checkpointed: the retry resumes from those blocking points. *)
+    Disk.set_faults
+      (Buffer_pool.disk (Database.pool db))
+      (Some
+         (Fault.create
+            (Fault.config ~read_fault_rate:0.02 ~seed:(seed + job) ())))
+  | Clean | Deadline | Cancel | Memory | Busted -> ());
   let engine =
     if job land 1 = 0 then Exec_common.Row else Exec_common.Batch
   in
@@ -117,7 +156,21 @@ let run_job ~session ~seed ~deadline_s job =
     match engine with Exec_common.Batch when job mod 4 = 1 -> 3 | _ -> 1
   in
   let resilience =
-    Resilience.config ~engine ~workers ~backoff_seed:(seed + job) ()
+    match scenario with
+    | Busted | Faulty_resume ->
+      let replan =
+        match
+          Reoptimize.prepare ~mode inst.Plangen.catalog inst.Plangen.query
+        with
+        | Ok (rt, _) -> Some (Reoptimize.replanner rt)
+        | Error _ -> None
+      in
+      Resilience.config ~engine ~workers ~backoff_seed:(seed + job)
+        ~checkpoints:true
+        ~checkpoint_tolerance:(if scenario = Busted then 1.5 else 4.0)
+        ~max_replans:2 ?replan ()
+    | Clean | Deadline | Cancel | Memory | Faulty ->
+      Resilience.config ~engine ~workers ~backoff_seed:(seed + job) ()
   in
   let outcome =
     try Ok (Session.submit session ~gov ~resilience db bindings plan)
@@ -131,7 +184,17 @@ let run_job ~session ~seed ~deadline_s job =
         (Printf.sprintf "job %d (%s, %s): %s" job (scenario_name scenario)
            (Exec_common.engine_name engine) msg)
   in
-  (scenario, outcome, leak)
+  let ckpt_leak =
+    match scenario with
+    | (Busted | Faulty_resume) when Governor.charged_bytes gov <> 0 ->
+      Some
+        (Printf.sprintf "job %d (%s, %s): %d bytes still charged" job
+           (scenario_name scenario)
+           (Exec_common.engine_name engine)
+           (Governor.charged_bytes gov))
+    | _ -> None
+  in
+  (scenario, outcome, leak, ckpt_leak)
 
 let empty_session_stats =
   { Session.submitted = 0; admitted = 0; completed = 0; failed = 0;
@@ -149,6 +212,7 @@ let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
            ())
       ()
   in
+  let ckpt_pool = Governor.pool ~capacity_bytes:(1 lsl 24) in
   let next = Atomic.make 0 in
   let mu = Mutex.create () in
   let results = ref [] in
@@ -161,7 +225,7 @@ let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
     let rec loop () =
       let job = Atomic.fetch_and_add next 1 in
       if job < jobs then begin
-        record (run_job ~session ~seed ~deadline_s job);
+        record (run_job ~session ~seed ~deadline_s ~ckpt_pool job);
         loop ()
       end
     in
@@ -172,28 +236,28 @@ let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
   let results = !results in
   let count p = List.length (List.filter p results) in
   let completed = function
-    | _, Ok (Session.Completed _), _ -> true
+    | _, Ok (Session.Completed _), _, _ -> true
     | _ -> false
   in
   { total = List.length results;
     completed = count completed;
     deadline_exceeded =
       count (function
-        | _, Ok (Session.Failed (Resilience.Deadline_exceeded _)), _ -> true
+        | _, Ok (Session.Failed (Resilience.Deadline_exceeded _)), _, _ -> true
         | _ -> false);
     memory_exceeded =
       count (function
-        | _, Ok (Session.Failed (Resilience.Memory_exceeded _)), _ -> true
+        | _, Ok (Session.Failed (Resilience.Memory_exceeded _)), _, _ -> true
         | _ -> false);
     cancelled =
       count (function
-        | _, Ok (Session.Failed (Resilience.Cancelled _)), _ -> true
+        | _, Ok (Session.Failed (Resilience.Cancelled _)), _, _ -> true
         | _ -> false);
     shed =
-      count (function _, Ok (Session.Shed _), _ -> true | _ -> false);
+      count (function _, Ok (Session.Shed _), _, _ -> true | _ -> false);
     exhausted =
       count (function
-        | _, Ok (Session.Failed (Resilience.Exhausted _)), _ -> true
+        | _, Ok (Session.Failed (Resilience.Exhausted _)), _, _ -> true
         | _ -> false);
     other_failures =
       count (function
@@ -201,24 +265,52 @@ let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
             Ok
               (Session.Failed
                  (Resilience.Infeasible _ | Resilience.Rejected _)),
+            _,
             _ ) ->
           true
         | _ -> false);
     failovers =
       List.fold_left
         (fun acc -> function
-          | _, Ok (Session.Completed (_, stats)), _ ->
+          | _, Ok (Session.Completed (_, stats)), _, _ ->
             acc + stats.Executor.failovers
           | _ -> acc)
         0 results;
     memory_aborts_recovered =
       count (function
-        | Memory, Ok (Session.Completed (_, stats)), _ ->
+        | Memory, Ok (Session.Completed (_, stats)), _, _ ->
           stats.Executor.failovers > 0
         | _ -> false);
-    leaks = List.filter_map (fun (_, _, leak) -> leak) results;
+    estimate_busted =
+      count (function
+        | _, Ok (Session.Failed (Resilience.Estimate_busted _)), _, _ -> true
+        | _ -> false);
+    replans =
+      List.fold_left
+        (fun acc -> function
+          | _, Ok (Session.Completed (_, stats)), _, _ ->
+            acc + stats.Executor.replans
+          | _ -> acc)
+        0 results;
+    replans_recovered =
+      count (function
+        | Busted, Ok (Session.Completed (_, stats)), _, _ ->
+          stats.Executor.replans > 0
+        | _ -> false);
+    leaks = List.filter_map (fun (_, _, leak, _) -> leak) results;
+    checkpoint_leaks =
+      (let per_job =
+         List.filter_map (fun (_, _, _, ckpt_leak) -> ckpt_leak) results
+       in
+       (* The shared pool must drain to zero once every job has its
+          outcome — no checkpoint byte may leak through it. *)
+       if Governor.pool_in_use ckpt_pool <> 0 then
+         Printf.sprintf "shared pool: %d bytes still in use"
+           (Governor.pool_in_use ckpt_pool)
+         :: per_job
+       else per_job);
     escaped =
       List.filter_map
-        (function _, Error msg, _ -> Some msg | _, Ok _, _ -> None)
+        (function _, Error msg, _, _ -> Some msg | _, Ok _, _, _ -> None)
         results;
     session = (try Session.stats session with _ -> empty_session_stats) }

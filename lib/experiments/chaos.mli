@@ -5,16 +5,19 @@
     budgets and injected I/O faults, across both engines including
     parallel exchange — through one shared {!Dqep_exec.Session}.  The
     harness checks the governed-session contract: every job gets exactly
-    one typed outcome ({!tally.escaped} empty), and no outcome leaks a
-    buffer-pool pin ({!tally.leaks} empty).  Hang-freedom is the
-    caller's watchdog's job.
+    one typed outcome ({!tally.escaped} empty), no outcome leaks a
+    buffer-pool pin ({!tally.leaks} empty), and no checkpointed
+    intermediate leaks memory-governor bytes ({!tally.checkpoint_leaks}
+    empty) — the busted and faulty-resume scenarios run with
+    checkpointed recovery enabled.  Hang-freedom is the caller's
+    watchdog's job.
 
     Deterministic in [seed] up to domain scheduling: the job set is
     fixed, but which outcomes race to completion (shedding, pool
     pressure) varies with interleaving — the contract holds for all of
     them. *)
 
-type scenario = Clean | Deadline | Cancel | Memory | Faulty
+type scenario = Clean | Deadline | Cancel | Memory | Faulty | Busted | Faulty_resume
 
 val scenario_name : scenario -> string
 
@@ -30,7 +33,14 @@ type tally = {
   failovers : int;  (** across completed jobs *)
   memory_aborts_recovered : int;
       (** memory-scenario jobs that completed via failover *)
+  estimate_busted : int;
+      (** jobs whose final outcome was the typed busted-estimate fault *)
+  replans : int;  (** incremental re-optimizations across completed jobs *)
+  replans_recovered : int;
+      (** busted-scenario jobs that completed after at least one replan *)
   leaks : string list;  (** pin-leak reports; the contract demands [] *)
+  checkpoint_leaks : string list;
+      (** checkpoint bytes still charged after an outcome; must be [] *)
   escaped : string list;  (** exceptions escaping submit; must be [] *)
   session : Dqep_exec.Session.stats;
 }

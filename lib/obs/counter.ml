@@ -36,6 +36,11 @@ type t =
   | Failed
   | Shed_queue_full
   | Shed_queue_timeout
+  (* checkpointed recovery *)
+  | Replans
+  | Checkpoints_taken
+  | Checkpoint_bytes
+  | Resume_hits
 
 let all =
   [
@@ -63,6 +68,10 @@ let all =
     Failed;
     Shed_queue_full;
     Shed_queue_timeout;
+    Replans;
+    Checkpoints_taken;
+    Checkpoint_bytes;
+    Resume_hits;
   ]
 
 let count = List.length all
@@ -92,6 +101,10 @@ let index = function
   | Failed -> 21
   | Shed_queue_full -> 22
   | Shed_queue_timeout -> 23
+  | Replans -> 24
+  | Checkpoints_taken -> 25
+  | Checkpoint_bytes -> 26
+  | Resume_hits -> 27
 
 let name = function
   | Logical_reads -> "logical_reads"
@@ -118,6 +131,10 @@ let name = function
   | Failed -> "failed"
   | Shed_queue_full -> "shed_queue_full"
   | Shed_queue_timeout -> "shed_queue_timeout"
+  | Replans -> "replans"
+  | Checkpoints_taken -> "checkpoints_taken"
+  | Checkpoint_bytes -> "checkpoint_bytes"
+  | Resume_hits -> "resume_hits"
 
 let of_name s = List.find_opt (fun c -> name c = s) all
 let pp ppf c = Format.pp_print_string ppf (name c)

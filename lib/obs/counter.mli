@@ -36,6 +36,11 @@ type t =
   | Failed
   | Shed_queue_full
   | Shed_queue_timeout
+  (* checkpointed recovery *)
+  | Replans  (** incremental re-optimizations after a busted estimate *)
+  | Checkpoints_taken  (** intermediates materialized at blocking points *)
+  | Checkpoint_bytes  (** bytes charged to the governor for checkpoints *)
+  | Resume_hits  (** checkpointed intermediates served instead of re-execution *)
 
 val all : t list
 (** Every counter, in {!index} order. *)

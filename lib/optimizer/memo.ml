@@ -9,7 +9,7 @@ type group = {
   id : int;
   key : Group_key.t;
   rels : string list;
-  rows : Interval.t;
+  mutable rows : Interval.t;
   bytes_per_row : int;
   mutable lexprs : Lmexpr.t list;
   mutable explored : bool;
@@ -184,6 +184,27 @@ let to_view t : Dqep_analysis.Verify.memo_view =
                   | Lmexpr.Select _ | Lmexpr.Join _ -> None);
                 children = Array.to_list e.Lmexpr.children })
             g.lexprs })
+
+(* Incremental re-optimization: fold run-time cardinality observations
+   (keyed by relation set) into the matching groups' row intervals.
+   [Interval.refine] never widens and never leaves the prior, so refined
+   rows stay within the contract every already-memoized winner was costed
+   under — which is what makes reusing unmoved groups sound.  Returns the
+   ids of groups whose interval actually moved. *)
+let refine_rows t observations =
+  let moved = ref [] in
+  for id = 0 to t.used - 1 do
+    let g = t.groups.(id) in
+    match List.assoc_opt (String.concat "|" g.rels) observations with
+    | None -> ()
+    | Some obs ->
+      let refined = Interval.refine g.rows (Interval.point obs) in
+      if not (Interval.equal refined g.rows) then begin
+        g.rows <- refined;
+        moved := id :: !moved
+      end
+  done;
+  List.rev !moved
 
 let logical_tree_count t root =
   let memo = Hashtbl.create 32 in

@@ -13,7 +13,9 @@ type group = {
   id : int;
   key : Group_key.t;
   rels : string list;  (** sorted *)
-  rows : Interval.t;  (** estimated output cardinality *)
+  mutable rows : Interval.t;
+      (** estimated output cardinality; narrowed in place by
+          {!refine_rows} *)
   bytes_per_row : int;
   mutable lexprs : Lmexpr.t list;  (** in insertion order *)
   mutable explored : bool;
@@ -48,6 +50,14 @@ val join_group : t -> int -> int -> int option
 val make_join_lexpr : t -> int -> int -> Lmexpr.t option
 (** The canonical join expression over two child groups, [None] if they
     are not connected. *)
+
+val refine_rows : t -> (string * float) list -> int list
+(** [refine_rows t observations] narrows each group's row interval by the
+    observed cardinality filed under its relation set (key: sorted rels
+    joined with ["|"]), via {!Dqep_util.Interval.refine} — so a refined
+    interval never leaves the prior the memoized winners were costed
+    under.  Returns the ids of the groups whose interval moved; groups
+    with point priors (base relations) never move. *)
 
 val to_view : t -> Dqep_analysis.Verify.memo_view
 (** Plain-data projection of all groups for the static verifier

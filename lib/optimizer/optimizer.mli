@@ -73,6 +73,11 @@ type result = {
           unless {!options.verify} is set *)
 }
 
+val env_of_mode :
+  options -> Dqep_catalog.Catalog.t -> mode -> Dqep_cost.Env.t
+(** The parameter environment a mode optimizes under — exposed so
+    {!Reoptimize} can rebuild the same search state it re-enters. *)
+
 val optimize :
   ?options:options ->
   ?refine:(Dqep_cost.Env.t -> Dqep_cost.Env.t) ->

@@ -1,0 +1,104 @@
+(* Incremental re-optimization: re-enter a retained search with refined
+   cardinalities instead of optimizing from scratch.
+
+   [prepare] runs the normal Volcano search but keeps the memo, the
+   search state and the root group alive.  When execution later observes
+   a cardinality that escapes the plan's validity band
+   ([Checkpoint.Estimate_busted]), [replan] folds the observations into
+   the memo's row intervals ([Memo.refine_rows] — refinement never
+   leaves the prior, so winners of unmoved groups stay soundly costed),
+   marks the transitive parents of every moved group dirty, drops only
+   those groups' memoized goals ([Search.reseed]) and re-runs the search.
+   Clean groups answer from cache; the dirty closure is re-costed.
+
+   The dirty closure walks group ids in ascending order: groups are
+   interned children-first (a join group is created only after both
+   child groups exist), so every logical expression's child ids are
+   strictly below its own group's id and one ascending pass reaches the
+   fixpoint. *)
+
+module Props = Dqep_algebra.Props
+module Logical = Dqep_algebra.Logical
+module Plan = Dqep_plans.Plan
+
+type stats = {
+  groups_total : int;
+  groups_moved : int;
+  groups_dirty : int;
+  reused_winners : int;
+}
+
+type t = {
+  memo : Memo.t;
+  search : Search.t;
+  root : int;
+  mutable last : stats option;
+}
+
+let prepare ?(options = Optimizer.default_options) ~mode catalog query =
+  match Logical.validate catalog query with
+  | Error diags -> Error (Dqep_util.Diagnostic.list_to_string diags)
+  | Ok () ->
+    let env = Optimizer.env_of_mode options catalog mode in
+    let keep_equal_alternatives =
+      match mode with
+      | Optimizer.Dynamic _ -> true
+      | Optimizer.Static _ | Optimizer.Run_time _ -> false
+    in
+    let config =
+      Search.config ~keep_equal_alternatives ~prune:options.Optimizer.prune
+        ~use_index_join:options.Optimizer.use_index_join
+        ~left_deep_only:options.Optimizer.left_deep
+        ~force_incomparable:options.Optimizer.exhaustive
+        ~sample_domination:options.Optimizer.sample_domination
+        ~sample_seed:options.Optimizer.sample_seed
+        ~verify_winners:options.Optimizer.verify env
+    in
+    let memo = Memo.create env in
+    let root = Memo.ingest memo query in
+    let search = Search.create config memo in
+    (match Search.optimize search root Props.Any ~limit:Float.infinity with
+    | None -> Error "optimization produced no plan"
+    | Some plan -> Ok ({ memo; search; root; last = None }, plan))
+
+let replan t ~rels_rows =
+  match Memo.refine_rows t.memo rels_rows with
+  | [] -> None
+  | moved ->
+    let n = Memo.group_count t.memo in
+    let dirty = Array.make n false in
+    List.iter (fun id -> dirty.(id) <- true) moved;
+    (* Ascending-id pass = transitive closure, by the children-first
+       intern invariant (child ids < parent id). *)
+    for id = 0 to n - 1 do
+      if not dirty.(id) then begin
+        let g = Memo.group t.memo id in
+        if
+          List.exists
+            (fun e ->
+              Array.exists (fun c -> dirty.(c)) e.Lmexpr.children)
+            g.Memo.lexprs
+        then dirty.(id) <- true
+      end
+    done;
+    let reused =
+      Search.reseed t.search ~dirty:(fun gid -> gid < n && dirty.(gid))
+    in
+    let plan = Search.optimize t.search t.root Props.Any ~limit:Float.infinity in
+    let groups_dirty =
+      Array.fold_left (fun a d -> if d then a + 1 else a) 0 dirty
+    in
+    t.last <-
+      Some
+        { groups_total = n;
+          groups_moved = List.length moved;
+          groups_dirty;
+          reused_winners = reused };
+    plan
+
+let last_stats t = t.last
+
+(* The adapter [Resilience.config ~replan] expects: observations in, new
+   plan out.  A [None] (observations refined nothing, or the re-search
+   found no plan) tells the supervisor to surface the typed failure. *)
+let replanner t ~rels_rows = replan t ~rels_rows

@@ -94,6 +94,39 @@ let create config memo =
 
 let memo t = t.memo
 
+(* Incremental re-entry after refined cardinalities (Reoptimize): keep
+   the memoized winner of every clean group — its bound is raised to
+   infinity so [optimize] serves it as a pure cache hit — and drop the
+   entries of dirty groups (and every goal whose cached answer was
+   [None], which may become a plan under the fresh unlimited search).
+   Winners were built by this search's own builder, so plans retained
+   here and nodes built by the re-search share one pid space.  Returns
+   the number of goal entries kept. *)
+let reseed t ~dirty =
+  let reused = ref 0 in
+  let updates =
+    Hashtbl.fold
+      (fun gid entries acc ->
+        let kept =
+          List.filter_map
+            (fun (r, e) ->
+              match e.best with
+              | Some _ when not (dirty gid) ->
+                incr reused;
+                Some (r, { e with bound = Float.infinity })
+              | Some _ | None -> None)
+            entries
+        in
+        (gid, kept) :: acc)
+      t.winners []
+  in
+  List.iter
+    (fun (gid, kept) ->
+      if kept = [] then Hashtbl.remove t.winners gid
+      else Hashtbl.replace t.winners gid kept)
+    updates;
+  !reused
+
 let stats t =
   { goals = t.goals;
     candidates = t.candidates;

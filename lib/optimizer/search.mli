@@ -73,6 +73,14 @@ val optimize : t -> int -> Props.required -> limit:float -> Plan.t option
 val stats : t -> stats
 val memo : t -> Memo.t
 
+val reseed : t -> dirty:(int -> bool) -> int
+(** Prepare the search for an incremental re-entry after the memo's row
+    intervals were refined ({!Memo.refine_rows}): goal entries of clean
+    groups are kept and their bounds raised so a subsequent {!optimize}
+    serves them as cache hits; entries of [dirty] groups (and cached
+    [None] answers) are dropped and recomputed.  Returns the number of
+    entries kept — the memo-reuse half of the re-optimization. *)
+
 val verify : t -> Dqep_util.Diagnostic.t list
 (** Static analysis of the whole search state: memo-group consistency
     ({!Dqep_analysis.Verify.memo}) plus a full verification of every

@@ -52,6 +52,9 @@ let () =
     fail "%d jobs submitted, %d outcomes" !jobs t.Dqep.Experiments.Chaos.total;
   List.iter (fail "escaped exception: %s") t.Dqep.Experiments.Chaos.escaped;
   List.iter (fail "pin leak: %s") t.Dqep.Experiments.Chaos.leaks;
+  List.iter
+    (fail "checkpoint leak: %s")
+    t.Dqep.Experiments.Chaos.checkpoint_leaks;
   if t.Dqep.Experiments.Chaos.other_failures > 0 then
     fail "%d unexpected failure outcomes"
       t.Dqep.Experiments.Chaos.other_failures;

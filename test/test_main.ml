@@ -18,6 +18,7 @@ let () =
       Suite_midquery.suite;
       Suite_validate.suite;
       Suite_resilience.suite;
+      Suite_checkpoint.suite;
       Suite_governor.suite;
       Suite_session.suite;
       Suite_integration.suite;
