@@ -614,6 +614,75 @@ let obs_bench ~check () =
       (obs_overhead_budget *. 100.)
   end
 
+(* --- static analysis cost ------------------------------------------------ *)
+
+(* The abstract-interpretation analyses are meant to run at admission
+   time on every plan, so they must stay cheap relative to producing the
+   plan in the first place.  This mode times the full analysis bundle
+   (choose coverage, dead alternatives, certificates, fingerprint and
+   pipeline lints) against dynamic-memory optimization of the paper's
+   10-way join — the most choose-heavy plan the corpus produces — and
+   gates CI on analysis <= optimization. *)
+
+let analyze_bench ~check () =
+  Format.printf "=== static analysis: cost vs optimization ===@.";
+  let q = D.Queries.chain ~relations:10 in
+  let mode = D.Optimizer.dynamic ~uncertain_memory:true () in
+  let measure name run =
+    ignore (run ());
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let _, per_run = D.Timer.cpu_auto ~min_seconds:0.05 run in
+      if per_run < !best then best := per_run
+    done;
+    Format.printf "%-34s %10.3f ms/run@." name (!best *. 1e3);
+    !best
+  in
+  let optimize_s =
+    measure "optimize (dynamic-mem, 10-way)" (fun () ->
+        optimize_exn ~mode q)
+  in
+  let r = optimize_exn ~mode q in
+  let plan = r.D.Optimizer.plan
+  and env = r.D.Optimizer.env in
+  let budget_bytes = 1 lsl 20 in
+  let analyze_s =
+    measure "analyze (all DQEP5xx analyses)" (fun () ->
+        D.Analyses.plan ~budget_bytes ~catalog:q.D.Queries.catalog env plan)
+  in
+  let findings =
+    D.Analyses.plan ~budget_bytes ~catalog:q.D.Queries.catalog env plan
+  in
+  let path = "BENCH_analyze.json" in
+  let oc = open_out path in
+  output_string oc
+    D.Json.(
+      to_string_pretty
+        (Obj
+           [ ("benchmark", String "dqep static analysis cost");
+             ("workload", String "chain10 dynamic-mem");
+             ("unit", String "cpu_seconds_per_run");
+             ("plan_nodes", Int (D.Plan.node_count plan));
+             ("choose_nodes", Int (D.Plan.choose_count plan));
+             ("findings", Int (List.length findings));
+             ("optimize_cpu_seconds", Float optimize_s);
+             ("analyze_cpu_seconds", Float analyze_s);
+             ( "analyze_over_optimize",
+               Float (if optimize_s > 0. then analyze_s /. optimize_s else 0.)
+             ) ]));
+  close_out oc;
+  Format.printf "wrote %s@." path;
+  if check then
+    if analyze_s > optimize_s then begin
+      Printf.eprintf
+        "analyze --check: analysis %.3f ms slower than optimization %.3f ms\n"
+        (analyze_s *. 1e3) (optimize_s *. 1e3);
+      exit 1
+    end
+    else
+      Format.printf "analyze --check: ok (analysis %.3f ms <= optimize %.3f ms)@."
+        (analyze_s *. 1e3) (optimize_s *. 1e3)
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | [] ->
@@ -622,9 +691,11 @@ let () =
   | "exec" :: rest -> exec_bench ~check:(List.mem "--check" rest) ()
   | "govern" :: rest -> govern_bench ~check:(List.mem "--check" rest) ()
   | "obs" :: rest -> obs_bench ~check:(List.mem "--check" rest) ()
+  | "analyze" :: rest -> analyze_bench ~check:(List.mem "--check" rest) ()
   | args ->
     Printf.eprintf
-      "usage: %s [exec [--check] | govern [--check] | obs [--check]] (got: %s)\n"
+      "usage: %s [exec [--check] | govern [--check] | obs [--check] | \
+       analyze [--check]] (got: %s)\n"
       Sys.argv.(0)
       (String.concat " " args);
     exit 2

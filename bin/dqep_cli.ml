@@ -574,8 +574,14 @@ let sql_cmd =
 (* --- analyze ------------------------------------------------------------- *)
 
 (* Static analysis over the whole query corpus: logical validation, an
-   optimizer run with winner verification, and a verification of the
-   resolved plan under sample bindings — all without executing anything. *)
+   optimizer run with winner verification, the abstract-interpretation
+   analyses (choose coverage, dead alternatives, resource certificates,
+   fingerprint and pipeline lints), and a verification of the resolved
+   plan under sample bindings — all without executing anything.
+
+   Exit codes: 0 clean (or findings without --strict), 1 error-severity
+   findings under --strict, 2 usage error, 3 internal JSON schema
+   violation in --json output. *)
 let analyze_cmd =
   let strict =
     Arg.(value & flag
@@ -592,6 +598,22 @@ let analyze_cmd =
              ~doc:"Comma-separated optimizer modes to analyze under: any of \
                    static, dynamic, dynamic-mem.")
   in
+  let budget_kb_arg =
+    Arg.(value & opt (some int) None
+         & info [ "budget-kb" ] ~docv:"KB"
+             ~doc:"Check every plan's static resource certificate against a \
+                   governor budget of $(docv) KiB: a plan whose guaranteed \
+                   working set cannot fit is reported as DQEP503, and choose \
+                   coverage treats alternatives over the budget as \
+                   unselectable.")
+  in
+  let plangen_arg =
+    Arg.(value & opt int 0
+         & info [ "plangen" ] ~docv:"N"
+             ~doc:"Additionally analyze $(docv) generated query instances \
+                   (seeds 1..$(docv)) from the differential-test plan \
+                   generator.")
+  in
   let names =
     Arg.(value & pos_all string []
          & info [] ~docv:"QUERY"
@@ -601,8 +623,20 @@ let analyze_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List the corpus and exit.")
   in
-  let run strict json modes names list_flag verbose =
+  let run strict json modes names list_flag budget_kb plangen verbose =
     setup_verbosity verbose;
+    let budget_bytes =
+      match budget_kb with
+      | None -> None
+      | Some kb when kb > 0 -> Some (kb * 1024)
+      | Some _ ->
+        Printf.eprintf "--budget-kb must be positive\n";
+        exit 2
+    in
+    if plangen < 0 then begin
+      Printf.eprintf "--plangen must be non-negative\n";
+      exit 2
+    end;
     let corpus = D.Queries.corpus () in
     if list_flag then begin
       List.iter (fun (name, _) -> print_endline name) corpus;
@@ -621,6 +655,18 @@ let analyze_cmd =
           names;
         List.filter (fun (n, _) -> List.mem n names) corpus
     in
+    (* Generated instances ride through the same path as corpus queries;
+       the id/relations fields are informational only. *)
+    let generated =
+      List.init plangen (fun i ->
+          let inst = D.Plangen.generate ~seed:(i + 1) in
+          ( Printf.sprintf "plangen-%d" inst.D.Plangen.seed,
+            { D.Queries.id = 0; relations = 0;
+              query = inst.D.Plangen.query;
+              host_vars = inst.D.Plangen.host_vars;
+              catalog = inst.D.Plangen.catalog } ))
+    in
+    let targets = corpus @ generated in
     let modes =
       String.split_on_char ',' modes
       |> List.map String.trim
@@ -652,6 +698,9 @@ let analyze_cmd =
               (Printf.sprintf "optimization failed: %s" e) ]
       | Ok r ->
         report name mode_name "optimize" r.D.Optimizer.diagnostics;
+        report name mode_name "absint"
+          (D.Analyses.plan ?budget_bytes ~catalog:q.D.Queries.catalog
+             r.D.Optimizer.env r.D.Optimizer.plan);
         (* Resolve under a selective and an unselective binding and
            verify the start-up-time plan too. *)
         List.iter
@@ -672,7 +721,7 @@ let analyze_cmd =
     in
     List.iter
       (fun (name, q) -> List.iter (analyze_one name q) modes)
-      corpus;
+      targets;
     let findings = List.rev !findings in
     let errors =
       List.length (List.filter (fun (_, _, _, d) -> D.Diagnostic.is_error d) findings)
@@ -686,7 +735,50 @@ let analyze_cmd =
             ("phase", D.Json.String phase);
             ("diagnostic", D.Diagnostic.to_jsonv d) ]
       in
-      print_endline (D.Json.to_string (D.Json.List (List.map record findings)))
+      let out = D.Json.to_string (D.Json.List (List.map record findings)) in
+      (* Self-check: the document we are about to print must round-trip
+         through the project parser and match the record schema. *)
+      let is_str k o =
+        match D.Json.member k o with
+        | Some (D.Json.String _) -> true
+        | _ -> false
+      in
+      let check_record i r =
+        let fail what =
+          Error (Printf.sprintf "record %d: %s" i what)
+        in
+        match r with
+        | D.Json.Obj _ ->
+          if not (is_str "query" r && is_str "mode" r && is_str "phase" r)
+          then fail "missing query/mode/phase string"
+          else (
+            match D.Json.member "diagnostic" r with
+            | Some (D.Json.Obj _ as d) ->
+              if not (is_str "code" d && is_str "name" d && is_str "message" d)
+              then fail "diagnostic missing code/name/message"
+              else (
+                match D.Json.member "severity" d with
+                | Some (D.Json.String ("error" | "warning")) -> Ok ()
+                | _ -> fail "diagnostic severity not error|warning")
+            | _ -> fail "missing diagnostic object")
+        | _ -> fail "not an object"
+      in
+      let validated =
+        match D.Json.parse out with
+        | Error e -> Error ("does not parse: " ^ e)
+        | Ok (D.Json.List records) ->
+          List.fold_left
+            (fun acc (i, r) ->
+              match acc with Error _ -> acc | Ok () -> check_record i r)
+            (Ok ())
+            (List.mapi (fun i r -> (i, r)) records)
+        | Ok _ -> Error "top level is not a list"
+      in
+      (match validated with
+      | Ok () -> print_endline out
+      | Error e ->
+        Printf.eprintf "dqep analyze: internal JSON schema violation: %s\n" e;
+        exit 3)
     end
     else begin
       List.iter
@@ -694,17 +786,20 @@ let analyze_cmd =
           Format.printf "%s [%s, %s]: %a@." name mode phase D.Diagnostic.pp d)
         findings;
       Format.printf "analyzed %d queries x %d modes: %d error(s), %d warning(s)@."
-        (List.length corpus) (List.length modes) errors warnings
+        (List.length targets) (List.length modes) errors warnings
     end;
     if strict && errors > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Run the static plan verifier over the query corpus: logical \
-             validation, optimization with winner verification, and \
+       ~doc:"Run the static plan analyses over the query corpus (and \
+             optionally generated instances): logical validation, \
+             optimization with winner verification, abstract \
+             interpretation (choose coverage, dead alternatives, \
+             resource certificates, fingerprint and pipeline lints), and \
              verification of resolved plans.")
     Term.(const run $ strict $ json $ modes_arg $ names $ list_flag
-          $ verbose_arg)
+          $ budget_kb_arg $ plangen_arg $ verbose_arg)
 
 (* --- trace --------------------------------------------------------------- *)
 

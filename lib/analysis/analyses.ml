@@ -1,0 +1,682 @@
+(* The analyses built on the abstract interpreter (Absint): choose-plan
+   parameter-space coverage and dominance, static resource-budget
+   admission, checkpoint-fingerprint lints, and the unchecked-pipeline
+   warning.  Each produces typed diagnostics in the DQEP5xx block; the
+   aggregate entry point is [plan], mirroring [Verify.plan]. *)
+
+module Interval = Dqep_util.Interval
+module Diagnostic = Dqep_util.Diagnostic
+module Physical = Dqep_algebra.Physical
+module Predicate = Dqep_algebra.Predicate
+module Schema = Dqep_algebra.Schema
+module Col = Dqep_algebra.Col
+module Catalog = Dqep_catalog.Catalog
+module Env = Dqep_cost.Env
+module Plan = Dqep_plans.Plan
+
+let diag ?severity ~site code fmt =
+  Format.kasprintf (fun msg -> Diagnostic.make ?severity ~site code msg) fmt
+
+let node_site (p : Plan.t) = Diagnostic.Node p.Plan.pid
+
+let default_max_regions = 64
+
+(* Region evidence is an anytime refinement: verdicts already settled on
+   the full region (domination there, budget floors' envelope) are exact,
+   and the region loop only sharpens the rest.  The loop therefore runs
+   under a work budget measured in node evaluations — proportional to the
+   plan, with a floor so small plans always sweep exhaustively — and on
+   exhaustion simply stops reporting the unsettled verdicts (never a
+   false finding, never an unsound prune). *)
+let work_budget (plan : Plan.t) = (6 * Plan.node_count plan) + 2048
+
+exception Out_of_work
+
+(* Distinct nodes, children before parents. *)
+let all_nodes plan = List.rev (Plan.fold (fun acc n -> n :: acc) [] plan)
+
+let choose_nodes plan =
+  List.filter (fun (n : Plan.t) -> n.Plan.op = Physical.Choose_plan)
+    (all_nodes plan)
+
+let close a b =
+  let tol = 1e-6 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= tol
+
+let interval_close (a : Interval.t) (b : Interval.t) =
+  close a.Interval.lo b.Interval.lo && close a.Interval.hi b.Interval.hi
+
+(* --- dominance ------------------------------------------------------------ *)
+
+(* Alternative [i] is dominated within one region iff some sibling's
+   total-cost upper bound is strictly below [i]'s lower bound there:
+   every point environment of the region then costs the sibling strictly
+   cheaper, and [Startup.resolve]'s argmin can never land on [i].  Dead
+   means dominated in every region of a partition of the full parameter
+   space — a startup decision in *any* environment avoids it. *)
+let dominated_in_region totals =
+  let arr = Array.of_list totals in
+  Array.mapi
+    (fun i (ti : Interval.t) ->
+      let dominated = ref false in
+      Array.iteri
+        (fun j (tj : Interval.t) ->
+          if i <> j && tj.Interval.hi < ti.Interval.lo then dominated := true)
+        arr;
+      !dominated)
+    arr
+
+(* --- choose-space analysis (coverage + dead alternatives) ----------------- *)
+
+(* Coverage asks, per region of a partition of the parameter space: is
+   there at least one alternative that is catalog-feasible (Verify's
+   feasibility subset) and — when a budget is given — whose modelled
+   demand floor fits it?  A region where the answer is no is an
+   environment in which startup either raises [Exhausted] (all
+   alternatives pruned as infeasible) or picks a plan the governor is
+   bound to abort.  Deadness asks: is the alternative dominated in every
+   region?
+
+   Both verdicts admit cheap full-region classification before any
+   subdivision, which keeps the analysis near one plan evaluation on
+   healthy plans (the [bench analyze] gate):
+
+   - an alternative dominated over the full region is dominated in every
+     subregion (subregion intervals are contained in full-region ones),
+     so it is dead with no further work; the region loop only has to
+     *clear* the remaining candidates, and stops for a choose node as
+     soon as every candidate has shown one region of non-domination;
+   - the demand floor reads only row lower bounds (which rise as a
+     region shrinks) and the memory grant (whose cap moves between the
+     grant interval's endpoints), so a floor from full-region upper rows
+     at the lowest grant bounds every region's floor from above, and one
+     from lower rows at the highest grant from below — classifying most
+     alternatives as admissible everywhere or nowhere without touching
+     individual regions. *)
+let choose_space ?(max_regions = default_max_regions) ?budget_bytes ~catalog
+    env (plan : Plan.t) =
+  let chooses = choose_nodes plan in
+  if chooses = [] then []
+  else begin
+    let full = Absint.full_region env plan in
+    let evaluate = Absint.evaluator env plan in
+    let full_values = evaluate.Absint.value full in
+    let max_work = work_budget plan in
+    (* One whole-plan verification pass, then bottom-up propagation:
+       feasibility diagnostics (missing relation / attribute / index)
+       are node-local, so an alternative is feasible iff no flagged node
+       is reachable through it — where a nested choose only needs one
+       feasible alternative.  Verifying each alternative's subtree
+       separately re-walks shared structure quadratically. *)
+    let feasible =
+      let flagged = Hashtbl.create 16 in
+      List.iter
+        (fun (d : Diagnostic.t) ->
+          if Diagnostic.is_feasibility d.code then
+            match d.site with
+            | Diagnostic.Node pid -> Hashtbl.replace flagged pid ()
+            | Diagnostic.Query | Diagnostic.Group _ -> ())
+        (Verify.semantics ~catalog plan);
+      let memo = Hashtbl.create 64 in
+      let rec ok (p : Plan.t) =
+        match Hashtbl.find_opt memo p.Plan.pid with
+        | Some b -> b
+        | None ->
+          let b =
+            (not (Hashtbl.mem flagged p.Plan.pid))
+            &&
+            match p.Plan.op with
+            | Physical.Choose_plan ->
+              p.Plan.inputs = [] || List.exists ok p.Plan.inputs
+            | _ -> List.for_all ok p.Plan.inputs
+          in
+          Hashtbl.add memo p.Plan.pid b;
+          b
+      in
+      ok
+    in
+    (* Budget admissibility of one alternative across regions: [`Always]
+       / [`Never] from the full-region floor envelope, [`Depends] when
+       only region-level floors can tell. *)
+    let budget_class =
+      match budget_bytes with
+      | None -> fun _ -> `Always
+      | Some b ->
+        let mem = full.Absint.memory in
+        let env_lo =
+          Env.with_memory_pages env (Interval.point mem.Interval.lo)
+        and env_hi =
+          Env.with_memory_pages env (Interval.point mem.Interval.hi)
+        in
+        let pess =
+          Absint.floors env_lo ~budget_bytes:b ~rows_of:(fun p ->
+              Interval.point (full_values p).Absint.rows.Interval.hi)
+        and opt =
+          Absint.floors env_hi ~budget_bytes:b ~rows_of:(fun p ->
+              Interval.point (full_values p).Absint.rows.Interval.lo)
+        in
+        fun (alt : Plan.t) ->
+          if pess alt <= b then `Always
+          else if opt alt > b then `Never
+          else `Depends
+    in
+    (* Per choose node: full-region classification.  Dominance is judged
+       among the feasible alternatives only — an infeasible one can
+       neither kill a sibling nor be worth a dead verdict (the verifier
+       already owns that report), and costing it may be impossible
+       (a missing relation has no cost-model entry). *)
+    let state =
+      List.map
+        (fun (c : Plan.t) ->
+          let feas = List.map feasible c.Plan.inputs in
+          let n_alts = List.length c.Plan.inputs in
+          let n_feas =
+            List.fold_left (fun n f -> if f then n + 1 else n) 0 feas
+          in
+          let dominated_of values =
+            if n_feas < 2 then Array.make n_alts false
+            else begin
+              let totals =
+                List.concat
+                  (List.map2
+                     (fun f (a : Plan.t) ->
+                       if f then [ (values a).Absint.total ] else [])
+                     feas c.Plan.inputs)
+              in
+              let dom = dominated_in_region totals in
+              let out = Array.make n_alts false in
+              let j = ref 0 in
+              List.iteri
+                (fun i f ->
+                  if f then begin
+                    out.(i) <- dom.(!j);
+                    incr j
+                  end)
+                feas;
+              out
+            end
+          in
+          (* Dominated over the full region: dead outright.  The rest are
+             candidates — still dead pending a region of non-domination.
+             A choose with fewer than two feasible alternatives has no
+             dominance question. *)
+          let dominated_full = dominated_of full_values in
+          let still_dead = Array.make n_alts (n_feas >= 2) in
+          let pending = ref 0 in
+          List.iteri
+            (fun i f ->
+              if (not f) || n_feas < 2 then still_dead.(i) <- false
+              else if not dominated_full.(i) then incr pending)
+            feas;
+          let classes =
+            List.map2
+              (fun f (alt : Plan.t) ->
+                if not f then `Never else budget_class alt)
+              feas c.Plan.inputs
+          in
+          let coverage =
+            if List.exists (fun cl -> cl = `Always) classes then `Covered
+            else if List.for_all (fun cl -> cl = `Never) classes then
+              `Uncovered_everywhere
+            else `Per_region (ref [])
+          in
+          ( c,
+            dominated_of,
+            dominated_full,
+            still_dead,
+            pending,
+            classes,
+            coverage ))
+        chooses
+    in
+    let needs_regions =
+      List.exists
+        (fun (_, _, _, _, pending, _, coverage) ->
+          !pending > 0
+          || match coverage with `Per_region _ -> true | _ -> false)
+        state
+    in
+    let total_regions = ref 1 in
+    if needs_regions then begin
+      let regions = Absint.subdivide full ~max_regions in
+      total_regions := List.length regions;
+      (try
+         List.iter
+           (fun region ->
+             if evaluate.Absint.work () > max_work then raise Out_of_work;
+             let values = lazy (evaluate.Absint.value region) in
+             let floor =
+               lazy
+                 (match budget_bytes with
+                 | None -> fun _ -> 0
+                 | Some b ->
+                   Absint.floors (Absint.restrict env region) ~budget_bytes:b
+                     ~rows_of:(fun p ->
+                       ((Lazy.force values) p).Absint.rows))
+             in
+             List.iter
+               (fun ((c : Plan.t), dominated_of, dominated_full, still_dead,
+                     pending, classes, coverage) ->
+                 if !pending > 0 then begin
+                   let dominated = dominated_of (Lazy.force values) in
+                   Array.iteri
+                     (fun i d ->
+                       if (not d) && (not dominated_full.(i)) && still_dead.(i)
+                       then begin
+                         still_dead.(i) <- false;
+                         decr pending
+                       end)
+                     dominated
+                 end;
+                 match coverage with
+                 | `Per_region bad ->
+                   let selectable (alt : Plan.t) cl =
+                     match cl with
+                     | `Always -> true
+                     | `Never -> false
+                     | `Depends ->
+                       (Lazy.force floor) alt <= Option.get budget_bytes
+                   in
+                   if not (List.exists2 selectable c.Plan.inputs classes) then
+                     bad := region :: !bad
+                 | `Covered | `Uncovered_everywhere -> ())
+               state)
+           regions
+       with Out_of_work ->
+         (* Unsettled candidates stay unreported: clearing them is the
+            sound direction (a dead verdict needs evidence from every
+            region). *)
+         List.iter
+           (fun (_, _, dominated_full, still_dead, pending, _, _) ->
+             if !pending > 0 then begin
+               Array.iteri
+                 (fun i d ->
+                   if (not d) && still_dead.(i) then still_dead.(i) <- false)
+                 dominated_full;
+               pending := 0
+             end)
+           state)
+    end;
+    List.concat_map
+      (fun ((c : Plan.t), _, _, still_dead, _, _, coverage) ->
+        let coverage_diags =
+          let report bad_count example =
+            [ diag ~site:(node_site c) Diagnostic.Choose_uncovered
+                "no alternative is feasible%s in %d of %d regions of the \
+                 parameter space, e.g. %a — startup would fail there"
+                (match budget_bytes with
+                | None -> ""
+                | Some b -> Printf.sprintf " and admissible under %d bytes" b)
+                bad_count !total_regions Absint.pp_region example ]
+          in
+          match coverage with
+          | `Covered -> []
+          | `Uncovered_everywhere -> report !total_regions full
+          | `Per_region bad -> (
+            match List.rev !bad with
+            | [] -> []
+            | worst :: _ as all -> report (List.length all) worst)
+        in
+        let dead_diags =
+          List.concat
+            (List.mapi
+               (fun i (alt : Plan.t) ->
+                 if still_dead.(i) then
+                   [ diag ~site:(node_site c)
+                       Diagnostic.Choose_dead_alternative
+                       "alternative #%d (%s) is strictly cost-dominated by a \
+                        sibling in every region of the parameter space \
+                        (%d regions); startup can never select it"
+                       alt.Plan.pid
+                       (Physical.name alt.Plan.op)
+                       !total_regions ]
+                 else [])
+               c.Plan.inputs)
+        in
+        coverage_diags @ dead_diags)
+      state
+  end
+
+(* --- dead-alternative pruning --------------------------------------------- *)
+
+(* Which of [alts] (sibling alternatives of one choose node, or
+   candidates about to become one) can a startup decision ever select?
+   Alternatives are costed bottom-up, so their totals are context-free
+   and the analysis needs no enclosing plan. *)
+let survivors ?(max_regions = default_max_regions) env (alts : Plan.t list) =
+  if List.length alts < 2 then alts
+  else begin
+    let region =
+      List.fold_left
+        (fun acc (alt : Plan.t) ->
+          let r = Absint.full_region env alt in
+          { acc with
+            Absint.sels =
+              acc.Absint.sels
+              @ List.filter
+                  (fun (v, _) -> not (List.mem_assoc v acc.Absint.sels))
+                  r.Absint.sels })
+        { Absint.sels = []; memory = Env.memory_pages env }
+        alts
+    in
+    let evaluators =
+      List.map (fun (alt : Plan.t) -> Absint.evaluator env alt) alts
+    in
+    let totals_in rg =
+      List.map2
+        (fun ev (alt : Plan.t) -> (ev.Absint.value rg alt).Absint.total)
+        evaluators alts
+    in
+    let max_work =
+      List.fold_left (fun n alt -> n + work_budget alt) 0 alts
+    in
+    let work () =
+      List.fold_left (fun n ev -> n + ev.Absint.work ()) 0 evaluators
+    in
+    (* Full-region classification first: domination there transfers to
+       every subregion, and the region loop only has to clear the
+       remaining candidates — it stops as soon as each has shown one
+       region of non-domination. *)
+    let dominated_full = dominated_in_region (totals_in region) in
+    let still_dead = Array.copy dominated_full in
+    let pending =
+      ref
+        (Array.fold_left (fun n d -> if d then n else n + 1) 0 dominated_full)
+    in
+    Array.iteri
+      (fun i d -> if not d then still_dead.(i) <- true)
+      dominated_full;
+    if !pending > 0 then begin
+      try
+        List.iter
+          (fun rg ->
+            if !pending = 0 || work () > max_work then raise Out_of_work;
+            Array.iteri
+              (fun i d ->
+                if (not d) && (not dominated_full.(i)) && still_dead.(i)
+                then begin
+                  still_dead.(i) <- false;
+                  decr pending
+                end)
+              (dominated_in_region (totals_in rg)))
+          (Absint.subdivide region ~max_regions)
+      with Out_of_work ->
+        (* Candidates not yet refuted in every region are kept, never
+           pruned — the sound direction. *)
+        Array.iteri
+          (fun i d -> if (not d) && still_dead.(i) then still_dead.(i) <- false)
+          dominated_full
+    end;
+    let kept =
+      List.filteri (fun i _ -> not still_dead.(i)) alts
+    in
+    (* In any single region the alternative with the least lower bound is
+       never dominated, so at least one always survives; the guard is
+       belt and braces. *)
+    if kept = [] then alts else kept
+  end
+
+(* Rebuild [plan] with every choose node's dead alternatives removed.
+   Unchanged subtrees are kept verbatim (same nodes, same pids), so DAG
+   sharing survives; a choose left with one survivor collapses to it.
+   Returns the plan and how many alternatives were dropped. *)
+let prune_dead ?(max_regions = default_max_regions) env (plan : Plan.t) =
+  let builder = Plan.Builder.create env in
+  let pruned = ref 0 in
+  let memo : (int, Plan.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec rebuild (p : Plan.t) =
+    match Hashtbl.find_opt memo p.Plan.pid with
+    | Some p' -> p'
+    | None ->
+      let inputs = List.map rebuild p.Plan.inputs in
+      let unchanged = List.for_all2 (fun a b -> a == b) p.Plan.inputs inputs in
+      let p' =
+        match p.Plan.op with
+        | Physical.Choose_plan -> (
+          let kept = survivors ~max_regions env inputs in
+          pruned := !pruned + (List.length inputs - List.length kept);
+          match kept with
+          | [ only ] -> only
+          | kept when unchanged && List.length kept = List.length inputs -> p
+          | kept -> Plan.Builder.choose builder kept)
+        | _ ->
+          if unchanged then p
+          else Plan.Builder.copy_node builder p ~inputs
+      in
+      Hashtbl.add memo p.Plan.pid p';
+      p'
+  in
+  let plan' = rebuild plan in
+  (plan', !pruned)
+
+(* --- static budget admission ---------------------------------------------- *)
+
+let budget_check env ~budget_bytes (plan : Plan.t) =
+  let floor = Absint.guaranteed_bytes env ~budget_bytes plan in
+  if floor > budget_bytes then
+    [ diag ~site:(node_site plan) Diagnostic.Budget_unsatisfiable
+        "every execution must hold at least %d bytes against a budget of \
+         %d bytes — statically doomed to Memory_exceeded"
+        floor budget_bytes ]
+  else []
+
+(* --- checkpoint-fingerprint collisions ------------------------------------ *)
+
+(* [Checkpoint.fingerprint], replicated: the analysis layer cannot depend
+   on the execution layer (which depends on it).  The differential test
+   in suite_absint pins the two implementations together. *)
+(* The per-node selection-string sets are shared bottom-up: a node's set
+   is the sorted-unique merge of its children's (already sorted-unique)
+   sets plus its own predicate, so fingerprinting every node of a DAG is
+   one pass instead of one subtree walk per node. *)
+let sel_sets () =
+  let pred_str = Hashtbl.create 16 in
+  let render p =
+    match Hashtbl.find_opt pred_str p with
+    | Some s -> s
+    | None ->
+      let s = Format.asprintf "%a" Predicate.pp_select p in
+      Hashtbl.add pred_str p s;
+      s
+  in
+  let sets : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+  let rec merge a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+      let c = String.compare x y in
+      if c = 0 then x :: merge xs ys
+      else if c < 0 then x :: merge xs b
+      else y :: merge a ys
+  in
+  let rec go (node : Plan.t) =
+    match Hashtbl.find_opt sets node.Plan.pid with
+    | Some s -> s
+    | None ->
+      let own =
+        match node.Plan.op with
+        | Physical.Filter p | Physical.Filter_btree_scan { pred = p; _ }
+        | Physical.Index_join { inner_filter = Some p; _ } ->
+          [ render p ]
+        | Physical.Index_join { inner_filter = None; _ }
+        | Physical.File_scan _ | Physical.Btree_scan _ | Physical.Hash_join _
+        | Physical.Merge_join _ | Physical.Sort _ | Physical.Choose_plan -> []
+      in
+      let s =
+        List.fold_left
+          (fun acc c -> merge acc (go c))
+          own node.Plan.inputs
+      in
+      Hashtbl.add sets node.Plan.pid s;
+      s
+  in
+  go
+
+let fingerprint_with sels (plan : Plan.t) =
+  Plan.rels_key plan ^ "?" ^ String.concat "&" (sels plan)
+
+let fingerprint (plan : Plan.t) = fingerprint_with (sel_sets ()) plan
+
+(* Distinct nodes sharing a fingerprint are *expected* (choose
+   alternatives, a sort and its child): the registry is keyed by logical
+   content precisely so equivalent nodes can serve each other.  The
+   hazard is same fingerprint with different content: if the column sets
+   are remappable but the cardinality estimates disagree, resume would
+   splice one node's tuples into the other's slot (error); if the
+   fingerprint collides without even a remappable schema, the entry is
+   dead weight that can shadow a real checkpoint (warning). *)
+(* Sorted column multisets, memoized bottom-up by pid (one pass over the
+   DAG where a [Plan.schema] call per node would re-walk each subtree).
+   The combination rules mirror [Plan.schema]; [None] marks a subtree the
+   catalog cannot resolve. *)
+let col_sets catalog =
+  let sets : (int, Col.t list option) Hashtbl.t = Hashtbl.create 64 in
+  let of_rel rel =
+    match Catalog.relation catalog rel with
+    | Some r ->
+      Some
+        (List.sort Col.compare
+           (Array.to_list (Schema.columns (Schema.of_relation r))))
+    | None -> None
+  in
+  let rec go (n : Plan.t) =
+    match Hashtbl.find_opt sets n.Plan.pid with
+    | Some c -> c
+    | None ->
+      let c =
+        match (n.Plan.op, n.Plan.inputs) with
+        | ( ( Physical.File_scan rel
+            | Physical.Btree_scan { rel; _ }
+            | Physical.Filter_btree_scan { rel; _ } ),
+            [] ) ->
+          of_rel rel
+        | (Physical.Filter _ | Physical.Sort _), [ child ] -> go child
+        | (Physical.Hash_join _ | Physical.Merge_join _), [ l; r ] -> (
+          match (go l, go r) with
+          | Some a, Some b -> Some (List.merge Col.compare a b)
+          | _ -> None)
+        | Physical.Index_join { inner_rel; _ }, [ outer ] -> (
+          match (go outer, of_rel inner_rel) with
+          | Some a, Some b -> Some (List.merge Col.compare a b)
+          | _ -> None)
+        | Physical.Choose_plan, first :: _ -> go first
+        | _, _ -> None
+      in
+      Hashtbl.add sets n.Plan.pid c;
+      c
+  in
+  go
+
+let fingerprints ~catalog (plan : Plan.t) =
+  let sels = sel_sets () in
+  let cols_of = col_sets catalog in
+  let groups : (string, (Plan.t * Interval.t * Col.t list option) list ref)
+      Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (n : Plan.t) ->
+      let cols = cols_of n in
+      let fp = fingerprint_with sels n in
+      let r =
+        match Hashtbl.find_opt groups fp with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add groups fp r;
+          r
+      in
+      r := (n, n.Plan.rows, cols) :: !r)
+    (all_nodes plan);
+  Hashtbl.fold
+    (fun fp members acc ->
+      let members = List.rev !members in
+      let rec pairs acc = function
+        | [] -> acc
+        | x :: rest -> pairs (List.fold_left (fun a y -> (x, y) :: a) acc rest) rest
+      in
+      List.fold_left
+        (fun acc ((a, arows, acols), ((b : Plan.t), brows, bcols)) ->
+          let remappable =
+            match (acols, bcols) with
+            | Some ca, Some cb -> List.equal Col.equal ca cb
+            | _ -> false
+          in
+          let rows_differ = not (interval_close arows brows) in
+          if remappable && rows_differ then
+            diag ~severity:Diagnostic.Error ~site:(node_site a)
+              Diagnostic.Fingerprint_collision
+              "node #%d shares checkpoint fingerprint %S with node #%d but \
+               estimates %a rows against its %a — resume could splice the \
+               wrong intermediate"
+              a.Plan.pid fp b.Plan.pid Interval.pp arows Interval.pp brows
+            :: acc
+          else if rows_differ || ((acols <> None || bcols <> None) && not remappable)
+          then
+            diag ~site:(node_site a) Diagnostic.Fingerprint_collision
+              "nodes #%d and #%d share checkpoint fingerprint %S with \
+               incompatible schemas or cardinalities — the entry can shadow \
+               a real checkpoint"
+              a.Plan.pid b.Plan.pid fp
+            :: acc
+          else acc)
+        acc (pairs [] members))
+    groups []
+
+(* --- unchecked streaming pipelines ---------------------------------------- *)
+
+let default_pipeline_threshold = 3
+
+(* ROADMAP item 3's leftover, surfaced statically: validity bands are
+   only consulted where checkpoints are taken — a sort's output and a
+   hash join's build side.  A choose node whose result then streams
+   through [threshold] or more operators without crossing such a point
+   has no mid-pipeline recheck: a busted resolution surfaces arbitrarily
+   late (or never, on the probe side).  Walking down from the root, the
+   streak counts streaming operators above the current node; it resets
+   under a sort and under a hash join's build child, the two
+   [Checkpoint.take] sites (a merge join materializes its right side but
+   takes no checkpoint). *)
+let pipeline ?(threshold = default_pipeline_threshold) (plan : Plan.t) =
+  let best : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let findings = ref [] in
+  let flagged : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec walk streak (p : Plan.t) =
+    let seen = Hashtbl.find_opt best p.Plan.pid in
+    if seen = None || Option.get seen < streak then begin
+      Hashtbl.replace best p.Plan.pid streak;
+      (match p.Plan.op with
+      | Physical.Choose_plan when streak >= threshold ->
+        if not (Hashtbl.mem flagged p.Plan.pid) then begin
+          Hashtbl.replace flagged p.Plan.pid ();
+          findings :=
+            diag ~site:(node_site p) Diagnostic.Unchecked_pipeline
+              "choose-plan resolution streams through %d operators to the \
+               nearest blocking point — its validity band is never \
+               rechecked mid-pipeline"
+              streak
+            :: !findings
+        end
+      | _ -> ());
+      match (p.Plan.op, p.Plan.inputs) with
+      | Physical.Sort _, [ c ] -> walk 0 c
+      | Physical.Hash_join _, [ build; probe ] ->
+        walk 0 build;
+        walk (streak + 1) probe
+      | Physical.Choose_plan, alts -> List.iter (walk streak) alts
+      | _, inputs -> List.iter (walk (streak + 1)) inputs
+    end
+  in
+  walk 0 plan;
+  List.rev !findings
+
+(* --- aggregate ------------------------------------------------------------ *)
+
+let plan ?max_regions ?budget_bytes ?pipeline_threshold ~catalog env
+    (p : Plan.t) =
+  choose_space ?max_regions ?budget_bytes ~catalog env p
+  @ (match budget_bytes with
+    | None -> []
+    | Some budget_bytes -> budget_check env ~budget_bytes p)
+  @ fingerprints ~catalog p
+  @ pipeline ?threshold:pipeline_threshold p

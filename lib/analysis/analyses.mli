@@ -1,0 +1,88 @@
+(** Static analyses over the abstract interpreter ({!Absint}), reporting
+    in the DQEP5xx diagnostic block:
+
+    - {!choose_space} — parameter-space coverage (DQEP501) and dead,
+      everywhere-dominated alternatives (DQEP502) for every choose-plan
+      node;
+    - {!survivors} / {!prune_dead} — the pruning side of the dominance
+      analysis, used by the optimizer's memoized-winner hook;
+    - {!budget_check} — static admission against a governor budget
+      (DQEP503), the precheck behind [Session] and [dqep analyze
+      --budget-kb];
+    - {!fingerprints} — checkpoint-fingerprint collision lint (DQEP504);
+    - {!pipeline} — unchecked streaming pipelines between a choose
+      resolution and the nearest blocking point (DQEP505).
+
+    {!plan} aggregates them, mirroring [Verify.plan]. *)
+
+module Diagnostic = Dqep_util.Diagnostic
+module Env = Dqep_cost.Env
+module Plan = Dqep_plans.Plan
+
+val default_max_regions : int
+(** Default grid budget for parameter-space subdivision (64). *)
+
+val choose_space :
+  ?max_regions:int ->
+  ?budget_bytes:int ->
+  catalog:Dqep_catalog.Catalog.t ->
+  Env.t ->
+  Plan.t ->
+  Diagnostic.t list
+(** One sweep over a partition of the plan's parameter space.  Per
+    choose node: DQEP501 when some region leaves no alternative that is
+    catalog-feasible and (given [budget_bytes]) whose modelled demand
+    floor fits the budget; DQEP502 for every alternative strictly
+    cost-dominated by a sibling in every region — startup can never
+    select it. *)
+
+val survivors : ?max_regions:int -> Env.t -> Plan.t list -> Plan.t list
+(** The subset of sibling alternatives a startup decision could ever
+    select (non-dead under region-wise dominance).  Never empty for a
+    non-empty input; order is preserved. *)
+
+val prune_dead : ?max_regions:int -> Env.t -> Plan.t -> Plan.t * int
+(** Rebuild the plan with dead alternatives removed from every choose
+    node (a single survivor collapses the choose); unchanged subtrees
+    keep their nodes.  Returns the plan and the number of alternatives
+    dropped. *)
+
+val budget_check :
+  Env.t -> budget_bytes:int -> Plan.t -> Diagnostic.t list
+(** DQEP503 when {!Absint.guaranteed_bytes} exceeds the budget: every
+    execution would abort with [Memory_exceeded], so admission should
+    refuse the plan statically. *)
+
+val fingerprint : Plan.t -> string
+(** The checkpoint registry's logical fingerprint (relation set plus
+    deduplicated selection predicates), replicated here because the
+    analysis layer cannot depend on the execution layer.  Kept in
+    lockstep with [Checkpoint] by a differential test. *)
+
+val fingerprints :
+  catalog:Dqep_catalog.Catalog.t -> Plan.t -> Diagnostic.t list
+(** DQEP504 for distinct nodes sharing a fingerprint with incompatible
+    content: error severity when the schemas are remappable but the
+    cardinality estimates disagree (resume could splice the wrong
+    intermediate), warning when the collision merely shadows a real
+    checkpoint. *)
+
+val default_pipeline_threshold : int
+
+val pipeline : ?threshold:int -> Plan.t -> Diagnostic.t list
+(** DQEP505 for every choose node whose resolution streams through
+    [threshold] (default {!default_pipeline_threshold}) or more
+    operators without crossing a blocking point (a sort's output or a
+    hash join's build side — the checkpoint sites), so its validity band
+    is never rechecked mid-pipeline. *)
+
+val plan :
+  ?max_regions:int ->
+  ?budget_bytes:int ->
+  ?pipeline_threshold:int ->
+  catalog:Dqep_catalog.Catalog.t ->
+  Env.t ->
+  Plan.t ->
+  Diagnostic.t list
+(** All analyses: {!choose_space}, {!budget_check} (when [budget_bytes]
+    is given), {!fingerprints} and {!pipeline}. *)

@@ -86,6 +86,8 @@ module Validate = Dqep_plans.Validate
 (** {1 Static analysis} *)
 
 module Verify = Dqep_analysis.Verify
+module Absint = Dqep_analysis.Absint
+module Analyses = Dqep_analysis.Analyses
 
 (** {1 Optimizer} *)
 

@@ -52,6 +52,13 @@ val create :
 
 val enabled : t -> bool
 
+val fingerprint : Dqep_plans.Plan.t -> string
+(** The logical fingerprint entries are keyed by: relation set plus the
+    deduplicated selection predicates applied anywhere in the subtree
+    (alternative-invariant across one logical group).  Mirrored by
+    [Dqep_analysis.Analyses.fingerprint] — the analysis layer cannot
+    depend on this one — and held in lockstep by a differential test. *)
+
 val take :
   t ->
   Dqep_storage.Database.t ->

@@ -24,6 +24,8 @@ module Feedback = Dqep_obs.Feedback
 module Env = Dqep_cost.Env
 module Bindings = Dqep_cost.Bindings
 module Plan = Dqep_plans.Plan
+module Database = Dqep_storage.Database
+module Analyses = Dqep_analysis.Analyses
 
 type shed_reason = Queue_full | Queue_timeout
 
@@ -42,6 +44,7 @@ type config = {
   queue_deadline : float option;
   memory_pool_bytes : int option;
   resilience : Resilience.config;
+  precheck : bool;
 }
 
 let default_max_inflight () =
@@ -50,7 +53,7 @@ let default_max_inflight () =
   | Some _ | None -> 4
 
 let config ?max_inflight ?(max_queue = 16) ?queue_deadline ?memory_pool_bytes
-    ?(resilience = Resilience.default) () =
+    ?(resilience = Resilience.default) ?(precheck = true) () =
   let max_inflight =
     match max_inflight with Some n -> n | None -> default_max_inflight ()
   in
@@ -62,7 +65,8 @@ let config ?max_inflight ?(max_queue = 16) ?queue_deadline ?memory_pool_bytes
   (match memory_pool_bytes with
   | Some b when b <= 0 -> invalid_arg "Session.config: memory_pool_bytes <= 0"
   | Some _ | None -> ());
-  { max_inflight; max_queue; queue_deadline; memory_pool_bytes; resilience }
+  { max_inflight; max_queue; queue_deadline; memory_pool_bytes; resilience;
+    precheck }
 
 type stats = {
   submitted : int;
@@ -257,6 +261,32 @@ let submit t ?(gov = Governor.none) ?obs ?resilience
       match t.pool with Some p -> Governor.with_pool gov p | None -> gov
     in
     let rconfig = Option.value resilience ~default:t.cfg.resilience in
+    (* Static admission precheck: a plan whose guaranteed working set
+       cannot fit the memory budget would burn its slot only to abort
+       with Memory_exceeded; reject it at the door with a diagnostic
+       instead.  The budget is the tighter of the query's own grant and
+       the shared pool's capacity (a charge must fit both). *)
+    let static_rejection =
+      if not t.cfg.precheck then None
+      else begin
+        let budget =
+          match (Governor.memory_budget gov, t.pool) with
+          | Some b, Some p -> Some (Int.min b p.Governor.capacity)
+          | Some b, None -> Some b
+          | None, Some p -> Some p.Governor.capacity
+          | None, None -> None
+        in
+        match budget with
+        | None -> None
+        | Some budget_bytes ->
+          let env = Env.of_bindings (Database.catalog db) bindings in
+          let floor = Dqep_analysis.Absint.guaranteed_bytes env ~budget_bytes plan in
+          if floor > budget_bytes then
+            Some
+              (Analyses.budget_check env ~budget_bytes plan)
+          else None
+      end
+    in
     (* Every admitted query runs under a taps-enabled trace (the caller's
        when one was supplied), so its operator cardinalities can feed the
        observation cache; its counters are folded into the session trace
@@ -271,6 +301,11 @@ let submit t ?(gov = Governor.none) ?obs ?resilience
       fun c -> List.assoc c snap
     in
     let outcome =
+      match static_rejection with
+      | Some diags ->
+        Trace.incr t.obs Counter.Rejected_precheck;
+        Failed (Resilience.Rejected diags)
+      | None ->
       match Resilience.run ~config:rconfig ~gov ~obs:rt db bindings plan with
       | Ok (tuples, stats), _ -> Completed (tuples, stats)
       | Error failure, _ -> Failed failure

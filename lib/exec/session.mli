@@ -42,6 +42,12 @@ type config = {
           budgets (default none) *)
   resilience : Resilience.config;
       (** supervisor configuration for every admitted query *)
+  precheck : bool;
+      (** statically reject admitted plans whose guaranteed working set
+          ({!Dqep_analysis.Absint.guaranteed_bytes}) cannot fit the
+          query's memory budget or the session pool — the outcome is
+          [Failed (Rejected [DQEP503])] without executing anything
+          (default [true]) *)
 }
 
 val config :
@@ -50,6 +56,7 @@ val config :
   ?queue_deadline:float ->
   ?memory_pool_bytes:int ->
   ?resilience:Resilience.config ->
+  ?precheck:bool ->
   unit ->
   config
 (** @raise Invalid_argument on non-positive [max_inflight] or

@@ -208,8 +208,11 @@ let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
   let session =
     Session.create
       ~config:
+        (* precheck off: the whole point of the Memory scenario is to
+           exercise the run-time kill path that static admission would
+           otherwise intercept *)
         (Session.config ~max_inflight ~max_queue ~memory_pool_bytes:pool_bytes
-           ())
+           ~precheck:false ())
       ()
   in
   let ckpt_pool = Governor.pool ~capacity_bytes:(1 lsl 24) in

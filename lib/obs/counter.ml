@@ -41,6 +41,8 @@ type t =
   | Checkpoints_taken
   | Checkpoint_bytes
   | Resume_hits
+  (* static analysis *)
+  | Rejected_precheck
 
 let all =
   [
@@ -72,6 +74,7 @@ let all =
     Checkpoints_taken;
     Checkpoint_bytes;
     Resume_hits;
+    Rejected_precheck;
   ]
 
 let count = List.length all
@@ -105,6 +108,7 @@ let index = function
   | Checkpoints_taken -> 25
   | Checkpoint_bytes -> 26
   | Resume_hits -> 27
+  | Rejected_precheck -> 28
 
 let name = function
   | Logical_reads -> "logical_reads"
@@ -135,6 +139,7 @@ let name = function
   | Checkpoints_taken -> "checkpoints_taken"
   | Checkpoint_bytes -> "checkpoint_bytes"
   | Resume_hits -> "resume_hits"
+  | Rejected_precheck -> "rejected_precheck"
 
 let of_name s = List.find_opt (fun c -> name c = s) all
 let pp ppf c = Format.pp_print_string ppf (name c)

@@ -41,6 +41,10 @@ type t =
   | Checkpoints_taken  (** intermediates materialized at blocking points *)
   | Checkpoint_bytes  (** bytes charged to the governor for checkpoints *)
   | Resume_hits  (** checkpointed intermediates served instead of re-execution *)
+  (* static analysis *)
+  | Rejected_precheck
+      (** submissions refused by the session's static budget precheck
+          (DQEP503) before any execution *)
 
 val all : t list
 (** Every counter, in {!index} order. *)

@@ -24,6 +24,7 @@ type options = {
   sample_domination : int option;
   sample_seed : int;
   verify : bool;
+  prune_dead : bool;
 }
 
 let default_options =
@@ -36,7 +37,8 @@ let default_options =
     selectivity_bounds = [];
     sample_domination = None;
     sample_seed = 42;
-    verify = false }
+    verify = false;
+    prune_dead = false }
 
 type stats = {
   cpu_seconds : float;
@@ -47,6 +49,7 @@ type stats = {
   candidates : int;
   pruned : int;
   sample_evaluations : int;
+  alternatives_pruned : int;
   plan_nodes : int;
 }
 
@@ -87,7 +90,8 @@ let optimize ?(options = default_options) ?refine ~mode catalog query =
         ~use_index_join:options.use_index_join ~left_deep_only:options.left_deep
         ~force_incomparable:options.exhaustive
         ~sample_domination:options.sample_domination
-        ~sample_seed:options.sample_seed ~verify_winners:options.verify env
+        ~sample_seed:options.sample_seed ~verify_winners:options.verify
+        ~prune_dead:options.prune_dead env
     in
     let memo = Memo.create env in
     let search_result, cpu_seconds =
@@ -120,4 +124,5 @@ let optimize ?(options = default_options) ?refine ~mode catalog query =
               candidates = s.Search.candidates;
               pruned = s.Search.pruned;
               sample_evaluations = s.Search.sample_evaluations;
+              alternatives_pruned = s.Search.alternatives_pruned;
               plan_nodes = Plan.node_count plan } })

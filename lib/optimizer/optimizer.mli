@@ -48,6 +48,10 @@ type options = {
           winner is verified as it is memoized (raising
           {!Dqep_analysis.Verify.Failed} on corruption), and the final
           plan and memo are re-checked into {!result.diagnostics} *)
+  prune_dead : bool;
+      (** drop choose alternatives no startup decision can ever select
+          ({!Dqep_analysis.Analyses.survivors}) as winners are memoized —
+          smaller dynamic plans, fewer run-time failover spares *)
 }
 
 val default_options : options
@@ -61,6 +65,8 @@ type stats = {
   candidates : int;
   pruned : int;
   sample_evaluations : int;
+  alternatives_pruned : int;
+      (** choose alternatives dropped as dead under [prune_dead] *)
   plan_nodes : int;  (** size of the produced plan DAG *)
 }
 

@@ -26,20 +26,23 @@ type config = {
   sample_domination : int option;
   sample_seed : int;
   verify_winners : bool;
+  prune_dead : bool;
 }
 
 let config ?(keep_equal_alternatives = true) ?(prune = true)
     ?(use_index_join = true) ?(left_deep_only = false)
     ?(force_incomparable = false) ?(sample_domination = None)
-    ?(sample_seed = 42) ?(verify_winners = false) env =
+    ?(sample_seed = 42) ?(verify_winners = false) ?(prune_dead = false) env =
   { env; keep_equal_alternatives; prune; use_index_join; left_deep_only;
-    force_incomparable; sample_domination; sample_seed; verify_winners }
+    force_incomparable; sample_domination; sample_seed; verify_winners;
+    prune_dead }
 
 type stats = {
   goals : int;
   candidates : int;
   pruned : int;
   sample_evaluations : int;
+  alternatives_pruned : int;
 }
 
 type entry = { bound : float; best : Plan.t option }
@@ -55,6 +58,7 @@ type t = {
   mutable candidates : int;
   mutable pruned : int;
   mutable sample_evaluations : int;
+  mutable alternatives_pruned : int;
 }
 
 (* Deterministic per-(variable, sample) selectivities and memory values
@@ -90,7 +94,8 @@ let create config memo =
     goals = 0;
     candidates = 0;
     pruned = 0;
-    sample_evaluations = 0 }
+    sample_evaluations = 0;
+    alternatives_pruned = 0 }
 
 let memo t = t.memo
 
@@ -131,7 +136,8 @@ let stats t =
   { goals = t.goals;
     candidates = t.candidates;
     pruned = t.pruned;
-    sample_evaluations = t.sample_evaluations }
+    sample_evaluations = t.sample_evaluations;
+    alternatives_pruned = t.alternatives_pruned }
 
 let sample_cost t j env (plan : Plan.t) =
   let key = (plan.Plan.pid, j) in
@@ -231,7 +237,25 @@ let rec optimize t gid required ~limit =
       match !pareto with
       | [] -> None
       | [ p ] -> Some p
-      | alts -> Some (Plan.Builder.choose t.builder alts)
+      | alts ->
+        (* Dead-alternative pruning (opt-in): drop alternatives a startup
+           decision can never select — dominated region-wise across the
+           whole parameter space, a strictly finer test than the Pareto
+           set's whole-interval comparison.  The trade-off is failover
+           resilience: a dead alternative still serves as a fallback when
+           siblings are excluded at run time, hence the flag. *)
+        let alts =
+          if t.config.prune_dead then begin
+            let kept = Dqep_analysis.Analyses.survivors t.config.env alts in
+            t.alternatives_pruned <-
+              t.alternatives_pruned + (List.length alts - List.length kept);
+            kept
+          end
+          else alts
+        in
+        (match alts with
+        | [ p ] -> Some p
+        | alts -> Some (Plan.Builder.choose t.builder alts))
     in
     Log.debug (fun m ->
         m "goal (group %d, %a): %d surviving plan(s), best %a" gid

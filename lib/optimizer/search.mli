@@ -37,6 +37,11 @@ type config = {
       (** debug: run the static verifier ({!Dqep_analysis.Verify.winner})
           on every winner before memoizing it, raising
           {!Dqep_analysis.Verify.Failed} on error-severity diagnostics *)
+  prune_dead : bool;
+      (** drop choose alternatives that are strictly cost-dominated over
+          the whole parameter space ({!Dqep_analysis.Analyses.survivors})
+          before memoizing a winner — smaller dynamic plans at the cost
+          of run-time failover spares *)
 }
 
 val config :
@@ -48,6 +53,7 @@ val config :
   ?sample_domination:int option ->
   ?sample_seed:int ->
   ?verify_winners:bool ->
+  ?prune_dead:bool ->
   Dqep_cost.Env.t ->
   config
 
@@ -56,6 +62,8 @@ type stats = {
   candidates : int;  (** physical plans considered *)
   pruned : int;  (** candidates cut by branch-and-bound *)
   sample_evaluations : int;  (** plan evaluations for sampled domination *)
+  alternatives_pruned : int;
+      (** choose alternatives dropped as dead under [prune_dead] *)
 }
 
 type t

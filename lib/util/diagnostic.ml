@@ -40,6 +40,12 @@ type code =
   | Group_rels_mismatch
   | Winner_group_mismatch
   | Winner_order_mismatch
+  (* 5xx: abstract interpretation *)
+  | Choose_uncovered
+  | Choose_dead_alternative
+  | Budget_unsatisfiable
+  | Fingerprint_collision
+  | Unchecked_pipeline
 
 let id = function
   | Unknown_relation -> "DQEP001"
@@ -71,6 +77,11 @@ let id = function
   | Group_rels_mismatch -> "DQEP402"
   | Winner_group_mismatch -> "DQEP403"
   | Winner_order_mismatch -> "DQEP404"
+  | Choose_uncovered -> "DQEP501"
+  | Choose_dead_alternative -> "DQEP502"
+  | Budget_unsatisfiable -> "DQEP503"
+  | Fingerprint_collision -> "DQEP504"
+  | Unchecked_pipeline -> "DQEP505"
 
 let slug = function
   | Unknown_relation -> "unknown-relation"
@@ -102,9 +113,16 @@ let slug = function
   | Group_rels_mismatch -> "group-rels-mismatch"
   | Winner_group_mismatch -> "winner-group-mismatch"
   | Winner_order_mismatch -> "winner-order-mismatch"
+  | Choose_uncovered -> "choose-uncovered"
+  | Choose_dead_alternative -> "choose-dead-alternative"
+  | Budget_unsatisfiable -> "budget-unsatisfiable"
+  | Fingerprint_collision -> "fingerprint-collision"
+  | Unchecked_pipeline -> "unchecked-pipeline"
 
 let default_severity = function
-  | Sharing_lost | Rows_exceed_inputs | Pareto_dominated -> Warning
+  | Sharing_lost | Rows_exceed_inputs | Pareto_dominated
+  | Choose_dead_alternative | Fingerprint_collision | Unchecked_pipeline ->
+    Warning
   | _ -> Error
 
 (* The feasibility subset: catalog drift the executor can survive by

@@ -11,6 +11,9 @@
     - [DQEP2xx] — interval costs
     - [DQEP3xx] — schema and semantics
     - [DQEP4xx] — memo state and winners
+    - [DQEP5xx] — abstract interpretation ([Dqep_analysis.Analyses]:
+      choose-plan parameter-space coverage, static resource certificates,
+      checkpoint-fingerprint lints)
 
     The full code table, with an explanation of every check, lives in
     DESIGN.md. *)
@@ -83,6 +86,27 @@ type code =
   | Winner_order_mismatch
       (** DQEP404: a winner does not satisfy its goal's required
           property *)
+  (* 5xx: abstract interpretation *)
+  | Choose_uncovered
+      (** DQEP501: a region of a choose-plan node's parameter space has no
+          feasible, budget-admissible alternative — [Startup.resolve]
+          would raise [Exhausted] there *)
+  | Choose_dead_alternative
+      (** DQEP502 (warning): a choose-plan alternative is strictly
+          cost-dominated by a sibling over the whole parameter space —
+          startup can never pick it, it only adds plan weight *)
+  | Budget_unsatisfiable
+      (** DQEP503: the plan's guaranteed memory demand exceeds the
+          governor budget — every execution would end in
+          [Memory_exceeded], so admission is refused statically *)
+  | Fingerprint_collision
+      (** DQEP504 (warning): distinct subplans share a checkpoint
+          fingerprint with incompatible cardinalities or schemas — resume
+          could splice the wrong intermediate *)
+  | Unchecked_pipeline
+      (** DQEP505 (warning): a long streaming pipeline between a
+          choose-plan resolution and the root has no blocking point, so a
+          busted validity band is never rechecked mid-pipeline *)
 
 val id : code -> string
 (** Stable identifier, e.g. ["DQEP203"]. *)

@@ -339,6 +339,147 @@ let test_json_rendering () =
         (contains j fragment))
     [ {|"code":"DQEP203"|}; {|"severity":"error"|} ]
 
+(* --- the DQEP5xx block: every analysis code on a corrupted plan ---------- *)
+
+(* DQEP501: every alternative of the choose scans a relation the catalog
+   has never heard of, so no region of the parameter space has a
+   feasible pick — startup would fail everywhere. *)
+let test_choose_uncovered () =
+  let c, b = builder () in
+  let ghost rows =
+    D.Plan.Builder.raw b ~op:(D.Physical.File_scan "Ghost") ~inputs:[]
+      ~rels:[ "Ghost" ] ~rows:(I.point rows) ~bytes_per_row:512
+      ~own_cost:(I.point 10.) ~total_cost:(I.point 10.)
+      ~props:D.Props.unordered
+  in
+  let p = raw_choose b [ ghost 100.; ghost 50. ] in
+  fires "all-infeasible choose" Dg.Choose_uncovered
+    (D.Analyses.choose_space ~catalog:c (D.Env.dynamic c) p)
+
+(* DQEP502: a redundant sort makes one alternative strictly dearer than
+   its sibling in every region. *)
+let test_choose_dead_alternative () =
+  let c, b = builder () in
+  let s = scan b "S" in
+  let col = D.Col.make ~rel:"S" ~attr:"a" in
+  let sorted =
+    D.Plan.Builder.operator b (D.Physical.Sort [ col ]) ~inputs:[ s ]
+      ~rels:[ "S" ] ~rows:(I.point 100.) ~bytes_per_row:512
+      ~props:(D.Props.ordered [ col ])
+  in
+  let p = raw_choose b [ s; sorted ] in
+  let diags = D.Analyses.choose_space ~catalog:c (D.Env.dynamic c) p in
+  fires "dominated alternative" Dg.Choose_dead_alternative diags;
+  Alcotest.(check bool) "it is a warning" true (Dg.errors diags = [])
+
+(* DQEP503: a merge join materializes its right side, and with no filter
+   below it the data-sound floor is the whole relation — far beyond a
+   2 KB budget. *)
+let test_budget_unsatisfiable () =
+  let c, b = builder () in
+  let r = scan b "R" and s = scan b "S" in
+  let join =
+    D.Plan.Builder.raw b
+      ~op:
+        (D.Physical.Merge_join
+           [ D.Predicate.equi
+               ~left:(col "R" "j")
+               ~right:(col "S" "j") ])
+      ~inputs:[ r; s ] ~rels:[ "R"; "S" ] ~rows:(I.point 100.)
+      ~bytes_per_row:1024 ~own_cost:(I.point 10.) ~total_cost:(I.point 30.)
+      ~props:D.Props.unordered
+  in
+  let diags =
+    D.Analyses.budget_check (D.Env.dynamic c) ~budget_bytes:(2 * 1024) join
+  in
+  fires "starved merge join" Dg.Budget_unsatisfiable diags;
+  Alcotest.(check bool) "it is an error" true (Dg.has_errors diags)
+
+(* DQEP504: two scans of the same relation with disagreeing cardinality
+   estimates share a checkpoint fingerprint — a resumed run could splice
+   the wrong intermediate. *)
+let test_fingerprint_collision () =
+  let c, b = builder () in
+  let scan_at rows =
+    D.Plan.Builder.raw b ~op:(D.Physical.File_scan "R") ~inputs:[]
+      ~rels:[ "R" ] ~rows:(I.point rows) ~bytes_per_row:512
+      ~own_cost:(I.point 10.) ~total_cost:(I.point 10.)
+      ~props:D.Props.unordered
+  in
+  let p =
+    D.Plan.Builder.raw b
+      ~op:
+        (D.Physical.Hash_join
+           [ D.Predicate.equi ~left:(col "R" "j") ~right:(col "R" "j") ])
+      ~inputs:[ scan_at 100.; scan_at 7. ] ~rels:[ "R" ]
+      ~rows:(I.point 100.) ~bytes_per_row:1024 ~own_cost:(I.point 10.)
+      ~total_cost:(I.point 30.) ~props:D.Props.unordered
+  in
+  fires "disagreeing twins" Dg.Fingerprint_collision
+    (D.Analyses.fingerprints ~catalog:c p)
+
+(* DQEP505: three streaming filters between the choose and the root,
+   with no blocking point to recheck the resolution against. *)
+let test_unchecked_pipeline () =
+  let c, b = builder () in
+  let p = raw_choose b [ scan b "R"; raw_scan b "R" ] in
+  let filtered =
+    List.fold_left
+      (fun acc i ->
+        D.Plan.Builder.operator b
+          (D.Physical.Filter
+             (D.Predicate.select ~rel:"R" ~attr:"a"
+                (D.Predicate.Host_var (Printf.sprintf "hv%d" i))))
+          ~inputs:[ acc ] ~rels:[ "R" ] ~rows:(I.point 100.)
+          ~bytes_per_row:512 ~props:D.Props.unordered)
+      p [ 1; 2; 3 ]
+  in
+  let diags = D.Analyses.pipeline filtered in
+  fires "unchecked streaming pipeline" Dg.Unchecked_pipeline diags;
+  Alcotest.(check bool) "it is a warning" true (Dg.errors diags = []);
+  ignore c
+
+(* The aggregate [Analyses.plan] bundle renders to schema-valid JSON:
+   parse back and check the typed fields of every record. *)
+let test_dqep5_json_roundtrip () =
+  let c, b = builder () in
+  let s = scan b "S" in
+  let col = D.Col.make ~rel:"S" ~attr:"a" in
+  let sorted =
+    D.Plan.Builder.operator b (D.Physical.Sort [ col ]) ~inputs:[ s ]
+      ~rels:[ "S" ] ~rows:(I.point 100.) ~bytes_per_row:512
+      ~props:(D.Props.ordered [ col ])
+  in
+  let p = raw_choose b [ s; sorted ] in
+  let diags =
+    D.Analyses.plan ~budget_bytes:(64 * 1024 * 1024) ~catalog:c
+      (D.Env.dynamic c) p
+  in
+  Alcotest.(check bool) "the fixture produces findings" true (diags <> []);
+  match D.Json.parse (Dg.list_to_json diags) with
+  | Error e -> Alcotest.failf "diagnostics JSON does not parse: %s" e
+  | Ok (D.Json.List records) ->
+    List.iter
+      (fun r ->
+        let str key =
+          match
+            Option.bind (D.Json.member key r) D.Json.to_string_opt
+          with
+          | Some s -> s
+          | None -> Alcotest.failf "record lacks string %S" key
+        in
+        Alcotest.(check bool) "code is DQEP5xx" true
+          (String.length (str "code") = 7
+          && String.sub (str "code") 0 5 = "DQEP5");
+        Alcotest.(check bool) "severity is typed" true
+          (match str "severity" with
+          | "error" | "warning" -> true
+          | _ -> false);
+        ignore (str "name");
+        ignore (str "message"))
+      records
+  | Ok _ -> Alcotest.fail "diagnostics JSON is not a list"
+
 (* --- properties ----------------------------------------------------------- *)
 
 let interval_gen =
@@ -416,6 +557,18 @@ let suite =
       Alcotest.test_case "validate collects every diagnostic" `Quick
         test_validate_collects_all;
       Alcotest.test_case "JSON rendering" `Quick test_json_rendering;
+      Alcotest.test_case "uncovered choose space (DQEP501)" `Quick
+        test_choose_uncovered;
+      Alcotest.test_case "dead alternative (DQEP502)" `Quick
+        test_choose_dead_alternative;
+      Alcotest.test_case "budget unsatisfiable (DQEP503)" `Quick
+        test_budget_unsatisfiable;
+      Alcotest.test_case "fingerprint collision (DQEP504)" `Quick
+        test_fingerprint_collision;
+      Alcotest.test_case "unchecked pipeline (DQEP505)" `Quick
+        test_unchecked_pipeline;
+      Alcotest.test_case "DQEP5xx JSON round-trip" `Quick
+        test_dqep5_json_roundtrip;
       QCheck_alcotest.to_alcotest prop_interval_ops_stay_valid;
       QCheck_alcotest.to_alcotest prop_scale_stays_valid;
       QCheck_alcotest.to_alcotest prop_hash_consing_shares ] )

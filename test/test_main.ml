@@ -28,4 +28,5 @@ let () =
       Suite_cost_extra.suite;
       Suite_orders.suite;
       Suite_analysis.suite;
+      Suite_absint.suite;
       Suite_obs.suite ]
