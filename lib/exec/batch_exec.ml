@@ -9,21 +9,26 @@
    - scans fill batches a page stripe at a time, with the selection
      predicate fused into the scan (the filter refines the selection
      vector during the same pass that materializes the block);
-   - base-relation file scans run under an Exchange: the heap file is
-     split into contiguous page stripes (Heap_file.partition) and a
-     pluggable Scheduler fans the stripes out over OCaml domains, merging
-     produced batches demand-driven through an unbounded queue (workers
-     never block, so a faulted partition can never deadlock the merge —
-     its Io_fault is re-raised at the consumer);
+   - base-relation file scans are morsel-driven: the heap file is split
+     into fixed-size contiguous page stripes — the morsel size never
+     depends on the worker count — and the stripes run as tasks on the
+     persistent work-stealing Scheduler pool.  Each stripe stages its
+     batches into a lock-free per-stripe output slot (an atomic list,
+     written by exactly one worker); the consumer drains the slots in
+     stripe order, helping execute pending morsels instead of blocking,
+     and re-raises the job's first fault (workers never block on the
+     consumer, so a faulted stripe can never deadlock the drain);
    - joins and sort delegate to the same algorithmic cores as the row
      engine (Exec_common: Grace hash partitioning, external sort runs),
      so spilling behavior and multiset semantics are identical by
-     construction — the property the differential harness checks.
+     construction — the property the differential harness checks.  With
+     workers > 1 the cores additionally fan out radix join partitions
+     and sort chunks as morsels on the same pool.
 
-   Shared mutable storage (the buffer pool, the disk fault schedule) is
-   not thread-safe; when the scheduler is parallel every storage access
-   of this engine takes a per-execution mutex, and predicate evaluation /
-   batch building happen outside the critical section.
+   Shared storage is safe to use from concurrent morsels: the buffer
+   pool's latch is sharded per page-id bucket and the disk serializes
+   its own directory, so this engine takes no execution-wide storage
+   lock at all.
 
    Iterator protocol: as for the row engine (see Iterator), [open_] must
    fully rewind the stream, so consuming an iterator twice — or closing
@@ -63,16 +68,9 @@ type ctx = {
   ckpt : Checkpoint.t;
   scheduler : Scheduler.t;
   capacity : int;
-  storage_mu : Mutex.t option; (* Some iff the scheduler is parallel *)
-  mutable partitions : int;    (* partitions of the widest exchange *)
+  log : Exec_common.work_log; (* morsel/serial work units for this run *)
+  mutable partitions : int;   (* morsels of the widest exchange *)
 }
-
-let locked ctx f =
-  match ctx.storage_mu with
-  | None -> f ()
-  | Some mu ->
-    Mutex.lock mu;
-    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let consume it =
   it.open_ ();
@@ -124,10 +122,11 @@ let read_page_tuples ctx page =
       | Page.Free | Page.Btree _ -> invalid_arg "Batch_exec: corrupt heap page");
   !copied
 
-(* Scan a stripe of pages into batches, fusing the filter.  Only the page
-   copy is inside the storage critical section; batch building and
-   predicate evaluation run outside it. *)
+(* Scan a stripe of pages into batches, fusing the filter.  Returns the
+   work performed in deterministic units (tuples materialized plus a
+   per-page weight) for the schedule model. *)
 let scan_stripe ctx schema fused pages ~emit =
+  let units = ref 0 in
   let current = ref (Batch.create ~capacity:ctx.capacity schema) in
   let flush () =
     if Batch.physical_length !current > 0 then begin
@@ -138,78 +137,91 @@ let scan_stripe ctx schema fused pages ~emit =
   in
   List.iter
     (fun page ->
-      (* One cancellation point per page, outside the storage critical
-         section.  Exchange workers run this on their own domains, so a
-         cancelled governor stops every stripe producer; the raised
-         exception travels through the merge queue as a Fault message. *)
+      (* One cancellation point per page (on top of the scheduler's
+         per-morsel poll): a cancelled governor stops a stripe mid-scan,
+         and the raised exception surfaces as the job's fault. *)
       Governor.check ctx.gov;
-      let tuples = locked ctx (fun () -> read_page_tuples ctx page) in
+      let tuples = read_page_tuples ctx page in
+      units := !units + 8 + List.length tuples;
       List.iter
         (fun t ->
           if Batch.is_full !current then flush ();
           Batch.push !current t)
         tuples)
     pages;
-  flush ()
+  flush ();
+  !units
 
-(* Demand-driven merge of parallel stripe producers.  The queue is
-   unbounded: producers never block, so they always run to completion (or
-   to their fault) and [close]'s joins always terminate — a faulted
-   partition surfaces as its exception at the consumer, never as a hang. *)
-type msg = Item of Batch.t | Fault of exn | Eof
+(* Pages per scan morsel.  Fixed — decoupled from the worker count — so
+   work-stealing balances the tail and the schedule model's cost list is
+   a property of the query, not of the configuration. *)
+let morsel_pages = 4
+
+(* Per-stripe output staging: each slot is written by exactly the one
+   worker that claimed the stripe (lock-free atomic prepend), and the
+   consumer drains slots in stripe order with [Atomic.exchange]. *)
+type stage = {
+  staged : Batch.t list Atomic.t; (* newest first; consumer re-reverses *)
+  eos : bool Atomic.t;            (* stripe fully produced *)
+}
 
 let exchange_scan ctx schema fused heap =
-  let workers = Scheduler.workers ctx.scheduler in
-  (* Sequential state. *)
+  (* Sequential state: stream the stripes in file order, lazily. *)
   let stripes = ref [] in
   let buffered = ref [] in
   (* Parallel state. *)
-  let queue : msg Queue.t = Queue.create () in
-  let qmu = Mutex.create () in
-  let qcond = Condition.create () in
-  let live = ref 0 in
-  let domains = ref [] in
-  let join_all () =
-    List.iter Domain.join !domains;
-    domains := []
-  in
-  let push msg =
-    Mutex.lock qmu;
-    Queue.push msg queue;
-    Condition.signal qcond;
-    Mutex.unlock qmu
+  let job = ref None in
+  let slots = ref [||] in
+  let drain_pos = ref 0 in
+  let quiesce () =
+    match !job with
+    | None -> ()
+    | Some j ->
+      (* Help-drain every remaining morsel (faulted jobs claim-skip, so
+         this is quick); afterwards no worker touches the slots. *)
+      Scheduler.wait j;
+      job := None
   in
   let start_parallel parts =
     let arr = Array.of_list parts in
-    let next_part = Atomic.make 0 in
-    let n_workers = Int.min workers (Int.max 1 (Array.length arr)) in
-    live := n_workers;
-    let worker () =
-      (try
-         let rec loop () =
-           let i = Atomic.fetch_and_add next_part 1 in
-           if i < Array.length arr then begin
-             scan_stripe ctx schema fused arr.(i) ~emit:(fun b -> push (Item b));
-             loop ()
-           end
-         in
-         loop ()
-       with e -> push (Fault e));
-      push Eof
+    let n = Array.length arr in
+    slots :=
+      Array.init n (fun _ -> { staged = Atomic.make []; eos = Atomic.make false });
+    drain_pos := 0;
+    let tasks =
+      Array.init n (fun i () ->
+          let slot = (!slots).(i) in
+          let units =
+            scan_stripe ctx schema fused arr.(i) ~emit:(fun b ->
+                let rec push () =
+                  let cur = Atomic.get slot.staged in
+                  if not (Atomic.compare_and_set slot.staged cur (b :: cur))
+                  then push ()
+                in
+                push ())
+          in
+          Exec_common.log_morsel (Some ctx.log) units;
+          Atomic.set slot.eos true)
     in
-    domains := List.init n_workers (fun _ -> Domain.spawn worker)
+    job :=
+      Some
+        (Scheduler.submit ctx.scheduler
+           ~poll:(fun () -> Governor.check ctx.gov)
+           tasks)
   in
   { schema;
     open_ =
       (fun () ->
-        let parts = Heap_file.partition heap ~parts:(Int.max 1 workers) in
+        let parts =
+          Heap_file.partition heap
+            ~parts:
+              (Int.max 1
+                 ((Heap_file.page_count heap + morsel_pages - 1) / morsel_pages))
+        in
         ctx.partitions <- Int.max ctx.partitions (List.length parts);
         buffered := [];
         if Scheduler.is_parallel ctx.scheduler then begin
-          join_all ();
-          Mutex.lock qmu;
-          Queue.clear queue;
-          Mutex.unlock qmu;
+          quiesce ();
           start_parallel parts
         end
         else stripes := parts);
@@ -217,28 +229,44 @@ let exchange_scan ctx schema fused heap =
       (fun () ->
         if Scheduler.is_parallel ctx.scheduler then begin
           let rec pop () =
-            Mutex.lock qmu;
-            while Queue.is_empty queue && !live > 0 do
-              Condition.wait qcond qmu
-            done;
-            if Queue.is_empty queue then begin
-              Mutex.unlock qmu;
-              None
-            end
-            else begin
-              let msg = Queue.pop queue in
-              (match msg with Eof -> decr live | Item _ | Fault _ -> ());
-              Mutex.unlock qmu;
-              match msg with
-              | Item b -> Some b
-              | Eof -> pop ()
-              | Fault e -> raise e
-            end
+            match !buffered with
+            | b :: rest ->
+              buffered := rest;
+              Some b
+            | [] -> (
+              match !job with
+              | None -> None
+              | Some j ->
+                (match Scheduler.fault j with Some e -> raise e | None -> ());
+                if !drain_pos >= Array.length !slots then None
+                else begin
+                  let slot = (!slots).(!drain_pos) in
+                  let got = Atomic.exchange slot.staged [] in
+                  if got <> [] then begin
+                    (* Chunks arrive newest-first; re-reversing each
+                       chunk preserves emission order across chunks. *)
+                    buffered := List.rev got;
+                    pop ()
+                  end
+                  else if Atomic.get slot.eos then begin
+                    incr drain_pos;
+                    pop ()
+                  end
+                  else begin
+                    (* Help run pending morsels; sleep only when there is
+                       neither staged output nor claimable work. *)
+                    Scheduler.wait_for j (fun () ->
+                        Atomic.get slot.eos
+                        || Atomic.get slot.staged <> []
+                        || Scheduler.fault j <> None);
+                    pop ()
+                  end
+                end)
           in
           pop ()
         end
         else begin
-          (* Sequential fallback: stream the stripes in file order. *)
+          (* Sequential: stream the stripes in file order. *)
           let rec go () =
             match !buffered with
             | b :: rest ->
@@ -250,7 +278,11 @@ let exchange_scan ctx schema fused heap =
               | stripe :: rest ->
                 stripes := rest;
                 let acc = ref [] in
-                scan_stripe ctx schema fused stripe ~emit:(fun b -> acc := b :: !acc);
+                let units =
+                  scan_stripe ctx schema fused stripe ~emit:(fun b ->
+                      acc := b :: !acc)
+                in
+                Exec_common.log_serial (Some ctx.log) units;
                 buffered := List.rev !acc;
                 go ())
           in
@@ -258,7 +290,9 @@ let exchange_scan ctx schema fused heap =
         end);
     close =
       (fun () ->
-        join_all ();
+        quiesce ();
+        slots := [||];
+        drain_pos := 0;
         stripes := [];
         buffered := []) }
 
@@ -269,19 +303,19 @@ let btree_scan ctx schema ~rel ~attr ~hi =
   { schema;
     open_ =
       (fun () ->
-        locked ctx (fun () ->
-            let acc = ref [] in
-            let proceed, hi_key =
-              match hi with
-              | Some cutoff -> (cutoff > 0, Some (cutoff - 1))
-              | None -> (true, None)
-            in
-            if proceed then
-              Btree.range (Database.pool ctx.db)
-                (Database.index ctx.db ~rel ~attr)
-                ~lo:None ~hi:hi_key
-                (fun _ rid -> acc := rid :: !acc);
-            rids := List.rev !acc));
+        let acc = ref [] in
+        let proceed, hi_key =
+          match hi with
+          | Some cutoff -> (cutoff > 0, Some (cutoff - 1))
+          | None -> (true, None)
+        in
+        if proceed then
+          Btree.range (Database.pool ctx.db)
+            (Database.index ctx.db ~rel ~attr)
+            ~lo:None ~hi:hi_key
+            (fun _ rid -> acc := rid :: !acc);
+        Exec_common.log_serial (Some ctx.log) (List.length !acc);
+        rids := List.rev !acc);
     next =
       (fun () ->
         match !rids with
@@ -289,16 +323,15 @@ let btree_scan ctx schema ~rel ~attr ~hi =
         | _ ->
           Governor.check ctx.gov;
           let batch = Batch.create ~capacity:ctx.capacity schema in
-          locked ctx (fun () ->
-              let continue_ = ref true in
-              while !continue_ do
-                match !rids with
-                | [] -> continue_ := false
-                | rid :: rest ->
-                  rids := rest;
-                  Batch.push batch (Heap_file.fetch (Database.pool ctx.db) rid);
-                  if Batch.is_full batch then continue_ := false
-              done);
+          let continue_ = ref true in
+          while !continue_ do
+            match !rids with
+            | [] -> continue_ := false
+            | rid :: rest ->
+              rids := rest;
+              Batch.push batch (Heap_file.fetch (Database.pool ctx.db) rid);
+              if Batch.is_full batch then continue_ := false
+          done;
           Some batch);
     close = (fun () -> rids := []) }
 
@@ -494,7 +527,8 @@ and hash_join ctx (plan : Plan.t) preds =
           Checkpoint.take ctx.ckpt ctx.db ctx.env l ~schema:left_schema build
         | _ -> ());
         let probe = consume right_it in
-        Exec_common.hash_join_core ~gov:ctx.gov ~obs:ctx.obs ctx.db ctx.env
+        Exec_common.hash_join_core ~gov:ctx.gov ~obs:ctx.obs
+          ~sched:ctx.scheduler ~log:ctx.log ctx.db ctx.env
           ~left_schema
           ~right_schema
           ~left_width ~right_width ~preds
@@ -530,6 +564,8 @@ and merge_join ctx (plan : Plan.t) preds =
         out_reset ob;
         let left = consume left_it in
         let right = Array.of_list (consume right_it) in
+        Exec_common.log_serial (Some ctx.log)
+          (List.length left + Array.length right);
         (* The materialized right side is the operator's working set;
            charge it for the duration of the merge pass. *)
         Governor.with_charge ctx.gov
@@ -597,8 +633,8 @@ and index_join ctx (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
     next =
       (fun () ->
         (* Probe the inner index for a whole outer batch at a time.  The
-           outer side may be a live parallel exchange, so the consumer-
-           side index probes and record fetches take the storage lock. *)
+           outer side may be a live parallel exchange; the sharded buffer
+           pool makes the consumer-side probes safe alongside it. *)
         let rec go () =
           match out_pop ob with
           | Some b -> Some b
@@ -608,20 +644,17 @@ and index_join ctx (plan : Plan.t) preds ~inner_rel ~inner_attr ~inner_filter =
             | Some outer_batch ->
               Governor.check ctx.gov;
               let n = Batch.length outer_batch in
+              Exec_common.log_serial (Some ctx.log) n;
               for i = 0 to n - 1 do
                 let outer = Batch.tuple outer_batch i in
                 let rids =
-                  locked ctx (fun () ->
-                      Btree.search (Database.pool ctx.db)
-                        (Database.index ctx.db ~rel:inner_rel ~attr:inner_attr)
-                        outer.(outer_pos))
+                  Btree.search (Database.pool ctx.db)
+                    (Database.index ctx.db ~rel:inner_rel ~attr:inner_attr)
+                    outer.(outer_pos)
                 in
                 List.iter
                   (fun rid ->
-                    let inner =
-                      locked ctx (fun () ->
-                          Heap_file.fetch (Database.pool ctx.db) rid)
-                    in
+                    let inner = Heap_file.fetch (Database.pool ctx.db) rid in
                     if inner_ok inner && residual outer inner then
                       out_push ob (Array.append outer inner))
                   rids
@@ -646,8 +679,8 @@ and sort ctx (plan : Plan.t) cols =
       (fun () ->
         let tuples = consume child in
         let sorted =
-          Exec_common.sort_core ~gov:ctx.gov ~obs:ctx.obs ctx.db ctx.env
-            ~width ~compare_tuples tuples
+          Exec_common.sort_core ~gov:ctx.gov ~obs:ctx.obs ~sched:ctx.scheduler
+            ~log:ctx.log ctx.db ctx.env ~width ~compare_tuples tuples
         in
         (* The sort's output is fully materialized here — the other
            blocking point — and carries the node's order property. *)
@@ -665,6 +698,9 @@ and sort ctx (plan : Plan.t) cols =
 (* --- entry points -------------------------------------------------------- *)
 
 let make_ctx db env ~gov ~obs ~materialized ~checkpoint ~workers ~capacity =
+  (* [Scheduler.create] binds to the process-wide persistent pool:
+     worker domains are spawned once and reused across queries and
+     sessions, never per execution. *)
   let scheduler = Scheduler.create ~workers in
   { db;
     env;
@@ -674,8 +710,7 @@ let make_ctx db env ~gov ~obs ~materialized ~checkpoint ~workers ~capacity =
     ckpt = checkpoint;
     scheduler;
     capacity;
-    storage_mu =
-      (if Scheduler.is_parallel scheduler then Some (Mutex.create ()) else None);
+    log = Exec_common.work_log ();
     partitions = 0 }
 
 let compile_with db env ?(gov = Governor.none) ?(obs = Trace.null)
@@ -725,6 +760,8 @@ let run_plan db env ?(gov = Governor.none) ?(obs = Trace.null)
         (if !batches = 0 then 0.
          else float_of_int !total_rows /. float_of_int !batches);
       partitions = ctx.partitions;
-      workers = Scheduler.workers ctx.scheduler }
+      workers = Scheduler.workers ctx.scheduler;
+      serial_units = ctx.log.Exec_common.serial_units;
+      morsel_units_ = Exec_common.morsel_units ctx.log }
   in
   (tuples, profile)

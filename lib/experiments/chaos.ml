@@ -14,8 +14,11 @@
    - memory: a tight per-query memory budget (plus the shared pool);
    - faulty: an injected I/O fault schedule on the job's disk.
 
-   Jobs alternate row/batch engines, some with parallel exchange
-   workers, so cancellation also lands mid-exchange on worker domains.
+   Jobs alternate row/batch engines, and every fourth batch job runs
+   wide on the persistent work-stealing morsel pool (at least 3 workers,
+   or DQEP_WORKERS when larger), so cancellation also lands mid-morsel
+   on pool domains — with several submitter domains contending for the
+   one process-wide pool at once.
 
    The harness asserts the governed-session contract structurally: every
    job yields exactly one typed outcome (anything escaping
@@ -151,9 +154,13 @@ let run_job ~session ~seed ~deadline_s ~ckpt_pool job =
     if job land 1 = 0 then Exec_common.Row else Exec_common.Batch
   in
   let workers =
-    (* Every fourth job drains a parallel exchange, so cancellation and
-       deadlines land on scan-worker domains too. *)
-    match engine with Exec_common.Batch when job mod 4 = 1 -> 3 | _ -> 1
+    (* Every fourth batch job goes wide on the shared morsel pool, so
+       cancellation and deadlines land on pool domains too; DQEP_WORKERS
+       widens it further (CI soaks the pool at 8). *)
+    match engine with
+    | Exec_common.Batch when job mod 4 = 1 ->
+      Int.max 3 (Exec_common.default_workers ())
+    | _ -> 1
   in
   let resilience =
     match scenario with

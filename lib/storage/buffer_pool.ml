@@ -26,18 +26,37 @@ let () =
            limit observed)
     | _ -> None)
 
-(* I/O accounting lives on an owned observation trace: the pool's
+(* The latch is sharded so concurrent morsel scans stop contending on
+   one lock: residency is split over [shard_count] hashtables keyed by
+   [page_id mod shard_count], each behind its own mutex, and a pin hit —
+   the hot path — touches exactly one shard.  Replacement state stays
+   global so the observable policy is unchanged from the single-latch
+   pool: one atomic LRU clock, one atomic resident count, and eviction
+   takes every shard lock (always in ascending order, so two evictors
+   cannot deadlock) to pick the globally least-recently-used unpinned
+   victim.
+
+   I/O accounting lives on an owned observation trace: the pool's
    counters are ordinary [Dqep_obs.Counter]s, and a per-run trace can be
    teed in with [attach_obs] so an executor run sees its own I/O without
    windowed before/after subtraction.  [base] implements [reset_stats]
    by snapshot, since traces are append-only. *)
+
+let shard_count = 16
+
+type shard = {
+  smu : Mutex.t;
+  table : (int, frame) Hashtbl.t;
+}
+
 type t = {
   disk : Disk.t;
-  mutable capacity : int;
-  table : (int, frame) Hashtbl.t;
-  mutable clock : int;
+  mutable capacity : int; (* written only under all shard locks *)
+  shards : shard array;
+  clock : int Atomic.t;
+  resident_n : int Atomic.t;
   obs : Trace.t;
-  mutable obs_extra : Trace.t option;
+  obs_extra : Trace.t option Atomic.t;
   mutable base : stats;
   mutable io_limit : int option;
 }
@@ -55,10 +74,14 @@ let create ?(frames = 64) disk =
   if frames <= 0 then invalid_arg "Buffer_pool.create: frames <= 0";
   { disk;
     capacity = frames;
-    table = Hashtbl.create (2 * frames);
-    clock = 0;
+    shards =
+      Array.init shard_count (fun _ ->
+          { smu = Mutex.create ();
+            table = Hashtbl.create (2 * (1 + (frames / shard_count))) });
+    clock = Atomic.make 0;
+    resident_n = Atomic.make 0;
     obs = Trace.create ();
-    obs_extra = None;
+    obs_extra = Atomic.make None;
     base = zero_stats;
     io_limit = None }
 
@@ -66,12 +89,12 @@ let disk t = t.disk
 let frames t = t.capacity
 
 let obs t = t.obs
-let attach_obs t tr = t.obs_extra <- Some tr
-let detach_obs t = t.obs_extra <- None
+let attach_obs t tr = Atomic.set t.obs_extra (Some tr)
+let detach_obs t = Atomic.set t.obs_extra None
 
 let bump t c =
   Trace.incr t.obs c;
-  match t.obs_extra with Some tr -> Trace.incr tr c | None -> ()
+  match Atomic.get t.obs_extra with Some tr -> Trace.incr tr c | None -> ()
 
 let stats_of_trace tr =
   {
@@ -107,21 +130,44 @@ let check_io_limit t =
     if observed > limit then raise (Io_budget_exceeded { limit; observed })
   | None -> ()
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let tick t = Atomic.fetch_and_add t.clock 1 + 1
 
-let evict_one t =
-  (* Find the least recently used unpinned frame. *)
+let shard_of t id = t.shards.(id mod shard_count)
+
+let with_shard t id f =
+  let s = shard_of t id in
+  Mutex.lock s.smu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.smu) f
+
+let lock_all t =
+  for i = 0 to shard_count - 1 do
+    Mutex.lock t.shards.(i).smu
+  done
+
+let unlock_all t =
+  for i = shard_count - 1 downto 0 do
+    Mutex.unlock t.shards.(i).smu
+  done
+
+let with_all t f =
+  lock_all t;
+  Fun.protect ~finally:(fun () -> unlock_all t) f
+
+(* Requires all shard locks.  Globally least-recently-used unpinned
+   victim, exactly as the single-latch pool chose it. *)
+let evict_one_locked t =
   let victim =
-    Hashtbl.fold
-      (fun id f best ->
-        if f.pins > 0 then best
-        else
-          match best with
-          | Some (_, bf) when bf.last_use <= f.last_use -> best
-          | _ -> Some (id, f))
-      t.table None
+    Array.fold_left
+      (fun best s ->
+        Hashtbl.fold
+          (fun id f best ->
+            if f.pins > 0 then best
+            else
+              match best with
+              | Some (_, bf) when bf.last_use <= f.last_use -> best
+              | _ -> Some (id, f))
+          s.table best)
+      None t.shards
   in
   match victim with
   | None -> failwith "Buffer_pool: all frames pinned"
@@ -135,21 +181,27 @@ let evict_one t =
          raise e);
       bump t Counter.Physical_writes
     end;
-    Hashtbl.remove t.table id;
+    Hashtbl.remove (shard_of t id).table id;
+    Atomic.decr t.resident_n;
     if f.dirty then check_io_limit t
 
 let ensure_room t =
-  while Hashtbl.length t.table >= t.capacity do
-    evict_one t
+  while Atomic.get t.resident_n >= t.capacity do
+    with_all t (fun () ->
+        if Atomic.get t.resident_n >= t.capacity then evict_one_locked t)
   done
 
-let pinned_count t =
-  Hashtbl.fold (fun _ f n -> if f.pins > 0 then n + 1 else n) t.table 0
-
-let pinned_pages t =
-  Hashtbl.fold (fun id f acc -> if f.pins > 0 then (id, f.pins) :: acc else acc)
-    t.table []
+let pinned_pages_locked t =
+  Array.fold_left
+    (fun acc s ->
+      Hashtbl.fold
+        (fun id f acc -> if f.pins > 0 then (id, f.pins) :: acc else acc)
+        s.table acc)
+    [] t.shards
   |> List.sort compare
+
+let pinned_count t = with_all t (fun () -> List.length (pinned_pages_locked t))
+let pinned_pages t = with_all t (fun () -> pinned_pages_locked t)
 
 let leak_check t =
   match pinned_pages t with
@@ -164,20 +216,27 @@ let leak_check t =
 
 let resize t capacity =
   if capacity <= 0 then invalid_arg "Buffer_pool.resize: capacity <= 0";
-  if capacity < pinned_count t then
-    invalid_arg "Buffer_pool.resize: smaller than pinned pages";
-  t.capacity <- capacity;
-  while Hashtbl.length t.table > t.capacity do
-    evict_one t
-  done
+  with_all t (fun () ->
+      if capacity < List.length (pinned_pages_locked t) then
+        invalid_arg "Buffer_pool.resize: smaller than pinned pages";
+      t.capacity <- capacity;
+      while Atomic.get t.resident_n > t.capacity do
+        evict_one_locked t
+      done)
 
 let pin t id =
   bump t Counter.Logical_reads;
-  match Hashtbl.find_opt t.table id with
-  | Some f ->
-    f.pins <- f.pins + 1;
-    f.last_use <- tick t;
-    f.page
+  let hit =
+    with_shard t id (fun () ->
+        match Hashtbl.find_opt (shard_of t id).table id with
+        | Some f ->
+          f.pins <- f.pins + 1;
+          f.last_use <- tick t;
+          Some f.page
+        | None -> None)
+  in
+  match hit with
+  | Some page -> page
   | None ->
     (* Fault checks first: a failed read performs no I/O and leaves the
        pool unchanged, so a supervisor can simply re-pin. *)
@@ -189,25 +248,40 @@ let pin t id =
     in
     ensure_room t;
     bump t Counter.Physical_reads;
-    (* Pin only after the budget check: if the limit fires here, the page
-       is resident but unpinned, so an aborted run leaks no pins. *)
-    let f = { page; pins = 0; dirty = false; last_use = tick t } in
-    Hashtbl.add t.table id f;
-    check_io_limit t;
-    f.pins <- 1;
-    page
+    with_shard t id (fun () ->
+        let table = (shard_of t id).table in
+        match Hashtbl.find_opt table id with
+        | Some f ->
+          (* Another domain raced the same miss and inserted first; both
+             physical reads really happened and both are counted. *)
+          f.last_use <- tick t;
+          check_io_limit t;
+          f.pins <- f.pins + 1;
+          f.page
+        | None ->
+          (* Pin only after the budget check: if the limit fires here,
+             the page is resident but unpinned, so an aborted run leaks
+             no pins. *)
+          let f = { page; pins = 0; dirty = false; last_use = tick t } in
+          Hashtbl.add table id f;
+          Atomic.incr t.resident_n;
+          check_io_limit t;
+          f.pins <- 1;
+          page)
 
 let unpin t id =
-  match Hashtbl.find_opt t.table id with
-  | None -> invalid_arg "Buffer_pool.unpin: page not resident"
-  | Some f ->
-    if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: page not pinned";
-    f.pins <- f.pins - 1
+  with_shard t id (fun () ->
+      match Hashtbl.find_opt (shard_of t id).table id with
+      | None -> invalid_arg "Buffer_pool.unpin: page not resident"
+      | Some f ->
+        if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: page not pinned";
+        f.pins <- f.pins - 1)
 
 let mark_dirty t id =
-  match Hashtbl.find_opt t.table id with
-  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
-  | Some f -> f.dirty <- true
+  with_shard t id (fun () ->
+      match Hashtbl.find_opt (shard_of t id).table id with
+      | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+      | Some f -> f.dirty <- true)
 
 let with_page t id f =
   let page = pin t id in
@@ -216,23 +290,29 @@ let with_page t id f =
 let new_page t =
   ensure_room t;
   let page = Disk.allocate t.disk in
-  let f = { page; pins = 1; dirty = true; last_use = tick t } in
-  Hashtbl.add t.table page.Page.id f;
+  with_shard t page.Page.id (fun () ->
+      let f = { page; pins = 1; dirty = true; last_use = tick t } in
+      Hashtbl.add (shard_of t page.Page.id).table page.Page.id f;
+      Atomic.incr t.resident_n);
   page
 
 let flush_all t =
-  Hashtbl.iter
-    (fun id f ->
-      if f.dirty then begin
-        (try Disk.write t.disk id
-         with Fault.Io_fault _ as e ->
-           bump t Counter.Write_faults;
-           raise e);
-        bump t Counter.Physical_writes;
-        f.dirty <- false;
-        check_io_limit t
-      end)
-    t.table
+  with_all t (fun () ->
+      Array.iter
+        (fun s ->
+          Hashtbl.iter
+            (fun id f ->
+              if f.dirty then begin
+                (try Disk.write t.disk id
+                 with Fault.Io_fault _ as e ->
+                   bump t Counter.Write_faults;
+                   raise e);
+                bump t Counter.Physical_writes;
+                f.dirty <- false;
+                check_io_limit t
+              end)
+            s.table)
+        t.shards)
 
 let diff ~(before : stats) ~(after : stats) =
   { logical_reads = after.logical_reads - before.logical_reads;
@@ -241,4 +321,4 @@ let diff ~(before : stats) ~(after : stats) =
     read_faults = after.read_faults - before.read_faults;
     write_faults = after.write_faults - before.write_faults }
 
-let resident t = Hashtbl.length t.table
+let resident t = Atomic.get t.resident_n

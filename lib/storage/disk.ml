@@ -1,7 +1,13 @@
 module Trace = Dqep_obs.Trace
 module Counter = Dqep_obs.Counter
 
+(* One mutex serializes the page directory and the (stateful) fault
+   schedule: [allocate] grows the array, and [Fault.on_read]/[on_write]
+   advance a seeded RNG even on success, so concurrent buffer-pool
+   shards must not race them.  Simulated I/O holds the lock for a few
+   array reads only. *)
 type t = {
+  mu : Mutex.t;
   mutable pages : Page.t array;
   mutable used : int;
   mutable faults : Fault.t option;
@@ -9,51 +15,63 @@ type t = {
 }
 
 let create () =
-  { pages = Array.make 64 { Page.id = -1; payload = Page.Free };
+  { mu = Mutex.create ();
+    pages = Array.make 64 { Page.id = -1; payload = Page.Free };
     used = 0;
     faults = None;
     obs = Trace.create () }
 
 let obs t = t.obs
 
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let allocate t =
-  if t.used = Array.length t.pages then begin
-    let bigger = Array.make (2 * t.used) { Page.id = -1; payload = Page.Free } in
-    Array.blit t.pages 0 bigger 0 t.used;
-    t.pages <- bigger
-  end;
-  let page = { Page.id = t.used; payload = Page.Free } in
-  t.pages.(t.used) <- page;
-  t.used <- t.used + 1;
-  page
+  locked t (fun () ->
+      if t.used = Array.length t.pages then begin
+        let bigger =
+          Array.make (2 * t.used) { Page.id = -1; payload = Page.Free }
+        in
+        Array.blit t.pages 0 bigger 0 t.used;
+        t.pages <- bigger
+      end;
+      let page = { Page.id = t.used; payload = Page.Free } in
+      t.pages.(t.used) <- page;
+      t.used <- t.used + 1;
+      page)
 
 let get t id =
-  if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
-  t.pages.(id)
+  locked t (fun () ->
+      if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
+      t.pages.(id))
 
 let read t id =
-  if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
-  (match t.faults with
-  | Some f -> (
-    try Fault.on_read f ~page:id
-    with Fault.Io_fault _ as e ->
-      Trace.incr t.obs Counter.Read_faults;
-      raise e)
-  | None -> ());
-  Trace.incr t.obs Counter.Physical_reads;
-  t.pages.(id)
+  locked t (fun () ->
+      if id < 0 || id >= t.used then invalid_arg "Disk.get: unallocated page id";
+      (match t.faults with
+      | Some f -> (
+        try Fault.on_read f ~page:id
+        with Fault.Io_fault _ as e ->
+          Trace.incr t.obs Counter.Read_faults;
+          raise e)
+      | None -> ());
+      Trace.incr t.obs Counter.Physical_reads;
+      t.pages.(id))
 
 let write t id =
-  (match t.faults with
-  | Some f -> (
-    try Fault.on_write f ~page:id
-    with Fault.Io_fault _ as e ->
-      Trace.incr t.obs Counter.Write_faults;
-      raise e)
-  | None -> ());
-  Trace.incr t.obs Counter.Physical_writes
+  locked t (fun () ->
+      (match t.faults with
+      | Some f -> (
+        try Fault.on_write f ~page:id
+        with Fault.Io_fault _ as e ->
+          Trace.incr t.obs Counter.Write_faults;
+          raise e)
+      | None -> ());
+      Trace.incr t.obs Counter.Physical_writes;
+      ignore id)
 
-let set_faults t f = t.faults <- f
-let faults t = t.faults
+let set_faults t f = locked t (fun () -> t.faults <- f)
+let faults t = locked t (fun () -> t.faults)
 
-let page_count t = t.used
+let page_count t = locked t (fun () -> t.used)

@@ -2,9 +2,12 @@
 
    1. Randomized differential harness: seeded random catalogs and queries
       (Plangen), optimized in static and dynamic modes, every plan run
-      through the row engine, the batch engine (default and tiny batch
-      capacities, sequential and parallel exchange) and the naive
-      reference evaluator, asserting multiset-equal results.
+      through the row engine, the batch engine swept over the full
+      worker widths {1,2,4,8} (so the morsel pool, work stealing and the
+      staged exchange drain are all on the hot path) and the naive
+      reference evaluator, asserting multiset-equal results — and
+      asserting the buffer pool holds zero pins after every single run,
+      so a morsel that leaks a pin under parallelism fails here first.
    2. qcheck properties of Batch.t: selection-vector refinement/compaction
       preserves the selected multiset, split/concat round-trip, capacity
       is never exceeded.
@@ -19,6 +22,13 @@ let optimize_exn ~mode catalog query =
 (* --- randomized differential harness ------------------------------------- *)
 
 let differential_seeds = 50
+
+let worker_sweep = [ 1; 2; 4; 8 ]
+
+let assert_no_leaks label db =
+  match D.Buffer_pool.leak_check (D.Database.pool db) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" label msg
 
 let run_differential () =
   let runs = ref 0 in
@@ -58,10 +68,18 @@ let run_differential () =
             let check_run label engine workers =
               let tuples, stats = D.Executor.run db ~engine ~workers b plan in
               check label tuples
-                (D.Plan.schema catalog stats.D.Executor.resolved_plan)
+                (D.Plan.schema catalog stats.D.Executor.resolved_plan);
+              assert_no_leaks
+                (Printf.sprintf "seed %d, %s: pin leak" seed label)
+                db
             in
             check_run "row engine" D.Exec_common.Row 1;
-            check_run "batch engine" D.Exec_common.Batch 1;
+            List.iter
+              (fun w ->
+                check_run
+                  (Printf.sprintf "batch engine, %d workers" w)
+                  D.Exec_common.Batch w)
+              worker_sweep;
             (* Resolve choose nodes up front so the result's column order
                is known, then drive Batch_exec directly: tiny capacities
                exercise batch boundaries everywhere, parallel workers the
@@ -76,11 +94,13 @@ let run_differential () =
               D.Batch_exec.run_plan db env ~capacity:13 resolved
             in
             check "batch engine, capacity 13" tuples resolved_schema;
+            assert_no_leaks "capacity 13: pin leak" db;
             if seed mod 5 = 0 then begin
               let tuples, profile =
                 D.Batch_exec.run_plan db env ~workers:3 ~capacity:64 resolved
               in
               check "batch engine, 3 workers" tuples resolved_schema;
+              assert_no_leaks "3 workers: pin leak" db;
               Alcotest.(check bool)
                 "parallel profile reports workers" true
                 (profile.D.Exec_common.workers >= 2)

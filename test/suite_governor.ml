@@ -310,6 +310,45 @@ let prop_cancellation_never_leaks_pins =
           "seed %d, tick %d, %s/%d workers: %s" seed tick
           (D.Exec_common.engine_name engine) workers msg)
 
+(* --- cancellation under full-width parallelism --------------------------- *)
+
+let test_cancel_under_eight_workers () =
+  Test_util.with_watchdog ~deadline:120. "governor: cancel under 8 workers"
+  @@ fun () ->
+  (* Cancel at a random tick while eight workers are mid-morsel: the
+     poll runs before every morsel, so the injected cancellation lands
+     inside a live parallel job.  Three invariants: the escape is the
+     typed [Cancelled] (never a raw exception from a worker domain), the
+     abort leaks no buffer-pool pin, and the persistent domain pool is
+     immediately reusable — the next full-width query on it completes
+     with the right answer. *)
+  let plan = dynamic_plan q2 in
+  let db = D.Database.build ~seed:23 q2.D.Queries.catalog in
+  let expected, _ = D.Executor.run db bindings2 plan in
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let cancelled = ref 0 in
+  for _round = 1 to 25 do
+    let tick = 1 + Random.State.int rng 400 in
+    let gov = D.Governor.create ~cancel_after_checks:tick () in
+    (match
+       D.Executor.run db ~gov ~engine:D.Exec_common.Batch ~workers:8 bindings2
+         plan
+     with
+    | _ -> () (* finished before the injected tick: also fine *)
+    | exception D.Governor.Cancelled _ -> incr cancelled
+    | exception e ->
+      Alcotest.failf "tick %d: untyped escape: %s" tick (Printexc.to_string e));
+    (match D.Buffer_pool.leak_check (D.Database.pool db) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "tick %d: %s" tick msg);
+    let tuples, _ =
+      D.Executor.run db ~engine:D.Exec_common.Batch ~workers:8 bindings2 plan
+    in
+    Alcotest.(check int) "pool reusable after cancel" (List.length expected)
+      (List.length tuples)
+  done;
+  Alcotest.(check bool) "some rounds cancelled mid-run" true (!cancelled > 0)
+
 let suite =
   ( "governor",
     [ Alcotest.test_case "unlimited governor costs nothing" `Quick
@@ -337,4 +376,6 @@ let suite =
         test_static_plan_memory_violation_is_typed;
       Alcotest.test_case "memory violation fails over and completes" `Quick
         test_memory_violation_fails_over_to_low_memory_alternative;
-      QCheck_alcotest.to_alcotest prop_cancellation_never_leaks_pins ] )
+      QCheck_alcotest.to_alcotest prop_cancellation_never_leaks_pins;
+      Alcotest.test_case "cancel at random tick under 8 workers" `Quick
+        test_cancel_under_eight_workers ] )

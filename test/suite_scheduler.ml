@@ -1,0 +1,197 @@
+(* Concurrency harness for the persistent work-stealing morsel pool.
+
+   The scheduler's contract is exactly-once execution: a morsel may sit
+   in several deques transiently (round-robin distribution, steal-half
+   races), but the per-task claim CAS must let exactly one participant
+   run it.  These tests pin that down with qcheck-randomized task
+   counts, worker widths and per-task spin amounts (the spins stagger
+   completion so the submitter helps and pool domains steal), plus
+   directed cases for the lifecycle edges: a raising task must not
+   poison the pool, a cooperative-poll exception must surface as the
+   job fault, and [shutdown] must join every domain.
+
+   Everything is watchdog-guarded: a lost wakeup or a lost morsel in
+   [wait] shows up as a hang, and the watchdog turns that into exit 124
+   instead of stalling CI. *)
+
+module D = Dqep
+module S = D.Scheduler
+
+let spin n =
+  (* Burn a little CPU without allocating, so task durations differ and
+     domains interleave even on a single core. *)
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  Sys.opaque_identity !acc |> ignore
+
+(* --- qcheck: every morsel runs exactly once ------------------------------- *)
+
+let arb_job =
+  QCheck.make
+    ~print:(fun (w, spins) ->
+      Printf.sprintf "workers=%d tasks=%d" w (List.length spins))
+    QCheck.Gen.(pair (int_range 1 8) (list_size (int_bound 60) (int_bound 5_000)))
+
+let prop_exactly_once =
+  QCheck.Test.make ~name:"every submitted morsel runs exactly once" ~count:150
+    arb_job
+    (fun (workers, spins) ->
+      let sched = S.create ~workers in
+      let spins = Array.of_list spins in
+      let n = Array.length spins in
+      let runs = Array.init n (fun _ -> Atomic.make 0) in
+      let tasks =
+        Array.init n (fun i () ->
+            spin spins.(i);
+            Atomic.incr runs.(i))
+      in
+      let j = S.submit sched tasks in
+      S.wait j;
+      S.fault j = None
+      && S.finished j
+      && Array.for_all (fun r -> Atomic.get r = 1) runs)
+
+(* Uneven tails: the first participant's deque gets a few huge morsels
+   and everyone else gets many tiny ones, so finishing at all requires
+   steals to redistribute — a lost steal-half item means a hang (caught
+   by the watchdog) or a count <> 1. *)
+let prop_none_lost_under_steals =
+  QCheck.Test.make ~name:"no morsel lost under random steal interleavings"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (w, n, seed) -> Printf.sprintf "workers=%d n=%d seed=%d" w n seed)
+       QCheck.Gen.(triple (int_range 2 8) (int_range 8 80) (int_bound 10_000)))
+    (fun (workers, n, seed) ->
+      let sched = S.create ~workers in
+      let rng = Random.State.make [| seed |] in
+      let runs = Array.init n (fun _ -> Atomic.make 0) in
+      let tasks =
+        Array.init n (fun i () ->
+            spin (if i < workers then 20_000 else Random.State.int rng 200);
+            Atomic.incr runs.(i))
+      in
+      let j = S.submit sched tasks in
+      S.wait j;
+      Array.for_all (fun r -> Atomic.get r = 1) runs && S.fault j = None)
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_survives_raising_task () =
+  Test_util.with_watchdog "scheduler: raising task" @@ fun () ->
+  let pool = S.make_pool () in
+  Fun.protect ~finally:(fun () -> S.shutdown pool) @@ fun () ->
+  let sched = S.create_in pool ~workers:4 in
+  let ran = Array.init 32 (fun _ -> Atomic.make 0) in
+  let tasks =
+    Array.init 32 (fun i () ->
+        if i = 7 then raise (Boom i) else Atomic.incr ran.(i))
+  in
+  let j = S.submit sched tasks in
+  S.wait j;
+  (match S.fault j with
+  | Some (Boom 7) -> ()
+  | Some e -> Alcotest.failf "unexpected fault: %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "raising task produced no fault");
+  Alcotest.(check bool) "job drained" true (S.finished j);
+  Alcotest.(check int) "raising slot did not run" 0 (Atomic.get ran.(7));
+  (* The same pool must complete a subsequent job in full: the fault is
+     job-local, never pool-poisoning. *)
+  let runs = Array.init 48 (fun _ -> Atomic.make 0) in
+  let j2 = S.submit sched (Array.init 48 (fun i () -> Atomic.incr runs.(i))) in
+  S.wait j2;
+  Alcotest.(check bool) "second job clean" true (S.fault j2 = None);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) (Printf.sprintf "task %d ran once" i) 1 (Atomic.get r))
+    runs
+
+let test_run_captures_per_task () =
+  Test_util.with_watchdog "scheduler: run captures errors" @@ fun () ->
+  let sched = S.create ~workers:4 in
+  let thunks =
+    List.init 10 (fun i () -> if i mod 3 = 1 then raise (Boom i) else i * i)
+  in
+  let results = S.run sched thunks in
+  Alcotest.(check int) "one result per thunk" 10 (List.length results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v
+      | Error (Boom b) -> Alcotest.(check int) "error in its own slot" i b
+      | Error e -> Alcotest.failf "unexpected error: %s" (Printexc.to_string e))
+    results;
+  let failures =
+    List.length (List.filter (function Error _ -> true | _ -> false) results)
+  in
+  Alcotest.(check int) "siblings of a failure still ran" 3 failures
+
+let test_poll_fault_surfaces () =
+  Test_util.with_watchdog "scheduler: poll cancellation" @@ fun () ->
+  let sched = S.create ~workers:8 in
+  let polls = Atomic.make 0 in
+  let poll () =
+    if Atomic.fetch_and_add polls 1 >= 5 then
+      raise (D.Governor.Cancelled "scheduler test")
+  in
+  let j = S.submit sched ~poll (Array.init 64 (fun _ () -> spin 500)) in
+  S.wait j;
+  (match S.fault j with
+  | Some (D.Governor.Cancelled _) -> ()
+  | Some e -> Alcotest.failf "unexpected fault: %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "poll exception was not surfaced");
+  Alcotest.(check bool) "job drained after cancel" true (S.finished j);
+  (* Reusable afterwards. *)
+  let j2 = S.submit sched (Array.init 16 (fun _ () -> ())) in
+  S.wait j2;
+  Alcotest.(check bool) "pool reusable after cancel" true (S.fault j2 = None)
+
+let test_shutdown_joins_all_domains () =
+  Test_util.with_watchdog "scheduler: shutdown" @@ fun () ->
+  let pool = S.make_pool () in
+  let sched = S.create_in pool ~workers:6 in
+  let runs = Atomic.make 0 in
+  let j = S.submit sched (Array.init 40 (fun _ () -> Atomic.incr runs)) in
+  S.wait j;
+  Alcotest.(check int) "all morsels ran" 40 (Atomic.get runs);
+  Alcotest.(check int) "domains spawned lazily to width-1" 5
+    (S.domain_count pool);
+  S.shutdown pool;
+  Alcotest.(check int) "no domain left running" 0 (S.domain_count pool);
+  (match S.submit sched (Array.init 4 (fun _ () -> ())) with
+  | exception Invalid_argument _ -> ()
+  | _j -> Alcotest.fail "submit on a shut-down pool should raise")
+
+let test_sequential_degenerate () =
+  let sched = S.sequential in
+  Alcotest.(check int) "sequential width" 1 (S.workers sched);
+  Alcotest.(check bool) "not parallel" false (S.is_parallel sched);
+  let runs = Array.init 9 (fun _ -> Atomic.make 0) in
+  let j = S.submit sched (Array.init 9 (fun i () -> Atomic.incr runs.(i))) in
+  S.wait j;
+  Array.iter (fun r -> Alcotest.(check int) "ran once" 1 (Atomic.get r)) runs;
+  Alcotest.(check int) "clamped to max_workers" S.max_workers
+    (S.workers (S.create ~workers:1000))
+
+let suite =
+  ( "scheduler",
+    [
+      Alcotest.test_case "exactly-once + none-lost (qcheck)" `Slow (fun () ->
+          Test_util.with_watchdog ~deadline:120. "scheduler: qcheck properties"
+            (fun () ->
+              QCheck.Test.check_exn prop_exactly_once;
+              QCheck.Test.check_exn prop_none_lost_under_steals));
+      Alcotest.test_case "survives a raising task" `Quick
+        test_survives_raising_task;
+      Alcotest.test_case "run captures per-task errors" `Quick
+        test_run_captures_per_task;
+      Alcotest.test_case "poll fault surfaces as Cancelled" `Quick
+        test_poll_fault_surfaces;
+      Alcotest.test_case "shutdown joins every domain" `Quick
+        test_shutdown_joins_all_domains;
+      Alcotest.test_case "sequential degenerate + clamping" `Quick
+        test_sequential_degenerate;
+    ] )

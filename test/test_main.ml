@@ -29,4 +29,5 @@ let () =
       Suite_orders.suite;
       Suite_analysis.suite;
       Suite_absint.suite;
-      Suite_obs.suite ]
+      Suite_obs.suite;
+      Suite_scheduler.suite ]
