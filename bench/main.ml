@@ -836,6 +836,209 @@ let analyze_bench ~check () =
       Format.printf "analyze --check: ok (analysis %.3f ms <= optimize %.3f ms)@."
         (analyze_s *. 1e3) (optimize_s *. 1e3)
 
+(* --- the serving layer --------------------------------------------------- *)
+
+(* The plan cache's reason to exist, measured: a warm cache hit (start-up
+   resolution of the cached dynamic plan under the request's bindings)
+   must be strictly cheaper than a cold request that optimizes the shape
+   first.  One parameterized 5-way chain over the paper catalog is
+   served through a generously provisioned server — ample admission
+   slots and queue, no deadlines, no fault injection — so every request
+   completes and the two latency series differ only in the optimizer
+   work.  The cold series evicts the shape's cache entry before each
+   request; both series run under one fixed, highly selective binding
+   on every relation, so execution below the two paths is identical,
+   small work and the optimizer dominates the cold latency.  A multi-domain batch over the warm cache adds a throughput
+   figure.  Results go to BENCH_serve.json; `serve --check` gates CI on
+   the cache-hit p95 strictly below the cold-optimize p95, with zero
+   anomalies (every request completed on the expected path). *)
+
+module S = D.Serve
+
+let serve_bench ~check () =
+  Format.printf "=== serving layer: cache hit vs cold optimize ===@.";
+  let relations = 5 in
+  let catalog = D.Paper_catalog.make ~relations in
+  let hosts = List.init relations (fun i -> Printf.sprintf "u%d" (i + 1)) in
+  let sql =
+    let rel i = D.Paper_catalog.rel_name i in
+    let tables = List.init relations (fun i -> rel (i + 1)) in
+    let selections =
+      List.mapi
+        (fun i hv ->
+          Printf.sprintf "%s.%s <= :%s" (rel (i + 1))
+            D.Paper_catalog.select_attr hv)
+        hosts
+    in
+    let joins =
+      List.init (relations - 1) (fun i ->
+          Printf.sprintf "%s.%s = %s.%s" (rel (i + 1))
+            D.Paper_catalog.join_right_attr (rel (i + 2))
+            D.Paper_catalog.join_left_attr)
+    in
+    Printf.sprintf "SELECT * FROM %s WHERE %s"
+      (String.concat ", " tables)
+      (String.concat " AND " (selections @ joins))
+  in
+  let clients = 4 in
+  let acquire, release =
+    S.Server.db_pool
+      ~build:(fun () -> D.Database.build ~seed:7 catalog)
+      ~slots:(clients + 2) ()
+  in
+  let server =
+    S.Server.create
+      ~config:
+        (S.Server.config
+           ~session:(D.Session.config ~max_inflight:clients ~max_queue:256 ())
+           ())
+      ~acquire ~release catalog
+  in
+  let key =
+    match D.Sql.parse sql with
+    | Ok ast -> S.Plan_cache.key ast
+    | Error e ->
+      Printf.eprintf "serve: bad benchmark sql: %s\n" e;
+      exit 2
+  in
+  let anomalies = ref [] in
+  let anomaly fmt =
+    Printf.ksprintf (fun s -> anomalies := s :: !anomalies) fmt
+  in
+  let request ?(u = 0.02) i =
+    S.Protocol.Run
+      { S.Protocol.id = Some i;
+        bindings = List.map (fun hv -> (hv, u)) hosts;
+        memory_pages = Some 64;
+        deadline_ms = None;
+        retries = None;
+        sql }
+  in
+  let run_one ~expect i =
+    match S.Server.handle server (request i) with
+    | S.Protocol.Ok_reply { cache; latency_ms; _ } ->
+      if cache <> expect then
+        anomaly "request %d took the %s path, expected %s" i
+          (S.Protocol.cache_role_name cache)
+          (S.Protocol.cache_role_name expect);
+      Some latency_ms
+    | r ->
+      anomaly "request %d did not complete: %s" i
+        (S.Protocol.render_response r);
+      None
+  in
+  let cold_rounds = 40 and warm_rounds = 200 in
+  (* Cold path: evict the shape before every request, forcing a full
+     re-optimize in front of the identical execution. *)
+  let cold =
+    List.filter_map
+      (fun i ->
+        ignore (S.Plan_cache.invalidate (S.Server.cache server) ~key : bool);
+        run_one ~expect:S.Protocol.Miss i)
+      (List.init cold_rounds (fun i -> i))
+  in
+  (* Warm path: the last cold request left the entry cached; every
+     request from here on must hit, under the same binding the cold
+     series ran. *)
+  let warm =
+    List.filter_map
+      (fun i -> run_one ~expect:S.Protocol.Hit (1000 + i))
+      (List.init warm_rounds (fun i -> i))
+  in
+  let batch_n = 256 in
+  let lines =
+    Array.init batch_n (fun i ->
+        let u = 0.02 +. (0.1 *. float_of_int (i mod 17) /. 17.) in
+        S.Protocol.render_request (request ~u (2000 + i)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let responses = S.Server.run_batch server ~clients lines in
+  let batch_elapsed = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  let batch_ok =
+    Array.fold_left
+      (fun acc line ->
+        match S.Protocol.parse_response line with
+        | Ok (S.Protocol.Ok_reply _) -> acc + 1
+        | _ -> acc)
+      0 responses
+  in
+  if batch_ok <> batch_n then
+    anomaly "warm batch: only %d/%d requests completed" batch_ok batch_n;
+  let throughput = float_of_int batch_ok /. batch_elapsed in
+  let cold_sorted = List.sort Float.compare cold in
+  let warm_sorted = List.sort Float.compare warm in
+  let cold_p50 = percentile cold_sorted 50.
+  and cold_p95 = percentile cold_sorted 95.
+  and hit_p50 = percentile warm_sorted 50.
+  and hit_p95 = percentile warm_sorted 95. in
+  Format.printf
+    "cold optimize: %d requests, p50 %.3f ms, p95 %.3f ms@."
+    (List.length cold) cold_p50 cold_p95;
+  Format.printf "cache hit:     %d requests, p50 %.3f ms, p95 %.3f ms@."
+    (List.length warm) hit_p50 hit_p95;
+  Format.printf
+    "warm batch:    %d/%d completed over %d clients, %.0f requests/s@."
+    batch_ok batch_n clients throughput;
+  List.iter (Format.printf "anomaly: %s@.") (List.rev !anomalies);
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc
+    D.Json.(
+      to_string_pretty
+        (Obj
+           [ ("benchmark", String "dqep serving layer");
+             ( "workload",
+               String
+                 (Printf.sprintf "%d-way chain over the paper catalog"
+                    relations) );
+             ("sql", String sql);
+             ("unit", String "milliseconds_per_request");
+             ( "cold_optimize",
+               Obj
+                 [ ("requests", Int cold_rounds);
+                   ("samples", Int (List.length cold));
+                   ("p50_ms", Float cold_p50);
+                   ("p95_ms", Float cold_p95) ] );
+             ( "cache_hit",
+               Obj
+                 [ ("requests", Int warm_rounds);
+                   ("samples", Int (List.length warm));
+                   ("p50_ms", Float hit_p50);
+                   ("p95_ms", Float hit_p95) ] );
+             ( "warm_batch",
+               Obj
+                 [ ("clients", Int clients);
+                   ("requests", Int batch_n);
+                   ("completed", Int batch_ok);
+                   ("elapsed_s", Float batch_elapsed);
+                   ("throughput_rps", Float throughput) ] );
+             ( "anomalies",
+               List (List.rev_map (fun s -> String s) !anomalies) );
+             ("server", S.Server.stats_json server) ]));
+  close_out oc;
+  Format.printf "wrote %s@." path;
+  if check then begin
+    let failures = ref (List.rev !anomalies) in
+    let fail fmt =
+      Printf.ksprintf (fun s -> failures := !failures @ [ s ]) fmt
+    in
+    if List.length cold < cold_rounds then
+      fail "only %d/%d cold-optimize samples" (List.length cold) cold_rounds;
+    if List.length warm < warm_rounds then
+      fail "only %d/%d cache-hit samples" (List.length warm) warm_rounds;
+    if not (hit_p95 < cold_p95) then
+      fail
+        "cache-hit p95 %.3f ms not strictly below cold-optimize p95 %.3f ms"
+        hit_p95 cold_p95;
+    match !failures with
+    | [] ->
+      Format.printf "serve --check: ok (hit p95 %.3f ms < cold p95 %.3f ms)@."
+        hit_p95 cold_p95
+    | fs ->
+      List.iter (Printf.eprintf "serve --check: %s\n") fs;
+      exit 1
+  end
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | [] ->
@@ -845,10 +1048,11 @@ let () =
   | "govern" :: rest -> govern_bench ~check:(List.mem "--check" rest) ()
   | "obs" :: rest -> obs_bench ~check:(List.mem "--check" rest) ()
   | "analyze" :: rest -> analyze_bench ~check:(List.mem "--check" rest) ()
+  | "serve" :: rest -> serve_bench ~check:(List.mem "--check" rest) ()
   | args ->
     Printf.eprintf
       "usage: %s [exec [--check] | govern [--check] | obs [--check] | \
-       analyze [--check]] (got: %s)\n"
+       analyze [--check] | serve [--check]] (got: %s)\n"
       Sys.argv.(0)
       (String.concat " " args);
     exit 2

@@ -852,6 +852,200 @@ let trace_cmd =
              against the event schema.")
     Term.(const run $ action $ file)
 
+(* --- serve --------------------------------------------------------------- *)
+
+(* A synthetic serving run: N requests over a handful of parameterized
+   chain shapes, rendered as wire-protocol lines and dispatched to a
+   Server from concurrent client domains.  Exercises the whole front
+   door — plan cache, per-shape breakers, admission control, typed
+   responses — and prints the outcome tally, or the server's stats
+   document with --json (self-validated through the project JSON
+   parser; exit 3 on a schema violation, like `analyze --json`). *)
+let serve_cmd =
+  let requests_arg =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client domains.")
+  in
+  let shapes_arg =
+    Arg.(value & opt int 3
+         & info [ "shapes" ] ~docv:"N"
+             ~doc:"Distinct query shapes (chains over 1..$(docv) relations \
+                   of the experimental catalog).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Data and binding seed.")
+  in
+  let deadline_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline, granted before admission (the \
+                   budget covers queue wait).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the server's stats document as JSON.")
+  in
+  let run requests clients shapes seed deadline_ms json =
+    if requests < 1 || clients < 1 || shapes < 1 then begin
+      Printf.eprintf "dqep serve: --requests, --clients and --shapes must be \
+                      positive\n";
+      exit 2
+    end;
+    (match deadline_ms with
+    | Some d when d <= 0. ->
+      Printf.eprintf "dqep serve: --deadline-ms must be positive\n";
+      exit 2
+    | _ -> ());
+    let catalog = D.Paper_catalog.make ~relations:shapes in
+    let sql_of_shape j =
+      let rel i = D.Paper_catalog.rel_name i in
+      let n = j + 1 in
+      let tables = List.init n (fun i -> rel (i + 1)) in
+      let joins =
+        List.init (n - 1) (fun i ->
+            Printf.sprintf "%s.%s = %s.%s" (rel (i + 1))
+              D.Paper_catalog.join_right_attr (rel (i + 2))
+              D.Paper_catalog.join_left_attr)
+      in
+      Printf.sprintf "SELECT * FROM %s WHERE %s"
+        (String.concat ", " tables)
+        (String.concat " AND "
+           (Printf.sprintf "%s.%s <= :u" (rel 1) D.Paper_catalog.select_attr
+           :: joins))
+    in
+    let acquire, release =
+      D.Serve.Server.db_pool
+        ~build:(fun () -> D.Database.build ~seed catalog)
+        ~slots:(clients + 2) ()
+    in
+    let server =
+      D.Serve.Server.create
+        ~config:
+          (D.Serve.Server.config
+             ~session:
+               (D.Session.config ~max_inflight:clients
+                  ~max_queue:(4 * clients) ())
+             ())
+        ~acquire ~release catalog
+    in
+    let rng = D.Rng.create (seed * 65537) in
+    let lines =
+      Array.init requests (fun i ->
+          D.Serve.Protocol.render_request
+            (D.Serve.Protocol.Run
+               { D.Serve.Protocol.id = Some i;
+                 bindings = [ ("u", 0.05 +. D.Rng.uniform rng 0. 0.9) ];
+                 memory_pages = None;
+                 deadline_ms;
+                 retries = None;
+                 sql = sql_of_shape (i mod shapes) }))
+    in
+    let responses = D.Serve.Server.run_batch server ~clients lines in
+    let ok = ref 0 and hits = ref 0 and errs = ref 0 and sheds = ref 0 in
+    let untyped = ref 0 in
+    Array.iter
+      (fun line ->
+        match D.Serve.Protocol.parse_response line with
+        | Ok (D.Serve.Protocol.Ok_reply { cache; _ }) ->
+          incr ok;
+          if cache = D.Serve.Protocol.Hit then incr hits
+        | Ok (D.Serve.Protocol.Error_reply _) -> incr errs
+        | Ok (D.Serve.Protocol.Shed_reply _) -> incr sheds
+        | Ok _ | Error _ -> incr untyped)
+      responses;
+    if json then begin
+      let doc = D.Serve.Server.stats_json server in
+      let out = D.Json.to_string doc in
+      (* Self-check: the document must round-trip through the project
+         parser and carry the documented members with the right types. *)
+      let int_member k o =
+        match D.Json.member k o with
+        | Some (D.Json.Int _) -> true
+        | _ -> false
+      in
+      let num_member k o =
+        match D.Json.member k o with
+        | Some (D.Json.Int _ | D.Json.Float _) -> true
+        | _ -> false
+      in
+      let obj_member k o =
+        match D.Json.member k o with
+        | Some (D.Json.Obj _ as sub) -> Some sub
+        | _ -> None
+      in
+      let validated =
+        match D.Json.parse out with
+        | Error e -> Error ("does not parse: " ^ e)
+        | Ok (D.Json.Obj _ as o) ->
+          if
+            not
+              (int_member "requests" o && int_member "completed" o
+             && int_member "failed" o && int_member "errors" o)
+          then Error "missing requests/completed/failed/errors integers"
+          else (
+            match (obj_member "sheds" o, obj_member "cache" o,
+                   obj_member "breakers" o, obj_member "latency_ms" o)
+            with
+            | Some sheds, Some cache, Some breakers, Some latency ->
+              if
+                not
+                  (int_member "queue_full" sheds
+                  && int_member "breaker_open" sheds
+                  && int_member "hits" cache
+                  && num_member "hit_rate" cache
+                  && int_member "trips" breakers
+                  && num_member "hit_p95" latency
+                  && num_member "throughput_rps" o)
+              then Error "a nested member is missing or mistyped"
+              else Ok ()
+            | _ -> Error "missing sheds/cache/breakers/latency_ms objects")
+        | Ok _ -> Error "top level is not an object"
+      in
+      match validated with
+      | Ok () -> print_endline out
+      | Error e ->
+        Printf.eprintf "dqep serve: internal JSON schema violation: %s\n" e;
+        exit 3
+    end
+    else begin
+      let s = D.Serve.Server.stats server in
+      Format.printf
+        "%d requests over %d shapes, %d clients: %d ok (%d cache hits), %d \
+         errors, %d shed, %d unparseable@."
+        requests shapes clients !ok !hits !errs !sheds !untyped;
+      Format.printf
+        "cache: %d hits / %d misses (%d evicted, %d drift, %d replan); \
+         breakers: %d trips, %d closes@."
+        s.D.Serve.Server.cache_hits s.D.Serve.Server.cache_misses
+        s.D.Serve.Server.cache_evictions
+        s.D.Serve.Server.cache_invalidated_drift
+        s.D.Serve.Server.cache_invalidated_replan
+        s.D.Serve.Server.breaker_trips s.D.Serve.Server.breaker_closes;
+      Format.printf
+        "latency: hit p50 %.3f ms, p95 %.3f ms; cold p50 %.3f ms, p95 %.3f \
+         ms; %.0f requests/s@."
+        s.D.Serve.Server.hit_p50_ms s.D.Serve.Server.hit_p95_ms
+        s.D.Serve.Server.miss_p50_ms s.D.Serve.Server.miss_p95_ms
+        s.D.Serve.Server.throughput_rps
+    end;
+    if !untyped > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a synthetic parameterized workload through the \
+             request-serving loop (wire protocol, plan cache, per-shape \
+             circuit breakers, governed session) from concurrent client \
+             domains, then report the outcome tally or the server stats \
+             as self-validated JSON.")
+    Term.(const run $ requests_arg $ clients_arg $ shapes_arg $ seed_arg
+          $ deadline_ms_arg $ json)
+
 (* --- catalog ------------------------------------------------------------- *)
 
 let catalog_cmd =
@@ -867,4 +1061,4 @@ let () =
   let info = Cmd.info "dqep" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ report_cmd; optimize_cmd; run_cmd; analyze_cmd; sql_cmd; trace_cmd;
-         catalog_cmd ]))
+         serve_cmd; catalog_cmd ]))

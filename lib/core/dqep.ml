@@ -120,6 +120,20 @@ module Governor = Dqep_exec.Governor
 module Checkpoint = Dqep_exec.Checkpoint
 module Session = Dqep_exec.Session
 
+(** {1 Serving layer}
+
+    A concurrent front door over the session: line-oriented wire
+    protocol, parameterized dynamic-plan cache keyed by normalized
+    query shape, and per-shape circuit breakers.  See DESIGN.md, "The
+    serving layer". *)
+
+module Serve = struct
+  module Protocol = Dqep_serve.Protocol
+  module Plan_cache = Dqep_serve.Plan_cache
+  module Breaker = Dqep_serve.Breaker
+  module Server = Dqep_serve.Server
+end
+
 (** {1 Workloads and experiments} *)
 
 module Paper_catalog = Dqep_workload.Paper_catalog

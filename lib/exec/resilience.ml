@@ -13,6 +13,7 @@ module Counter = Dqep_obs.Counter
 type config = {
   max_retries : int;
   backoff_base : float;
+  backoff_cap : float;
   backoff_seed : int;
   io_budget_factor : float option;
   max_failovers : int;
@@ -33,12 +34,13 @@ let default_checkpoints () =
   | Some ("1" | "true" | "on") -> true
   | Some _ | None -> false
 
-let config ?(max_retries = 2) ?(backoff_base = 0.01) ?(backoff_seed = 0x5eed)
-    ?io_budget_factor ?(max_failovers = 8) ?(observe_on_failover = true)
-    ?engine ?workers ?checkpoints
+let config ?(max_retries = 2) ?(backoff_base = 0.01) ?(backoff_cap = 1.)
+    ?(backoff_seed = 0x5eed) ?io_budget_factor ?(max_failovers = 8)
+    ?(observe_on_failover = true) ?engine ?workers ?checkpoints
     ?(checkpoint_tolerance = Checkpoint.default_tolerance) ?(max_replans = 2)
     ?replan () =
   if max_retries < 0 then invalid_arg "Resilience.config: max_retries < 0";
+  if backoff_cap <= 0. then invalid_arg "Resilience.config: backoff_cap <= 0";
   if max_failovers < 0 then invalid_arg "Resilience.config: max_failovers < 0";
   if max_replans < 0 then invalid_arg "Resilience.config: max_replans < 0";
   if checkpoint_tolerance <= 1. then
@@ -49,11 +51,24 @@ let config ?(max_retries = 2) ?(backoff_base = 0.01) ?(backoff_seed = 0x5eed)
   let checkpoints =
     match checkpoints with Some c -> c | None -> default_checkpoints ()
   in
-  { max_retries; backoff_base; backoff_seed; io_budget_factor; max_failovers;
+  { max_retries; backoff_base; backoff_cap; backoff_seed; io_budget_factor;
+    max_failovers;
     observe_on_failover; engine; workers; checkpoints; checkpoint_tolerance;
     max_replans; replan }
 
 let default = config ()
+
+(* The modeled full-jitter delay before retry [attempt]: uniform over
+   [0, min (backoff_base * 2^attempt) backoff_cap).  Capping keeps late
+   retries from modeling unbounded waits — without it the exponential
+   envelope grows without limit in the attempt number. *)
+let backoff_delay config rng ~attempt =
+  if attempt < 0 then invalid_arg "Resilience.backoff_delay: attempt < 0";
+  let bound =
+    Float.min config.backoff_cap
+      (config.backoff_base *. (2. ** float_of_int attempt))
+  in
+  Rng.uniform rng 0. bound
 
 type failure =
   | Infeasible of Dqep_plans.Validate.problem list
@@ -286,12 +301,10 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
         Trace.incr rt Counter.Faults_absorbed;
         (* Full-jitter exponential backoff, modeled rather than slept:
            the delay before retry [n] is uniform over
-           [0, backoff_base * 2^n), drawn from a generator seeded by the
-           config so reruns reproduce the exact schedule. *)
-        backoff :=
-          !backoff
-          +. Rng.uniform rng 0.
-               (config.backoff_base *. (2. ** float_of_int attempt_no));
+           [0, min (backoff_base * 2^n) backoff_cap), drawn from a
+           generator seeded by the config so reruns reproduce the exact
+           schedule. *)
+        backoff := !backoff +. backoff_delay config rng ~attempt:attempt_no;
         attempt resolution (attempt_no + 1)
       | exception (Fault.Io_fault _ as error) ->
         Trace.incr rt Counter.Faults_absorbed;

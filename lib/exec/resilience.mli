@@ -34,6 +34,11 @@ type config = {
       (** modeled delay before retry [n] is uniform over
           [\[0, backoff_base *. 2. ** n)] seconds — full jitter
           (default 0.01) *)
+  backoff_cap : float;
+      (** ceiling on the jitter envelope: the delay bound for any attempt
+          is [min (backoff_base *. 2. ** n) backoff_cap], so every
+          sampled delay lies in [\[0, backoff_cap\]] regardless of the
+          attempt number (default 1.0; must be positive) *)
   backoff_seed : int;
       (** seed of the jitter generator ({!Dqep_util.Rng}); the same seed
           reproduces the same backoff schedule (default [0x5eed]) *)
@@ -82,6 +87,7 @@ type config = {
 val config :
   ?max_retries:int ->
   ?backoff_base:float ->
+  ?backoff_cap:float ->
   ?backoff_seed:int ->
   ?io_budget_factor:float ->
   ?max_failovers:int ->
@@ -96,6 +102,13 @@ val config :
   config
 
 val default : config
+
+val backoff_delay : config -> Dqep_util.Rng.t -> attempt:int -> float
+(** The modeled full-jitter delay drawn before retry [attempt]: uniform
+    over [\[0, min (backoff_base *. 2. ** attempt) backoff_cap)].
+    Exposed so property tests can pin the [\[0, backoff_cap\]] envelope
+    for every attempt number.
+    @raise Invalid_argument if [attempt < 0]. *)
 
 type failure =
   | Infeasible of Dqep_plans.Validate.problem list

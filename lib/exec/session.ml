@@ -33,6 +33,13 @@ let shed_reason_name = function
   | Queue_full -> "queue_full"
   | Queue_timeout -> "queue_timeout"
 
+(* Each shed reason has its own counter, so door sheds and
+   queue-deadline sheds stay separately attributable in any tally built
+   over the taxonomy. *)
+let shed_counter = function
+  | Queue_full -> Counter.Shed_queue_full
+  | Queue_timeout -> Counter.Shed_queue_timeout
+
 type outcome =
   | Completed of Iterator.tuple list * Executor.run_stats
   | Failed of Resilience.failure
@@ -170,7 +177,7 @@ let admit t ~clock =
        (someone is queued ahead, or every slot is taken): shed at the
        door.  With [max_queue = 0] only immediately admissible
        submissions get in. *)
-    Trace.incr t.obs Counter.Shed_queue_full;
+    Trace.incr t.obs (shed_counter Queue_full);
     Mutex.unlock t.mu;
     Error Queue_full
   end
@@ -203,7 +210,7 @@ let admit t ~clock =
         match t.cfg.queue_deadline with
         | Some d when clock () -. enqueued_at >= d ->
           t.queued <- t.queued - 1;
-          Trace.incr t.obs Counter.Shed_queue_timeout;
+          Trace.incr t.obs (shed_counter Queue_timeout);
           if t.serving = ticket then t.serving <- ticket + 1
           else Hashtbl.replace t.abandoned ticket ();
           advance t;

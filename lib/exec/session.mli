@@ -19,6 +19,11 @@ type shed_reason =
 
 val shed_reason_name : shed_reason -> string
 
+val shed_counter : shed_reason -> Dqep_obs.Counter.t
+(** The taxonomy counter a shed of this reason increments
+    ([Shed_queue_full] / [Shed_queue_timeout]), so callers tallying
+    sheds attribute them by reason rather than as one lump. *)
+
 type outcome =
   | Completed of Iterator.tuple list * Executor.run_stats
   | Failed of Resilience.failure

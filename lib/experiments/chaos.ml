@@ -60,7 +60,8 @@ type tally = {
   deadline_exceeded : int;
   memory_exceeded : int;
   cancelled : int;
-  shed : int;
+  shed_queue_full : int;
+  shed_queue_timeout : int;
   exhausted : int;
   other_failures : int;  (** Infeasible/Rejected — expected to stay 0 *)
   failovers : int;
@@ -82,12 +83,13 @@ type tally = {
 let pp_tally ppf t =
   Format.fprintf ppf
     "@[<v>%d jobs: %d completed (%d via memory failover, %d via replan), %d \
-     deadline, %d memory, %d cancelled, %d shed, %d exhausted, %d estimate \
-     busted, %d other; %d failovers; %d replans; %d leaks; %d checkpoint \
-     leaks; %d escaped@]"
+     deadline, %d memory, %d cancelled, %d shed at the door, %d shed on \
+     queue deadline, %d exhausted, %d estimate busted, %d other; %d \
+     failovers; %d replans; %d leaks; %d checkpoint leaks; %d escaped@]"
     t.total t.completed t.memory_aborts_recovered t.replans_recovered
-    t.deadline_exceeded t.memory_exceeded t.cancelled t.shed t.exhausted
-    t.estimate_busted t.other_failures t.failovers t.replans
+    t.deadline_exceeded t.memory_exceeded t.cancelled t.shed_queue_full
+    t.shed_queue_timeout t.exhausted t.estimate_busted t.other_failures
+    t.failovers t.replans
     (List.length t.leaks)
     (List.length t.checkpoint_leaks)
     (List.length t.escaped)
@@ -263,8 +265,14 @@ let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
       count (function
         | _, Ok (Session.Failed (Resilience.Cancelled _)), _, _ -> true
         | _ -> false);
-    shed =
-      count (function _, Ok (Session.Shed _), _, _ -> true | _ -> false);
+    shed_queue_full =
+      count (function
+        | _, Ok (Session.Shed Session.Queue_full), _, _ -> true
+        | _ -> false);
+    shed_queue_timeout =
+      count (function
+        | _, Ok (Session.Shed Session.Queue_timeout), _, _ -> true
+        | _ -> false);
     exhausted =
       count (function
         | _, Ok (Session.Failed (Resilience.Exhausted _)), _, _ -> true
@@ -324,3 +332,232 @@ let run ?(workers = 4) ?(jobs = 32) ?(seed = 1) ?(max_inflight = 3)
         (function _, Error msg, _, _ -> Some msg | _, Ok _, _, _ -> None)
         results;
     session = (try Session.stats session with _ -> empty_session_stats) }
+
+(* --- the serving-layer fault storm ---------------------------------------- *)
+
+module Server = Dqep_serve.Server
+module Protocol = Dqep_serve.Protocol
+module Plan_cache = Dqep_serve.Plan_cache
+module Breaker = Dqep_serve.Breaker
+module Paper_catalog = Dqep_workload.Paper_catalog
+module Sql = Dqep_sql.Sql
+module Rng = Dqep_util.Rng
+
+type serve_tally = {
+  requests : int;
+  ok : int;
+  cache_hits_served : int;  (** OK responses answered from the plan cache *)
+  failed_typed : int;  (** ERR with a typed in-flight failure class *)
+  client_errors : int;  (** ERR with a request-side class; expected 0 *)
+  shed_queue_full : int;
+  shed_queue_timeout : int;
+  shed_breaker_open : int;
+  poisoned_trips : int;  (** breaker trips of the poisoned shape *)
+  poisoned_ok : int;  (** poisoned-shape requests that completed anyway *)
+  healthy_ok : int;  (** completions across the healthy shapes *)
+  untyped : string list;  (** unparseable/blank responses; must be [] *)
+  internal_errors : string list;  (** class=internal details; must be [] *)
+  leaks : string list;  (** buffer-pool pin leaks across every db; must be [] *)
+  pool_leak_bytes : int;  (** session memory pool bytes after drain; must be 0 *)
+  server : Server.stats;
+}
+
+let pp_serve_tally ppf t =
+  Format.fprintf ppf
+    "@[<v>%d requests: %d ok (%d cache-hit, %d poisoned-shape, %d healthy), \
+     %d typed failures, %d client errors, %d/%d/%d shed \
+     (door/queue-deadline/breaker); %d poisoned-shape trips; %d untyped; %d \
+     internal; %d leaks; %d pool bytes@]"
+    t.requests t.ok t.cache_hits_served t.poisoned_ok t.healthy_ok
+    t.failed_typed t.client_errors t.shed_queue_full t.shed_queue_timeout
+    t.shed_breaker_open t.poisoned_trips
+    (List.length t.untyped)
+    (List.length t.internal_errors)
+    (List.length t.leaks) t.pool_leak_bytes
+
+let failure_classes =
+  [ "infeasible"; "rejected"; "exhausted"; "deadline_exceeded";
+    "memory_exceeded"; "cancelled"; "estimate_busted" ]
+
+(* The serve workload's shapes: chain queries over the paper catalog,
+   one per join length, each selecting on its first relation.  Shape 0
+   is the poisoned one — its databases run on dead storage. *)
+let serve_shape ~relations i =
+  let len = 1 + (i mod relations) in
+  let tables = List.init len (fun j -> Paper_catalog.rel_name (j + 1)) in
+  let selections =
+    [ (Paper_catalog.rel_name 1, Paper_catalog.select_attr, Sql.Host "u") ]
+  in
+  let joins =
+    List.init (len - 1) (fun j ->
+        ( (Paper_catalog.rel_name (j + 1), Paper_catalog.join_right_attr),
+          (Paper_catalog.rel_name (j + 2), Paper_catalog.join_left_attr) ))
+  in
+  Sql.render { Sql.tables; selections; joins }
+
+let serve_soak ?(clients = 4) ?(requests = 256) ?(seed = 1)
+    ?(max_inflight = 3) ?(max_queue = 4) ?(relations = 3) () =
+  if clients < 1 then invalid_arg "Chaos.serve_soak: clients < 1";
+  if requests < 1 then invalid_arg "Chaos.serve_soak: requests < 1";
+  if relations < 1 then invalid_arg "Chaos.serve_soak: relations < 1";
+  let catalog = Paper_catalog.make ~relations in
+  let shapes = Array.init relations (fun i -> serve_shape ~relations i) in
+  let keys =
+    Array.map
+      (fun sql ->
+        match Sql.parse sql with
+        | Ok ast -> Plan_cache.key ast
+        | Error e -> invalid_arg ("Chaos.serve_soak: bad shape SQL: " ^ e))
+      shapes
+  in
+  let poisoned_key = keys.(0) in
+  (* Track every database either pool ever builds, for the pin-leak
+     sweep at the end. *)
+  let all_dbs = ref [] in
+  let dbs_mu = Mutex.create () in
+  let track db =
+    Mutex.lock dbs_mu;
+    all_dbs := db :: !all_dbs;
+    Mutex.unlock dbs_mu;
+    db
+  in
+  let build_healthy () = track (Database.build ~seed catalog) in
+  let build_poisoned () =
+    let db = track (Database.build ~seed:(seed + 1) catalog) in
+    (* Dead storage: every physical I/O faults permanently, so each
+       attempt fails over immediately and the request exhausts its
+       alternatives — the failure class the breaker counts. *)
+    Disk.set_faults
+      (Buffer_pool.disk (Database.pool db))
+      (Some
+         (Fault.create
+            (Fault.config ~fail_after:(0, Fault.Permanent) ~seed ())));
+    db
+  in
+  let healthy_acquire, healthy_release =
+    Server.db_pool ~build:build_healthy ~slots:(max_inflight + clients) ()
+  in
+  let poisoned_acquire, poisoned_release =
+    Server.db_pool ~build:build_poisoned ~slots:(max_inflight + clients) ()
+  in
+  let acquire ~shape =
+    if shape = poisoned_key then poisoned_acquire ~shape
+    else healthy_acquire ~shape
+  in
+  let release ~shape db =
+    if shape = poisoned_key then poisoned_release ~shape db
+    else healthy_release ~shape db
+  in
+  let config =
+    Server.config
+      ~session:
+        (Session.config ~max_inflight ~max_queue ~queue_deadline:0.25
+           ~memory_pool_bytes:(1 lsl 20) ~precheck:false ())
+      ~breaker:(Breaker.config ~failure_threshold:3 ~cooldown:30. ())
+      ~resilience:
+        (Resilience.config ~backoff_seed:seed ~checkpoints:true
+           ~max_retries:1 ~max_failovers:2 ())
+      ()
+  in
+  let server = Server.create ~config ~acquire ~release catalog in
+  let rng = Rng.create (seed * 65537) in
+  let lines =
+    Array.init requests (fun i ->
+        let shape = i mod relations in
+        let u = 0.05 +. Rng.uniform rng 0. 0.9 in
+        (* Every 7th request carries a millisecond-scale deadline, so
+           deadline shedding and queue-deadline interplay are part of
+           the storm, not a separate scenario. *)
+        let deadline_ms = if i mod 7 = 3 then Some 0.4 else None in
+        Protocol.render_request
+          (Protocol.Run
+             { Protocol.id = Some i; bindings = [ ("u", u) ];
+               memory_pages = Some (16 + (i mod 4 * 16)); deadline_ms;
+               retries = Some 1; sql = shapes.(shape) }))
+  in
+  let responses = Server.run_batch server ~clients lines in
+  let parsed =
+    Array.map
+      (fun line ->
+        match Protocol.parse_response line with
+        | Ok r -> Ok r
+        | Error e -> Error (Printf.sprintf "%s: %s" e line))
+      responses
+  in
+  let count p =
+    Array.fold_left
+      (fun acc r -> if p r then acc + 1 else acc)
+      0 parsed
+  in
+  let shape_of i = i mod relations in
+  let ok_for poisoned =
+    let n = ref 0 in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Ok (Protocol.Ok_reply _) when poisoned = (shape_of i = 0) -> incr n
+        | _ -> ())
+      parsed;
+    !n
+  in
+  let leaks =
+    Mutex.lock dbs_mu;
+    let dbs = !all_dbs in
+    Mutex.unlock dbs_mu;
+    List.filter_map
+      (fun db ->
+        match Buffer_pool.leak_check (Database.pool db) with
+        | Ok () -> None
+        | Error msg -> Some msg)
+      dbs
+  in
+  let pool_leak_bytes =
+    match Session.memory_pool (Server.session server) with
+    | Some pool -> Governor.pool_in_use pool
+    | None -> 0
+  in
+  let stats = Server.stats server in
+  { requests = Array.length responses;
+    ok = count (function Ok (Protocol.Ok_reply _) -> true | _ -> false);
+    cache_hits_served =
+      count (function
+        | Ok (Protocol.Ok_reply { cache = Protocol.Hit; _ }) -> true
+        | _ -> false);
+    failed_typed =
+      count (function
+        | Ok (Protocol.Error_reply { class_; _ }) ->
+          List.mem class_ failure_classes
+        | _ -> false);
+    client_errors =
+      count (function
+        | Ok (Protocol.Error_reply { class_; _ }) ->
+          not (List.mem class_ failure_classes) && class_ <> "internal"
+        | _ -> false);
+    shed_queue_full =
+      count (function
+        | Ok (Protocol.Shed_reply { reason = "queue_full"; _ }) -> true
+        | _ -> false);
+    shed_queue_timeout =
+      count (function
+        | Ok (Protocol.Shed_reply { reason = "queue_timeout"; _ }) -> true
+        | _ -> false);
+    shed_breaker_open =
+      count (function
+        | Ok (Protocol.Shed_reply { reason = "breaker_open"; _ }) -> true
+        | _ -> false);
+    poisoned_trips =
+      (match Server.breaker server ~shape:poisoned_key with
+      | None -> 0
+      | Some b -> Breaker.trips b);
+    poisoned_ok = ok_for true;
+    healthy_ok = ok_for false;
+    untyped =
+      Array.to_list parsed
+      |> List.filter_map (function Error e -> Some e | Ok _ -> None);
+    internal_errors =
+      Array.to_list parsed
+      |> List.filter_map (function
+           | Ok (Protocol.Error_reply { class_ = "internal"; detail; _ }) ->
+             Some detail
+           | _ -> None);
+    leaks; pool_leak_bytes; server = stats }

@@ -27,7 +27,8 @@ type tally = {
   deadline_exceeded : int;
   memory_exceeded : int;
   cancelled : int;
-  shed : int;
+  shed_queue_full : int;  (** shed at the door (full wait queue) *)
+  shed_queue_timeout : int;  (** shed after waiting past the queue deadline *)
   exhausted : int;
   other_failures : int;  (** Infeasible/Rejected — expected to stay 0 *)
   failovers : int;  (** across completed jobs *)
@@ -60,3 +61,53 @@ val run :
 (** Defaults: 4 worker domains, 32 jobs, seed 1, 3 admission slots,
     queue bound 64, a 1 MiB shared memory pool, 3 ms deadlines.  Blocks
     until every job has its outcome. *)
+
+(** {1 The serving-layer fault storm}
+
+    Client domains hammer a {!Dqep_serve.Server} over the paper catalog
+    with a fixed set of query shapes — one of which is {e poisoned}:
+    every database the server borrows for it runs on dead storage
+    (permanent faults on all I/O).  The storm mixes millisecond
+    deadlines and admission overload into the same request stream.
+
+    The serving contract under the storm: every request line gets
+    exactly one typed response ({!serve_tally.untyped} empty, no
+    [class=internal] errors), no database leaks a buffer-pool pin, the
+    session memory pool drains to zero, the poisoned shape trips its
+    breaker, and the healthy shapes keep completing. *)
+
+type serve_tally = {
+  requests : int;
+  ok : int;
+  cache_hits_served : int;  (** OK responses answered from the plan cache *)
+  failed_typed : int;  (** ERR with a typed in-flight failure class *)
+  client_errors : int;  (** ERR with a request-side class; expected 0 *)
+  shed_queue_full : int;
+  shed_queue_timeout : int;
+  shed_breaker_open : int;
+  poisoned_trips : int;  (** breaker trips of the poisoned shape *)
+  poisoned_ok : int;  (** poisoned-shape requests that completed anyway *)
+  healthy_ok : int;  (** completions across the healthy shapes *)
+  untyped : string list;  (** unparseable/blank responses; must be [] *)
+  internal_errors : string list;  (** class=internal details; must be [] *)
+  leaks : string list;  (** buffer-pool pin leaks across every db; must be [] *)
+  pool_leak_bytes : int;  (** session memory pool bytes after drain; must be 0 *)
+  server : Dqep_serve.Server.stats;
+}
+
+val pp_serve_tally : Format.formatter -> serve_tally -> unit
+
+val serve_soak :
+  ?clients:int ->
+  ?requests:int ->
+  ?seed:int ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?relations:int ->
+  unit ->
+  serve_tally
+(** Defaults: 4 client domains, 256 requests, seed 1, 3 admission
+    slots, queue bound 4 (8+ clients overload it, exercising door
+    sheds), 3 relations (= 3 shapes, shape 0 poisoned).
+    The engine follows [DQEP_ENGINE], as everywhere.  Blocks until
+    every request has its response. *)

@@ -43,6 +43,15 @@ type t =
   | Resume_hits
   (* static analysis *)
   | Rejected_precheck
+  (* serving *)
+  | Cache_hit
+  | Cache_miss
+  | Cache_evicted
+  | Cache_invalidated_drift
+  | Cache_invalidated_replan
+  | Breaker_opened
+  | Breaker_closed
+  | Shed_breaker_open
 
 let all =
   [
@@ -75,6 +84,14 @@ let all =
     Checkpoint_bytes;
     Resume_hits;
     Rejected_precheck;
+    Cache_hit;
+    Cache_miss;
+    Cache_evicted;
+    Cache_invalidated_drift;
+    Cache_invalidated_replan;
+    Breaker_opened;
+    Breaker_closed;
+    Shed_breaker_open;
   ]
 
 let count = List.length all
@@ -109,6 +126,14 @@ let index = function
   | Checkpoint_bytes -> 26
   | Resume_hits -> 27
   | Rejected_precheck -> 28
+  | Cache_hit -> 29
+  | Cache_miss -> 30
+  | Cache_evicted -> 31
+  | Cache_invalidated_drift -> 32
+  | Cache_invalidated_replan -> 33
+  | Breaker_opened -> 34
+  | Breaker_closed -> 35
+  | Shed_breaker_open -> 36
 
 let name = function
   | Logical_reads -> "logical_reads"
@@ -140,6 +165,14 @@ let name = function
   | Checkpoint_bytes -> "checkpoint_bytes"
   | Resume_hits -> "resume_hits"
   | Rejected_precheck -> "rejected_precheck"
+  | Cache_hit -> "cache_hit"
+  | Cache_miss -> "cache_miss"
+  | Cache_evicted -> "cache_evicted"
+  | Cache_invalidated_drift -> "cache_invalidated_drift"
+  | Cache_invalidated_replan -> "cache_invalidated_replan"
+  | Breaker_opened -> "breaker_opened"
+  | Breaker_closed -> "breaker_closed"
+  | Shed_breaker_open -> "shed_breaker_open"
 
 let of_name s = List.find_opt (fun c -> name c = s) all
 let pp ppf c = Format.pp_print_string ppf (name c)

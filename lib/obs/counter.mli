@@ -45,6 +45,15 @@ type t =
   | Rejected_precheck
       (** submissions refused by the session's static budget precheck
           (DQEP503) before any execution *)
+  (* serving *)
+  | Cache_hit  (** plan-cache lookups that skipped the optimizer *)
+  | Cache_miss  (** plan-cache lookups that fell through to optimize *)
+  | Cache_evicted  (** entries dropped by LRU capacity pressure *)
+  | Cache_invalidated_drift  (** entries evicted on catalog drift *)
+  | Cache_invalidated_replan  (** entries evicted after a replan storm *)
+  | Breaker_opened  (** per-shape circuit breakers tripped open *)
+  | Breaker_closed  (** breakers recovered to closed after probes *)
+  | Shed_breaker_open  (** requests shed fast because their shape's breaker was open *)
 
 val all : t list
 (** Every counter, in {!index} order. *)

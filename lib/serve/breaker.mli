@@ -1,0 +1,55 @@
+(** A per-shape circuit breaker: Closed -> Open -> Half_open -> Closed.
+
+    While [Closed], {!failure} calls count consecutive failures;
+    reaching [failure_threshold] trips the breaker [Open] for
+    [cooldown] seconds, during which {!admit} rejects fast.  After the
+    cooldown the breaker admits up to [probes] concurrent probe
+    requests ([Half_open]); [probes] successes in a row close it, any
+    probe failure re-opens it for a fresh cooldown.
+
+    {b Contract:} every [Admit] must be balanced by exactly one
+    {!success} or {!failure} call, or half-open probe slots leak.
+    Outcomes that should not count against the shape — client errors,
+    sheds, deadline/cancellation budget outcomes — balance the
+    admission with {!success}.
+
+    Thread-safe; the clock is injectable for deterministic tests. *)
+
+type config = { failure_threshold : int; cooldown : float; probes : int }
+
+val config :
+  ?failure_threshold:int -> ?cooldown:float -> ?probes:int -> unit -> config
+(** Defaults: threshold 4, cooldown 0.5 s, 2 probes.
+    @raise Invalid_argument on a non-positive threshold or probe count,
+    or a negative cooldown. *)
+
+val default : config
+
+type state = Closed | Open of { until : float } | Half_open
+
+val state_name : state -> string
+
+type admission = Admit | Reject of { retry_after : float }
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?on_trip:(unit -> unit) ->
+  ?on_close:(unit -> unit) ->
+  config ->
+  t
+(** [on_trip]/[on_close] fire (with the breaker's lock held) on each
+    Closed/Half_open -> Open and Half_open -> Closed transition — the
+    server's hook for the [Breaker_opened]/[Breaker_closed] counters. *)
+
+val admit : t -> admission
+val success : t -> unit
+val failure : t -> unit
+val state : t -> state
+
+val trips : t -> int
+(** Transitions into [Open] since creation. *)
+
+val closes : t -> int
+(** Recoveries into [Closed] since creation. *)

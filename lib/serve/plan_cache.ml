@@ -1,0 +1,253 @@
+(* The parameterized dynamic-plan cache.
+
+   Choose-plan is exactly the right primitive for serving: optimize a
+   query SHAPE once into a dynamic plan, then resolve the choose-plan
+   operators per request under the actual bindings (Startup.resolve via
+   the executor).  The cache therefore keys on the normalized shape of
+   a statement — tables sorted, join pairs ordered and sorted,
+   selection VALUES abstracted into positional parameters p1..pn — so
+   any two requests differing only in literals, host-variable names or
+   clause order share one cached plan.
+
+   Generalization turns every selection value into a host variable
+   p1..pn, which is what makes the optimizer keep the selectivity
+   uncertain and emit a dynamic plan; [bind] then recovers each
+   parameter's point value from the request's own AST (literal /
+   domain_size, or the client's binding for its host variable) in the
+   same canonical order.
+
+   Invalidation:
+   - catalog drift: entries remember the catalog fingerprint they were
+     optimized under; a lookup under a different fingerprint evicts;
+   - replan storms: [note_replan] accumulates Estimate_busted /
+     replan events per entry and evicts at the threshold, so a shape
+     whose cached plan keeps busting re-optimizes instead of thrashing;
+   - LRU capacity.
+
+   Thread-safe: one mutex around the table; entries are immutable
+   except for counters mutated under the lock. *)
+
+module Sql = Dqep_sql.Sql
+module Catalog = Dqep_catalog.Catalog
+module Relation = Dqep_catalog.Relation
+module Attribute = Dqep_catalog.Attribute
+module Index = Dqep_catalog.Index
+module Bindings = Dqep_cost.Bindings
+module Plan = Dqep_plans.Plan
+
+(* --- shape normalization -------------------------------------------------- *)
+
+let normalize (ast : Sql.ast) : Sql.ast =
+  let tables = List.sort_uniq String.compare ast.Sql.tables in
+  let joins =
+    List.sort_uniq compare
+      (List.map
+         (fun (l, r) -> if compare l r <= 0 then (l, r) else (r, l))
+         ast.Sql.joins)
+  in
+  let selections =
+    (* Sort by column only (stable), so the canonical parameter order is
+       independent of the request's values. *)
+    List.stable_sort
+      (fun (r1, a1, _) (r2, a2, _) -> compare (r1, a1) (r2, a2))
+      ast.Sql.selections
+  in
+  { Sql.tables; selections; joins }
+
+let generalize ast =
+  let n = normalize ast in
+  { n with
+    Sql.selections =
+      List.mapi
+        (fun i (rel, attr, _) ->
+          (rel, attr, Sql.Host (Printf.sprintf "p%d" (i + 1))))
+        n.Sql.selections }
+
+let key ast = Sql.render (generalize ast)
+
+let param_names ast =
+  List.mapi
+    (fun i _ -> Printf.sprintf "p%d" (i + 1))
+    (normalize ast).Sql.selections
+
+let bind catalog ast ~bindings ~memory_pages =
+  let exception Bind_error of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt in
+  try
+    let selectivities =
+      List.mapi
+        (fun i (rel, attr, v) ->
+          let p = Printf.sprintf "p%d" (i + 1) in
+          let s =
+            match v with
+            | Sql.Literal lit -> (
+              match Catalog.relation catalog rel with
+              | None -> fail "unknown table %s" rel
+              | Some r -> (
+                match Relation.attribute r attr with
+                | None -> fail "unknown column %s.%s" rel attr
+                | Some a ->
+                  if lit < 0 || lit > a.Attribute.domain_size then
+                    fail "literal %d outside the domain of %s.%s" lit rel attr;
+                  float_of_int lit /. float_of_int a.Attribute.domain_size))
+            | Sql.Host hv -> (
+              match List.assoc_opt hv bindings with
+              | None -> fail "no binding for host variable :%s" hv
+              | Some s ->
+                if not (Float.is_finite s) || s < 0. || s > 1. then
+                  fail "binding %s=%g outside [0, 1]" hv s;
+                s)
+          in
+          (p, s))
+        (normalize ast).Sql.selections
+    in
+    if memory_pages < 1 then fail "memory grant %d < 1 page" memory_pages;
+    Ok (Bindings.make ~selectivities ~memory_pages)
+  with Bind_error e -> Error e
+
+(* --- catalog fingerprint -------------------------------------------------- *)
+
+let fingerprint catalog =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int (Catalog.page_bytes catalog));
+  List.iter
+    (fun (r : Relation.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "|%s:%d:%d" r.Relation.name r.Relation.cardinality
+           r.Relation.record_bytes);
+      List.iter
+        (fun (a : Attribute.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf ",%s:%d" a.Attribute.name a.Attribute.domain_size))
+        r.Relation.attributes)
+    (List.sort
+       (fun (a : Relation.t) b -> compare a.Relation.name b.Relation.name)
+       (Catalog.relations catalog));
+  List.iter
+    (fun (i : Index.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "|ix:%s.%s:%b" i.Index.relation i.Index.attribute
+           i.Index.clustered))
+    (List.sort compare (Catalog.indexes catalog));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- the cache ------------------------------------------------------------ *)
+
+type entry = {
+  plan : Plan.t;
+  fp : string;  (* catalog fingerprint the plan was optimized under *)
+  mutable hits : int;
+  mutable replan_events : int;
+  mutable tick : int;  (* LRU stamp *)
+}
+
+type stats = {
+  size : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidated_drift : int;
+  invalidated_replan : int;
+}
+
+type t = {
+  capacity : int;
+  replan_threshold : int;
+  mu : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_drift : int;
+  mutable s_replan : int;
+}
+
+let create ?(capacity = 64) ?(replan_threshold = 3) () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity < 1";
+  if replan_threshold < 1 then
+    invalid_arg "Plan_cache.create: replan_threshold < 1";
+  { capacity; replan_threshold; mu = Mutex.create ();
+    entries = Hashtbl.create 64; clock = 0; s_hits = 0; s_misses = 0;
+    s_evictions = 0; s_drift = 0; s_replan = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+type lookup = Hit of Plan.t | Miss | Invalidated_drift
+
+let find t ~fingerprint ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | None ->
+        t.s_misses <- t.s_misses + 1;
+        Miss
+      | Some e when e.fp <> fingerprint ->
+        (* The catalog moved under the cached plan: its costs, access
+           modules and even referenced objects may be stale.  Evict and
+           force a re-optimization. *)
+        Hashtbl.remove t.entries key;
+        t.s_drift <- t.s_drift + 1;
+        t.s_misses <- t.s_misses + 1;
+        Invalidated_drift
+      | Some e ->
+        e.hits <- e.hits + 1;
+        t.clock <- t.clock + 1;
+        e.tick <- t.clock;
+        t.s_hits <- t.s_hits + 1;
+        Hit e.plan)
+
+let store t ~fingerprint ~key plan =
+  locked t (fun () ->
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.entries key
+        { plan; fp = fingerprint; hits = 0; replan_events = 0; tick = t.clock };
+      while Hashtbl.length t.entries > t.capacity do
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, tick) when tick <= e.tick -> acc
+              | _ -> Some (k, e.tick))
+            t.entries None
+        in
+        match victim with
+        | Some (k, _) ->
+          Hashtbl.remove t.entries k;
+          t.s_evictions <- t.s_evictions + 1
+        | None -> assert false
+      done)
+
+let note_replan t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | None -> false
+      | Some e ->
+        e.replan_events <- e.replan_events + 1;
+        if e.replan_events >= t.replan_threshold then begin
+          (* A replan storm: the cached plan's estimates keep busting
+             against this shape's actual data.  Evict so the next
+             request re-optimizes with the feedback-refined env. *)
+          Hashtbl.remove t.entries key;
+          t.s_replan <- t.s_replan + 1;
+          true
+        end
+        else false)
+
+let invalidate t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | None -> false
+      | Some _ ->
+        Hashtbl.remove t.entries key;
+        t.s_drift <- t.s_drift + 1;
+        true)
+
+let mem t ~key = locked t (fun () -> Hashtbl.mem t.entries key)
+
+let stats t =
+  locked t (fun () ->
+      { size = Hashtbl.length t.entries; hits = t.s_hits; misses = t.s_misses;
+        evictions = t.s_evictions; invalidated_drift = t.s_drift;
+        invalidated_replan = t.s_replan })

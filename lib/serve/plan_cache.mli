@@ -1,0 +1,89 @@
+(** The parameterized dynamic-plan cache.
+
+    One dynamic plan per {e query shape}: the normalized form of a
+    statement with tables sorted, join pairs ordered, and every
+    selection value — literal or host variable — abstracted into a
+    positional parameter [p1..pn].  Two requests differing only in
+    constants, host-variable names or clause order share a shape, and
+    therefore a cached plan; the choose-plan operators inside it defer
+    the actual alternative selection to start-up time under each
+    request's own bindings.
+
+    Entries are invalidated on catalog drift (the fingerprint the plan
+    was optimized under no longer matches), evicted after a replan
+    storm ({!note_replan} reaching the threshold), and LRU-bounded.
+    All operations are thread-safe. *)
+
+type t
+
+val create : ?capacity:int -> ?replan_threshold:int -> unit -> t
+(** Defaults: capacity 64 entries, replan threshold 3.
+    @raise Invalid_argument if either is non-positive. *)
+
+(** {1 Shape normalization} *)
+
+val normalize : Dqep_sql.Sql.ast -> Dqep_sql.Sql.ast
+(** Tables sorted and deduplicated, join pairs ordered then sorted,
+    selections stably sorted by (relation, attribute) — values
+    untouched. *)
+
+val generalize : Dqep_sql.Sql.ast -> Dqep_sql.Sql.ast
+(** {!normalize}, then every selection value replaced by the host
+    variable [p<i>] in canonical order — the AST to optimize a shape
+    under (all selectivities uncertain, hence a dynamic plan). *)
+
+val key : Dqep_sql.Sql.ast -> string
+(** The cache key: {!generalize} rendered back to SQL.  Equal for any
+    two statements of the same shape. *)
+
+val param_names : Dqep_sql.Sql.ast -> string list
+(** [p1..pn], one per selection of the normalized shape. *)
+
+val bind :
+  Dqep_catalog.Catalog.t ->
+  Dqep_sql.Sql.ast ->
+  bindings:(string * float) list ->
+  memory_pages:int ->
+  (Dqep_cost.Bindings.t, string) result
+(** Point bindings for the shape's parameters, recovered from the
+    request's own AST in canonical order: a literal becomes
+    [lit / domain_size] (checked against the catalog), a host variable
+    takes the client's binding (required, in [\[0, 1\]]). *)
+
+val fingerprint : Dqep_catalog.Catalog.t -> string
+(** A digest of everything the optimizer reads from the catalog:
+    page size, relations (name, cardinality, record width, attribute
+    domains) and indexes.  Two catalogs with equal fingerprints cost
+    plans identically. *)
+
+(** {1 Lookup} *)
+
+type lookup =
+  | Hit of Dqep_plans.Plan.t
+  | Miss
+  | Invalidated_drift
+      (** an entry existed but was optimized under a different catalog
+          fingerprint; it has been evicted — re-optimize *)
+
+val find : t -> fingerprint:string -> key:string -> lookup
+val store : t -> fingerprint:string -> key:string -> Dqep_plans.Plan.t -> unit
+
+val note_replan : t -> key:string -> bool
+(** Record an [Estimate_busted]/replan event against the entry; [true]
+    when this event reached the threshold and evicted it. *)
+
+val invalidate : t -> key:string -> bool
+(** Drop the entry (counted as drift invalidation); [true] if present. *)
+
+val mem : t -> key:string -> bool
+
+type stats = {
+  size : int;
+  hits : int;
+  misses : int;  (** includes drift-invalidated lookups *)
+  evictions : int;  (** LRU capacity evictions *)
+  invalidated_drift : int;
+  invalidated_replan : int;
+}
+
+val stats : t -> stats

@@ -144,6 +144,10 @@ let to_logical catalog ast =
     let sorted = List.sort_uniq String.compare ast.tables in
     if List.length sorted <> List.length ast.tables then
       fail "a table is listed twice in FROM";
+    List.iter
+      (fun t ->
+        if Catalog.relation catalog t = None then fail "unknown table %s" t)
+      ast.tables;
     let resolve_attr rel attr =
       match Catalog.relation catalog rel with
       | None -> fail "unknown table %s" rel
@@ -232,3 +236,31 @@ let compile catalog input =
   match parse input with
   | Error e -> Error e
   | Ok ast -> to_logical catalog ast
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let render ast =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "SELECT * FROM ";
+  Buffer.add_string buf (String.concat ", " ast.tables);
+  let conds =
+    List.map
+      (fun (rel, attr, v) ->
+        let rhs =
+          match v with
+          | Literal n -> string_of_int n
+          | Host h -> ":" ^ h
+        in
+        Printf.sprintf "%s.%s <= %s" rel attr rhs)
+      ast.selections
+    @ List.map
+        (fun ((lr, la), (rr, ra)) ->
+          Printf.sprintf "%s.%s = %s.%s" lr la rr ra)
+        ast.joins
+  in
+  (match conds with
+  | [] -> ()
+  | _ ->
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf (String.concat " AND " conds));
+  Buffer.contents buf

@@ -40,3 +40,9 @@ val to_logical :
 val compile :
   Dqep_catalog.Catalog.t -> string -> (Dqep_algebra.Logical.t, string) result
 (** [parse] followed by [to_logical]. *)
+
+val render : ast -> string
+(** Emit the statement back as parseable SQL in the grammar above:
+    selections first, then joins, in AST order.  For any [ast] built
+    from identifier-shaped names, [parse (render ast)] succeeds and
+    yields an AST equal to [ast] up to WHERE-clause regrouping. *)

@@ -364,9 +364,34 @@ let test_exchange_partition_fault_is_typed_and_terminates () =
     rstats.D.Resilience.retries;
   set_faults db None
 
+(* The full-jitter backoff envelope: whatever the seed, attempt number
+   and exponential growth, every sampled delay stays inside
+   [0, min (base * 2^attempt, cap)] — the cap bounds worst-case added
+   latency for deadline math. *)
+let prop_backoff_within_cap =
+  QCheck.Test.make ~name:"backoff delay within [0, cap] for all attempts"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         tup4 (int_range 0 100000)
+           (float_range 1e-6 2.)
+           (float_range 1e-6 5.)
+           (int_range 0 80)))
+    (fun (seed, base, cap, attempts) ->
+      let config =
+        D.Resilience.config ~backoff_base:base ~backoff_cap:cap ()
+      in
+      let rng = D.Rng.create seed in
+      List.for_all
+        (fun attempt ->
+          let d = D.Resilience.backoff_delay config rng ~attempt in
+          d >= 0. && d <= cap
+          && d <= base *. (2. ** float_of_int attempt))
+        (List.init (attempts + 1) Fun.id))
+
 let suite =
   ( "resilience",
-    [ Alcotest.test_case "fault-free supervision is transparent" `Quick
+    [ QCheck_alcotest.to_alcotest prop_backoff_within_cap; Alcotest.test_case "fault-free supervision is transparent" `Quick
         test_fault_free_transparency;
       Alcotest.test_case "broken index fails over to scan" `Quick
         test_broken_index_fails_over_to_scan;

@@ -218,7 +218,9 @@ let test_chaos_soak () =
   let classes =
     t.D.Experiments.Chaos.completed + t.D.Experiments.Chaos.deadline_exceeded
     + t.D.Experiments.Chaos.memory_exceeded + t.D.Experiments.Chaos.cancelled
-    + t.D.Experiments.Chaos.shed + t.D.Experiments.Chaos.exhausted
+    + t.D.Experiments.Chaos.shed_queue_full
+    + t.D.Experiments.Chaos.shed_queue_timeout
+    + t.D.Experiments.Chaos.exhausted
     + t.D.Experiments.Chaos.other_failures
   in
   Alcotest.(check int) "outcome classes partition the jobs" 32 classes;
@@ -229,7 +231,8 @@ let test_chaos_soak () =
   Alcotest.(check bool) "admission bound respected" true
     (s.D.Session.peak_inflight <= 3);
   Alcotest.(check int) "session saw every non-shed job"
-    (32 - t.D.Experiments.Chaos.shed)
+    (32 - t.D.Experiments.Chaos.shed_queue_full
+    - t.D.Experiments.Chaos.shed_queue_timeout)
     s.D.Session.admitted;
   Alcotest.(check int) "session outcome counters agree"
     (s.D.Session.completed + s.D.Session.failed)

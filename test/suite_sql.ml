@@ -117,9 +117,35 @@ let test_end_to_end_execution () =
        (D.Reference.normalize ref_schema expected)
        (D.Reference.normalize schema tuples))
 
+(* Rendering is the cache-key codomain (Plan_cache.key renders the
+   generalized shape), so parse . render must be the identity on every
+   AST the parser accepts. *)
+let test_render_roundtrip () =
+  let roundtrip stmt =
+    let ast =
+      match D.Sql.parse stmt with
+      | Ok ast -> ast
+      | Error e -> Alcotest.failf "parse %S: %s" stmt e
+    in
+    let rendered = D.Sql.render ast in
+    match D.Sql.parse rendered with
+    | Ok ast' ->
+      if ast' <> ast then
+        Alcotest.failf "%S round-tripped to %S differently" stmt rendered
+    | Error e -> Alcotest.failf "rendered %S does not parse: %s" rendered e
+  in
+  List.iter roundtrip
+    [ "SELECT * FROM R1";
+      "SELECT * FROM R1 WHERE R1.a <= 23";
+      "SELECT * FROM R1 WHERE R1.a <= :u";
+      "select * from R2, R1 where R1.a <= :u and R2.jl = R1.jr";
+      "SELECT * FROM R1, R2 WHERE R2.a <= 7 AND R1.a <= :u AND R1.jr = \
+       R2.jl AND R1.a <= :v" ]
+
 let suite =
   ( "sql",
-    [ Alcotest.test_case "single table" `Quick test_single_table;
+    [ Alcotest.test_case "render round-trips through parse" `Quick
+        test_render_roundtrip; Alcotest.test_case "single table" `Quick test_single_table;
       Alcotest.test_case "literal selectivity" `Quick test_literal_selectivity;
       Alcotest.test_case "join query = builder query" `Quick
         test_join_query_matches_builder;

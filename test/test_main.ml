@@ -30,4 +30,5 @@ let () =
       Suite_analysis.suite;
       Suite_absint.suite;
       Suite_obs.suite;
-      Suite_scheduler.suite ]
+      Suite_scheduler.suite;
+      Suite_serve.suite ]
