@@ -912,6 +912,7 @@ let serve_bench ~check () =
         memory_pages = Some 64;
         deadline_ms = None;
         retries = None;
+        risk = None;
         sql }
   in
   let run_one ~expect i =
@@ -1039,6 +1040,188 @@ let serve_bench ~check () =
       exit 1
   end
 
+(* --- expected-cost vs interval branch-and-bound -------------------------- *)
+
+(* The distribution domain's payoff, measured head to head: least-
+   expected-cost ranking collapses choose alternatives that interval
+   incomparability must keep, without giving up plan quality.  Each
+   workload query (the five paper queries plus the 10-way chain) is
+   optimized twice in Dynamic mode — interval/worst-case, which is the
+   pre-refactor search, and expected-cost — and both dynamic plans are
+   then resolved at start-up under a grid of bindings spanning the
+   selectivity range and priced against the oracle: a Run_time-mode
+   optimization under each binding, which knows the truth the dynamic
+   plans hedge against.  Regret is the relative excess of the plan's
+   mean resolved cost over the oracle's mean — expected regret under a
+   uniform prior, the quantity the expected-cost policy is built to
+   minimize (a single-point regret would instead reward whichever plan
+   happens to be tuned to that point).  Results go
+   to BENCH_opt.json; `opt --check` gates CI on (a) expected-cost
+   emitting no more choose nodes than interval search on every query
+   and strictly fewer in aggregate, (b) expected-cost regret within 5%
+   on every query, and (c) expected-cost optimization of the 10-way
+   join staying within 3x interval-mode optimization time. *)
+
+let opt_bench ~check () =
+  Format.printf "=== expected-cost vs interval branch-and-bound ===@.";
+  let workload =
+    List.map
+      (fun (q : D.Queries.t) -> (Printf.sprintf "paper%d" q.D.Queries.id, q))
+      (D.Queries.paper_queries ())
+    @ [ ("chain10", D.Queries.chain ~relations:10) ]
+  in
+  let expected_options =
+    { D.Optimizer.default_options with risk = D.Risk.Expected }
+  in
+  let optimize ?options ~mode (q : D.Queries.t) =
+    Result.get_ok
+      (D.Optimizer.optimize ?options ~mode q.D.Queries.catalog
+         q.D.Queries.query)
+  in
+  let rows = ref [] and failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let total_worst = ref 0 and total_expected = ref 0 in
+  let grid = [ 0.05; 0.25; 0.5; 0.75; 0.95 ] in
+  List.iter
+    (fun (label, (q : D.Queries.t)) ->
+      let bindings =
+        List.map
+          (fun sel ->
+            D.Bindings.make
+              ~selectivities:
+                (List.map (fun hv -> (hv, sel)) q.D.Queries.host_vars)
+              ~memory_pages:64)
+          grid
+      in
+      let worst = optimize ~mode:(D.Optimizer.dynamic ()) q in
+      let expected =
+        optimize ~options:expected_options ~mode:(D.Optimizer.dynamic ()) q
+      in
+      let mean_cost plan =
+        List.fold_left
+          (fun acc b ->
+            let env = D.Env.of_bindings q.D.Queries.catalog b in
+            acc +. (D.Startup.resolve env plan).D.Startup.anticipated_cost)
+          0. bindings
+        /. float_of_int (List.length bindings)
+      in
+      let oracle_cost =
+        List.fold_left
+          (fun acc b ->
+            let o = optimize ~mode:(D.Optimizer.Run_time b) q in
+            let env = D.Env.of_bindings q.D.Queries.catalog b in
+            acc
+            +. (D.Startup.resolve env o.D.Optimizer.plan)
+                 .D.Startup.anticipated_cost)
+          0. bindings
+        /. float_of_int (List.length bindings)
+      in
+      let regret r =
+        let c = mean_cost r.D.Optimizer.plan in
+        if oracle_cost > 0. then (c -. oracle_cost) /. oracle_cost else 0.
+      in
+      let cw = worst.D.Optimizer.stats.D.Optimizer.choose_nodes
+      and ce = expected.D.Optimizer.stats.D.Optimizer.choose_nodes in
+      let rw = regret worst and re = regret expected in
+      total_worst := !total_worst + cw;
+      total_expected := !total_expected + ce;
+      Format.printf
+        "%-8s chooses %2d -> %2d  pruned %3d  groups %3d  regret %5.2f%% -> \
+         %5.2f%%@."
+        label cw ce
+        expected.D.Optimizer.stats.D.Optimizer.alternatives_pruned
+        expected.D.Optimizer.stats.D.Optimizer.groups (rw *. 100.)
+        (re *. 100.);
+      if ce > cw then
+        fail "%s: expected-cost emitted %d choose nodes, interval %d" label
+          ce cw;
+      if re > 0.05 then
+        fail "%s: expected-cost regret %.2f%% above 5%%" label (re *. 100.);
+      rows :=
+        D.Json.(
+          Obj
+            [ ("query", String label);
+              ("interval_choose_nodes", Int cw);
+              ("expected_choose_nodes", Int ce);
+              ( "alternatives_pruned",
+                Int expected.D.Optimizer.stats.D.Optimizer.alternatives_pruned
+              );
+              ( "memo_groups",
+                Int expected.D.Optimizer.stats.D.Optimizer.groups );
+              ( "interval_optimize_cpu_seconds",
+                Float worst.D.Optimizer.stats.D.Optimizer.cpu_seconds );
+              ( "expected_optimize_cpu_seconds",
+                Float expected.D.Optimizer.stats.D.Optimizer.cpu_seconds );
+              ("oracle_cost", Float oracle_cost);
+              ("interval_regret", Float rw);
+              ("expected_regret", Float re) ])
+        :: !rows)
+    workload;
+  if !total_expected >= !total_worst then
+    fail "expected-cost kept %d choose nodes in aggregate, interval %d"
+      !total_expected !total_worst;
+  (* The 10-way timing gate runs on best-of-5 measured CPU, not the
+     single-shot stats above. *)
+  let chain10 = D.Queries.chain ~relations:10 in
+  let measure run =
+    ignore (run ());
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let _, per_run = D.Timer.cpu_auto ~min_seconds:0.05 run in
+      if per_run < !best then best := per_run
+    done;
+    !best
+  in
+  let t_interval =
+    measure (fun () -> optimize ~mode:(D.Optimizer.dynamic ()) chain10)
+  in
+  let t_expected =
+    measure (fun () ->
+        optimize ~options:expected_options ~mode:(D.Optimizer.dynamic ())
+          chain10)
+  in
+  Format.printf "chain10 optimize: interval %.3f ms, expected %.3f ms@."
+    (t_interval *. 1e3) (t_expected *. 1e3);
+  if t_expected > 3. *. t_interval then
+    fail "chain10 expected-cost optimize %.3f ms above 3x interval %.3f ms"
+      (t_expected *. 1e3) (t_interval *. 1e3);
+  let path = "BENCH_opt.json" in
+  let oc = open_out path in
+  output_string oc
+    D.Json.(
+      to_string_pretty
+        (Obj
+           [ ("benchmark", String "dqep expected-cost vs interval search");
+             ( "workload",
+               String "paper queries 1-5 + 10-way chain, Dynamic mode" );
+             ( "binding_grid",
+               String
+                 "selectivity 0.05/0.25/0.5/0.75/0.95 per host var, 64 \
+                  pages; regret is over mean resolved cost" );
+             ("queries", List (List.rev !rows));
+             ("interval_choose_nodes_total", Int !total_worst);
+             ("expected_choose_nodes_total", Int !total_expected);
+             ( "chain10_optimize",
+               Obj
+                 [ ("interval_cpu_seconds", Float t_interval);
+                   ("expected_cpu_seconds", Float t_expected);
+                   ( "expected_over_interval",
+                     Float
+                       (if t_interval > 0. then t_expected /. t_interval
+                        else 0.) ) ] ) ]));
+  close_out oc;
+  Format.printf "wrote %s@." path;
+  if check then
+    match List.rev !failures with
+    | [] ->
+      Format.printf
+        "opt --check: ok (choose nodes %d -> %d in aggregate, all regret \
+         <= 5%%)@."
+        !total_worst !total_expected
+    | fs ->
+      List.iter (Printf.eprintf "opt --check: %s\n") fs;
+      exit 1
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | [] ->
@@ -1049,10 +1232,11 @@ let () =
   | "obs" :: rest -> obs_bench ~check:(List.mem "--check" rest) ()
   | "analyze" :: rest -> analyze_bench ~check:(List.mem "--check" rest) ()
   | "serve" :: rest -> serve_bench ~check:(List.mem "--check" rest) ()
+  | "opt" :: rest -> opt_bench ~check:(List.mem "--check" rest) ()
   | args ->
     Printf.eprintf
       "usage: %s [exec [--check] | govern [--check] | obs [--check] | \
-       analyze [--check] | serve [--check]] (got: %s)\n"
+       analyze [--check] | serve [--check] | opt [--check]] (got: %s)\n"
       Sys.argv.(0)
       (String.concat " " args);
     exit 2

@@ -18,6 +18,34 @@ let setup_verbosity verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace optimizer goals.")
 
+(* Shared by run/serve/analyze: the uncertainty posture used to rank
+   plans during optimization and to resolve choose-plan operators at
+   start-up time.  Absent, each layer keeps its own default (worst-case
+   interval search; expected-cost start-up resolution). *)
+let risk_conv =
+  Arg.conv
+    ( (fun s ->
+        match D.Risk.of_string s with
+        | Some r -> Ok r
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "invalid risk posture %S (want expected|worst|quantile:P)" s))),
+      D.Risk.pp )
+
+let risk_arg =
+  Arg.(value & opt (some risk_conv) None
+       & info [ "risk" ] ~docv:"POSTURE"
+           ~env:(Cmd.Env.info "DQEP_RISK")
+           ~doc:"Cost-uncertainty posture: 'worst' ranks plans by their \
+                 interval worst case (the paper's search, the default), \
+                 'expected' by least expected cost over the scenario grid \
+                 (collapses incomparable near-ties into fewer choose-plan \
+                 alternatives), 'quantile:P' by the P-quantile for P in \
+                 [0,1]. Also steers start-up-time resolution of \
+                 choose-plan operators.")
+
 (* --- report -------------------------------------------------------------- *)
 
 let all_experiment_ids =
@@ -291,8 +319,14 @@ let run_cmd =
   in
   let run relations seed memory sels fault_rate fault_seed retries
       io_budget_factor engine workers deadline_ms memory_kb checkpoints
-      replan_tolerance max_replans json trace =
+      replan_tolerance max_replans json trace risk =
     let q = D.Queries.chain ~relations in
+    (* --risk steers both ends: the optimizer ranks plans under the
+       posture, and start-up resolution scalarizes alternative costs the
+       same way.  Without the flag both keep their defaults. *)
+    let opt_options =
+      Option.map (fun r -> { D.Optimizer.default_options with risk = r }) risk
+    in
     let bindings =
       match sels with
       | None ->
@@ -359,7 +393,7 @@ let run_cmd =
         ~io_budget_factor:(Option.value ~default:0. io_budget_factor)
         ?engine ?workers
         ?checkpoints:(if checkpoints then Some true else None)
-        ~checkpoint_tolerance:replan_tolerance ~max_replans ?replan ()
+        ~checkpoint_tolerance:replan_tolerance ~max_replans ?risk ?replan ()
     in
     (match deadline_ms with
     | Some d when d <= 0. ->
@@ -399,7 +433,10 @@ let run_cmd =
         code
       in
       finish @@
-      match D.Optimizer.optimize ~mode q.D.Queries.catalog q.D.Queries.query with
+      match
+        D.Optimizer.optimize ?options:opt_options ~mode q.D.Queries.catalog
+          q.D.Queries.query
+      with
       | Error e ->
         Printf.eprintf "%s: %s\n" label e;
         1
@@ -410,7 +447,8 @@ let run_cmd =
         let replan =
           if checkpoints then
             match
-              D.Reoptimize.prepare ~mode q.D.Queries.catalog q.D.Queries.query
+              D.Reoptimize.prepare ?options:opt_options ~mode
+                q.D.Queries.catalog q.D.Queries.query
             with
             | Ok (rt, _) -> Some (D.Reoptimize.replanner rt)
             | Error _ -> None
@@ -447,7 +485,11 @@ let run_cmd =
                       ("replans", D.Json.Int stats.D.Executor.replans);
                       ( "checkpoints_taken",
                         D.Json.Int rstats.D.Resilience.checkpoints_taken );
-                      ("resume_hits", D.Json.Int rstats.D.Resilience.resume_hits)
+                      ("resume_hits", D.Json.Int rstats.D.Resilience.resume_hits);
+                      ("choose_nodes", D.Json.Int stats.D.Executor.choose_nodes);
+                      ( "alternatives_pruned",
+                        D.Json.Int
+                          r.D.Optimizer.stats.D.Optimizer.alternatives_pruned )
                     ]))
           else begin
             Format.printf
@@ -466,6 +508,10 @@ let run_cmd =
               Format.printf "  checkpoints: %d taken, %d resume hits@."
                 rstats.D.Resilience.checkpoints_taken
                 rstats.D.Resilience.resume_hits;
+            Format.printf
+              "  plan: %d choose-plan operators, %d alternatives pruned@."
+              stats.D.Executor.choose_nodes
+              r.D.Optimizer.stats.D.Optimizer.alternatives_pruned;
             Format.printf "  exec: %a@." D.Exec_common.pp_profile
               stats.D.Executor.exec;
             Format.printf "  executed plan:@.  @[<v>%a@]@." D.Plan.pp
@@ -537,7 +583,7 @@ let run_cmd =
     Term.(const run $ relations_arg $ seed $ memory $ sels $ fault_rate
           $ fault_seed $ retries $ io_budget_factor $ engine $ workers
           $ deadline_ms $ memory_kb $ checkpoints $ replan_tolerance
-          $ max_replans $ json $ trace)
+          $ max_replans $ json $ trace $ risk_arg)
 
 (* --- sql ----------------------------------------------------------------- *)
 
@@ -623,7 +669,7 @@ let analyze_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List the corpus and exit.")
   in
-  let run strict json modes names list_flag budget_kb plangen verbose =
+  let run strict json modes names list_flag budget_kb plangen verbose risk =
     setup_verbosity verbose;
     let budget_bytes =
       match budget_kb with
@@ -688,7 +734,12 @@ let analyze_cmd =
       (match D.Logical.validate q.D.Queries.catalog q.D.Queries.query with
       | Ok () -> ()
       | Error diags -> report name mode_name "logical" diags);
-      let options = { D.Optimizer.default_options with verify = true } in
+      let options =
+        let base = { D.Optimizer.default_options with verify = true } in
+        match risk with
+        | None -> base
+        | Some r -> { base with D.Optimizer.risk = r }
+      in
       match D.Optimizer.optimize ~options ~mode q.D.Queries.catalog q.D.Queries.query with
       | exception D.Verify.Failed diags -> report name mode_name "optimize" diags
       | Error e ->
@@ -799,7 +850,7 @@ let analyze_cmd =
              resource certificates, fingerprint and pipeline lints), and \
              verification of resolved plans.")
     Term.(const run $ strict $ json $ modes_arg $ names $ list_flag
-          $ budget_kb_arg $ plangen_arg $ verbose_arg)
+          $ budget_kb_arg $ plangen_arg $ verbose_arg $ risk_arg)
 
 (* --- trace --------------------------------------------------------------- *)
 
@@ -891,7 +942,7 @@ let serve_cmd =
          & info [ "json" ]
              ~doc:"Emit the server's stats document as JSON.")
   in
-  let run requests clients shapes seed deadline_ms json =
+  let run requests clients shapes seed deadline_ms json risk =
     if requests < 1 || clients < 1 || shapes < 1 then begin
       Printf.eprintf "dqep serve: --requests, --clients and --shapes must be \
                       positive\n";
@@ -944,6 +995,7 @@ let serve_cmd =
                  memory_pages = None;
                  deadline_ms;
                  retries = None;
+                 risk;
                  sql = sql_of_shape (i mod shapes) }))
     in
     let responses = D.Serve.Server.run_batch server ~clients lines in
@@ -1044,7 +1096,7 @@ let serve_cmd =
              domains, then report the outcome tally or the server stats \
              as self-validated JSON.")
     Term.(const run $ requests_arg $ clients_arg $ shapes_arg $ seed_arg
-          $ deadline_ms_arg $ json)
+          $ deadline_ms_arg $ json $ risk_arg)
 
 (* --- catalog ------------------------------------------------------------- *)
 

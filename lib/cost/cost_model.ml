@@ -4,6 +4,7 @@ module Relation = Dqep_catalog.Relation
 module Physical = Dqep_algebra.Physical
 
 type input = { rows : Interval.t; bytes_per_row : int }
+type dist_input = { drows : Dist.t; dbytes_per_row : int }
 
 let pages_for env ~rows ~bytes_per_row =
   let page = float_of_int (Catalog.page_bytes (Env.catalog env)) in
@@ -38,16 +39,14 @@ let passes ~mem ~pages =
 let arity_error op =
   invalid_arg ("Cost_model.own_cost: bad inputs for " ^ Physical.name op)
 
-let own_cost env op ~inputs ~output_rows =
+(* The cost formula at one concrete parameter point: cardinalities and
+   the memory grant are plain floats here.  [own_cost] evaluates it at
+   the interval corners, [own_cost_dist] over the scenario grid — one
+   body, two uncertainty views.  Monotone non-decreasing in every row
+   count and non-increasing in [mem_v], which is what makes both views
+   agree on the hull. *)
+let point_cost env op ~arity ~in_rows ~in_width ~out ~mem_v =
   let d = Env.device env in
-  let mem = Env.memory_pages env in
-  (* Evaluate one corner: [sel] projects an interval to the relevant
-     bound for cardinalities/output, memory is taken at the opposite
-     bound (cost decreases with memory). *)
-  let corner sel mem_v =
-    let in_rows i = sel (List.nth inputs i).rows in
-    let in_width i = (List.nth inputs i).bytes_per_row in
-    let out = sel output_rows in
     match op with
     | Physical.File_scan rel ->
       let card, pages = rel_info env rel in
@@ -61,7 +60,7 @@ let own_cost env op ~inputs ~output_rows =
       +. (leaves *. d.Device.seq_page_io)
       +. (card *. (d.Device.random_page_io +. d.Device.cpu_per_tuple))
     | Physical.Filter _ ->
-      if List.length inputs <> 1 then arity_error op
+      if arity <> 1 then arity_error op
       else in_rows 0 *. d.Device.cpu_per_compare
     | Physical.Filter_btree_scan { rel; _ } ->
       (* [output_rows] is exactly the matching cardinality. *)
@@ -71,7 +70,7 @@ let own_cost env op ~inputs ~output_rows =
       +. (leaves_touched *. d.Device.seq_page_io)
       +. (out *. (d.Device.random_page_io +. d.Device.cpu_per_tuple))
     | Physical.Hash_join _ ->
-      if List.length inputs <> 2 then arity_error op
+      if arity <> 2 then arity_error op
       else begin
         let bl = in_rows 0 and br = in_rows 1 in
         let cpu = ((bl +. br +. out) *. d.Device.cpu_per_tuple) in
@@ -88,13 +87,13 @@ let own_cost env op ~inputs ~output_rows =
         end
       end
     | Physical.Merge_join _ ->
-      if List.length inputs <> 2 then arity_error op
+      if arity <> 2 then arity_error op
       else
         ((in_rows 0 +. in_rows 1)
          *. (d.Device.cpu_per_tuple +. d.Device.cpu_per_compare))
         +. (out *. d.Device.cpu_per_tuple)
     | Physical.Index_join { inner_rel; inner_attr; _ } ->
-      if List.length inputs <> 1 then arity_error op
+      if arity <> 1 then arity_error op
       else begin
         let outer = in_rows 0 in
         let inner_card, _ = rel_info env inner_rel in
@@ -111,7 +110,7 @@ let own_cost env op ~inputs ~output_rows =
         (outer *. per_probe) +. (out *. d.Device.cpu_per_tuple)
       end
     | Physical.Sort _ ->
-      if List.length inputs <> 1 then arity_error op
+      if arity <> 1 then arity_error op
       else begin
         let rows = in_rows 0 in
         let cpu =
@@ -123,12 +122,39 @@ let own_cost env op ~inputs ~output_rows =
           let n = passes ~mem:mem_v ~pages in
           cpu +. (2. *. pages *. d.Device.seq_page_io *. float_of_int n)
       end
-    | Physical.Choose_plan -> d.Device.choose_plan_overhead
+  | Physical.Choose_plan -> d.Device.choose_plan_overhead
+
+let own_cost env op ~inputs ~output_rows =
+  let mem = Env.memory_pages env in
+  (* Evaluate one corner: [sel] projects an interval to the relevant
+     bound for cardinalities/output, memory is taken at the opposite
+     bound (cost decreases with memory). *)
+  let corner sel mem_v =
+    point_cost env op ~arity:(List.length inputs)
+      ~in_rows:(fun i -> sel (List.nth inputs i).rows)
+      ~in_width:(fun i -> (List.nth inputs i).bytes_per_row)
+      ~out:(sel output_rows) ~mem_v
   in
   let lo = corner (fun (i : Interval.t) -> i.Interval.lo) mem.Interval.hi in
   let hi = corner (fun (i : Interval.t) -> i.Interval.hi) mem.Interval.lo in
   (* Guard against float noise breaking the interval invariant. *)
   Interval.make (Float.min lo hi) (Float.max lo hi)
+
+let own_cost_dist env op ~inputs ~output_rows =
+  (* Comonotone scenario evaluation: at grid level [q] every cardinality
+     sits at its [q]-quantile and memory at its [(1-q)]-quantile, so the
+     extreme levels are exactly [own_cost]'s two corners and the hull of
+     the result equals the interval cost. *)
+  let mem = Env.memory_pages_dist env in
+  let scenario q =
+    point_cost env op ~arity:(List.length inputs)
+      ~in_rows:(fun i -> Dist.quantile (List.nth inputs i).drows q)
+      ~in_width:(fun i -> (List.nth inputs i).dbytes_per_row)
+      ~out:(Dist.quantile output_rows q)
+      ~mem_v:(Dist.quantile mem (1. -. q))
+  in
+  Dist.make
+    (List.map (fun q -> (scenario q, 1.)) (Dist.scenario_levels ()))
 
 let choose_plan_cost env alternatives =
   match alternatives with
@@ -137,6 +163,17 @@ let choose_plan_cost env alternatives =
     let combined = List.fold_left Interval.combine_min first rest in
     Interval.add
       (Interval.point (Env.device env).Device.choose_plan_overhead)
+      combined
+
+let choose_plan_cost_dist env alternatives =
+  match alternatives with
+  | [] -> invalid_arg "Cost_model.choose_plan_cost_dist: no alternatives"
+  | first :: rest ->
+    (* Comonotone minimum: hull is [min lo, min hi] — exactly
+       [Interval.combine_min] of the hulls. *)
+    let combined = List.fold_left (Dist.lift2 Float.min) first rest in
+    Dist.add
+      (Dist.point (Env.device env).Device.choose_plan_overhead)
       combined
 
 (* CPU seconds to process [rows] tuples through one operator under the

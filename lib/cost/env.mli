@@ -27,6 +27,7 @@ val make :
 val dynamic :
   ?memory:Interval.t ->
   ?selectivity_bounds:(string * Interval.t) list ->
+  ?selectivity_dists:(string * Dist.t) list ->
   ?device:Device.t ->
   ?io_budget_factor:float ->
   Dqep_catalog.Catalog.t ->
@@ -35,8 +36,12 @@ val dynamic :
     gives a narrower interval for a host variable — the paper's Section 3
     point that the database implementor is free to model uncertainty more
     tightly when more is known (e.g. an application always passes small
-    limits).  Narrower intervals mean fewer incomparable plans.  Default
-    [memory] is the point 64 (memory certain); pass e.g.
+    limits).  Narrower intervals mean fewer incomparable plans.
+    [selectivity_dists] goes further and shapes the uncertainty {e
+    within} the bounds — per-predicate histograms from the feedback
+    pipeline ([Dqep_obs.Feedback.selectivity_dists]); it takes
+    precedence over [selectivity_bounds] for variables listed in both.
+    Default [memory] is the point 64 (memory certain); pass e.g.
     [Interval.make 16. 112.] to make it an uncertain parameter too. *)
 
 val static :
@@ -78,6 +83,14 @@ val refine : t -> selectivities:(string * Interval.t) list -> t
     bound.  Bands usually come from
     [Dqep_obs.Feedback.selectivity_bounds]. *)
 
+val refine_dists : t -> selectivities:(string * Dist.t) list -> t
+(** Distribution-shaped refinement: like {!refine} but each observation
+    is a histogram ([Dqep_obs.Feedback.selectivity_dists]), so the
+    refined environment carries {e where} inside the narrowed band the
+    realized selectivities concentrate.  The hull of each refined
+    distribution equals what {!refine} would produce from the hulls, so
+    interval consumers (dominance, certificates) see the same bounds. *)
+
 val io_budget_factor : t -> float
 (** How far observed physical I/O may exceed the anticipated cost before
     the resilient executor aborts the run ({!Dqep_exec.Resilience}):
@@ -88,9 +101,26 @@ val default_io_budget_factor : float
 
 val selectivity : t -> Dqep_algebra.Predicate.select -> Interval.t
 (** Selectivity of a selection predicate: the bound value as a point, or
-    the environment's interval for its host variable. *)
+    the environment's interval for its host variable.  Always the hull
+    of {!selectivity_dist}. *)
+
+val selectivity_dist : t -> Dqep_algebra.Predicate.select -> Dist.t
+(** The distribution behind {!selectivity}: a point mass for a bound
+    predicate, the environment's belief for a host variable. *)
+
+val memory_pages_dist : t -> Dist.t
+(** The distribution behind {!memory_pages} (its hull). *)
 
 val is_point : t -> bool
 (** Whether all parameters this environment ever returned or can return
     are points (memory is a point and host variables map to points);
     used only for reporting. *)
+
+val scenarios : t -> (float * t) list
+(** The environment's scenario grid: [Dist.default_levels] equally
+    weighted {e point} environments, scenario [j] binding every
+    selectivity to its [q_j]-quantile and memory to its
+    [(1 - q_j)]-quantile.  The extreme scenarios are exactly the two
+    corners the interval cost model evaluates, so any plan's cost under
+    any scenario lies within its interval cost — the soundness basis for
+    rank-based pruning ({!Dqep_optimizer.Search}). *)

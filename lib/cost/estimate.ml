@@ -29,6 +29,31 @@ let rec logical_rows env = function
   | Logical.Join (l, r, preds) ->
     join_rows env preds (logical_rows env l) (logical_rows env r)
 
+(* Distribution view of the same estimates.  Base cardinalities and join
+   selectivities are catalog knowledge (points), so only selections
+   inject uncertainty — shaped by the environment's per-predicate
+   distribution instead of flattened to its bounds.  Hulls agree with
+   the interval estimates by [Dist.mul]'s comonotone-lifting law. *)
+let base_rows_dist env rel =
+  Dist.point
+    (float_of_int
+       (Catalog.relation_exn (Env.catalog env) rel).Relation.cardinality)
+
+let select_rows_dist env pred rows =
+  Dist.mul (Env.selectivity_dist env pred) rows
+
+let join_rows_dist env preds rows_l rows_r =
+  Dist.scale
+    (List.fold_left (fun acc p -> acc *. one_join_selectivity env p) 1. preds)
+    (Dist.mul rows_l rows_r)
+
+let rec logical_rows_dist env = function
+  | Logical.Get_set r -> base_rows_dist env r
+  | Logical.Select (e, p) -> select_rows_dist env p (logical_rows_dist env e)
+  | Logical.Join (l, r, preds) ->
+    join_rows_dist env preds (logical_rows_dist env l)
+      (logical_rows_dist env r)
+
 let rel_row_bytes env rels =
   List.fold_left
     (fun acc rel ->

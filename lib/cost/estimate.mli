@@ -23,6 +23,23 @@ val join_rows :
 val logical_rows : Env.t -> Dqep_algebra.Logical.t -> Interval.t
 (** Output cardinality of a whole logical expression. *)
 
+(** {1 Distribution view}
+
+    The same estimates over the environment's selectivity distributions.
+    The hull of each result equals the corresponding interval estimate
+    (comonotone-lifting law of [Dist]), so these refine — never
+    contradict — the bounds above. *)
+
+val base_rows_dist : Env.t -> string -> Dist.t
+
+val select_rows_dist :
+  Env.t -> Dqep_algebra.Predicate.select -> Dist.t -> Dist.t
+
+val join_rows_dist :
+  Env.t -> Dqep_algebra.Predicate.equi list -> Dist.t -> Dist.t -> Dist.t
+
+val logical_rows_dist : Env.t -> Dqep_algebra.Logical.t -> Dist.t
+
 val row_bytes : Env.t -> Dqep_algebra.Logical.t -> int
 (** Width of result tuples: the sum of the record widths of all
     participating relations. *)

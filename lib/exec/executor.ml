@@ -20,6 +20,7 @@ type run_stats = {
   io : Buffer_pool.stats;
   cpu_seconds : float;
   resolved_plan : Plan.t;
+  choose_nodes : int;
   retries : int;
   faults_absorbed : int;
   budget_aborts : int;
@@ -516,12 +517,13 @@ let execute db env ?(gov = Governor.none) ?(obs = Trace.null)
     Batch_exec.run_plan db env ~gov ~obs ~materialized ~checkpoint ~workers
       ?on_batch plan
 
-let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers bindings
-    plan =
+let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers
+    ?(risk = Dqep_cost.Risk.Expected) bindings plan =
   let env = Env.of_bindings (Database.catalog db) bindings in
   let plan = check_feasible db env plan in
+  let choose_nodes = Plan.choose_count plan in
   let resolved =
-    if Plan.contains_choose plan then (Startup.resolve env plan).Startup.plan
+    if Plan.contains_choose plan then (Startup.resolve ~risk env plan).Startup.plan
     else plan
   in
   let pool = Database.pool db in
@@ -547,6 +549,7 @@ let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers bindings
       io = Buffer_pool.diff ~before ~after:(Buffer_pool.stats_of_trace rt);
       cpu_seconds;
       resolved_plan = resolved;
+      choose_nodes;
       retries = 0;
       faults_absorbed = 0;
       budget_aborts = 0;

@@ -15,6 +15,10 @@ type run_stats = {
   io : Dqep_storage.Buffer_pool.stats;  (** physical I/O delta of the run *)
   cpu_seconds : float;
   resolved_plan : Dqep_plans.Plan.t;  (** after choose-plan decisions *)
+  choose_nodes : int;
+      (** choose-plan operators the submitted plan carried (0 for a
+          static plan) — with [Optimizer.stats.alternatives_pruned],
+          how risk postures compare from the shell *)
   retries : int;  (** attempts repeated after a transient fault *)
   faults_absorbed : int;  (** injected faults survived without failing the run *)
   budget_aborts : int;  (** attempts aborted by the I/O budget guard *)
@@ -109,14 +113,18 @@ val run :
   ?obs:Dqep_obs.Trace.t ->
   ?engine:Exec_common.engine ->
   ?workers:int ->
+  ?risk:Dqep_cost.Risk.t ->
   Dqep_cost.Bindings.t ->
   Dqep_plans.Plan.t ->
   Iterator.tuple list * run_stats
 (** Resolve, execute and drain a plan, reporting I/O and CPU.
-    [gov]/[engine]/[workers] as in {!execute}.  The run records through
-    [obs] when one is supplied (the buffer pool is teed into it for the
-    duration, a "run" span brackets execution) and {!run_stats} is
-    computed as a view over the trace's counter deltas. *)
+    [gov]/[engine]/[workers] as in {!execute}.  [risk] scalarizes any
+    residual cost uncertainty during start-up resolution
+    ({!Dqep_plans.Startup.resolve}); default [Expected], which is the
+    historical behaviour.  The run records through [obs] when one is
+    supplied (the buffer pool is teed into it for the duration, a "run"
+    span brackets execution) and {!run_stats} is computed as a view over
+    the trace's counter deltas. *)
 
 val memory_pages : Dqep_cost.Env.t -> int
 (** The engine's working-memory budget under the environment. *)

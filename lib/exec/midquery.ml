@@ -198,6 +198,7 @@ let run db ?(gov = Governor.none) ?(obs = Trace.null) ?engine ?workers
             io = Buffer_pool.diff ~before ~after;
             cpu_seconds;
             resolved_plan = adapted.Startup.plan;
+            choose_nodes = Plan.choose_count plan;
             retries = 0;
             faults_absorbed = 0;
             budget_aborts = 0;

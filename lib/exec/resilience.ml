@@ -24,6 +24,7 @@ type config = {
   checkpoint_tolerance : float;
   max_replans : int;
   replan : (rels_rows:(string * float) list -> Dqep_plans.Plan.t option) option;
+  risk : Dqep_cost.Risk.t;
 }
 
 (* Checkpointing is strictly opt-in (per config or DQEP_CHECKPOINTS=1):
@@ -38,7 +39,7 @@ let config ?(max_retries = 2) ?(backoff_base = 0.01) ?(backoff_cap = 1.)
     ?(backoff_seed = 0x5eed) ?io_budget_factor ?(max_failovers = 8)
     ?(observe_on_failover = true) ?engine ?workers ?checkpoints
     ?(checkpoint_tolerance = Checkpoint.default_tolerance) ?(max_replans = 2)
-    ?replan () =
+    ?replan ?(risk = Dqep_cost.Risk.Expected) () =
   if max_retries < 0 then invalid_arg "Resilience.config: max_retries < 0";
   if backoff_cap <= 0. then invalid_arg "Resilience.config: backoff_cap <= 0";
   if max_failovers < 0 then invalid_arg "Resilience.config: max_failovers < 0";
@@ -54,7 +55,7 @@ let config ?(max_retries = 2) ?(backoff_base = 0.01) ?(backoff_cap = 1.)
   { max_retries; backoff_base; backoff_cap; backoff_seed; io_budget_factor;
     max_failovers;
     observe_on_failover; engine; workers; checkpoints; checkpoint_tolerance;
-    max_replans; replan }
+    max_replans; replan; risk }
 
 let default = config ()
 
@@ -288,6 +289,7 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
               io = Buffer_pool.diff ~before ~after;
               cpu_seconds;
               resolved_plan = resolution.Startup.plan;
+              choose_nodes = Dqep_plans.Plan.choose_count !current_plan;
               retries = Trace.get rt Counter.Retries - base_retries;
               faults_absorbed =
                 Trace.get rt Counter.Faults_absorbed - base_faults;
@@ -380,7 +382,7 @@ let run ?(config = default) ?(gov = Governor.none) ?(obs = Trace.null) db
       end
     and resolve_and_attempt ?last () =
       match
-        Startup.resolve
+        Startup.resolve ~risk:config.risk
           ~overrides:
             (Checkpoint.overrides_for ckpt db !current_plan @ !overrides)
           ~excluded:!excluded !mem_env !current_plan

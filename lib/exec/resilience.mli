@@ -82,6 +82,12 @@ type config = {
           failure instead.  {!Dqep_optimizer}'s [Reoptimize.replanner]
           is the intended callback — the supervisor itself stays free of
           an optimizer dependency. *)
+  risk : Dqep_cost.Risk.t;
+      (** risk posture handed to every start-up re-resolution
+          ({!Dqep_plans.Startup.resolve}): how residual cost uncertainty
+          (e.g. a lowered interval memory grant after a memory abort) is
+          scalarized when picking among choose-plan alternatives.
+          Default [Expected] — the historical midpoint behaviour *)
 }
 
 val config :
@@ -98,6 +104,7 @@ val config :
   ?checkpoint_tolerance:float ->
   ?max_replans:int ->
   ?replan:(rels_rows:(string * float) list -> Dqep_plans.Plan.t option) ->
+  ?risk:Dqep_cost.Risk.t ->
   unit ->
   config
 

@@ -128,8 +128,13 @@ let memory_pool t = t.pool
 let obs t = t.obs
 let feedback t = t.feedback
 
+(* Histogram-shaped refinement: the hull of every feedback histogram is
+   the band [selectivity_bounds] used to report, so interval consumers
+   of the refined env see exactly the pre-histogram narrowing, while
+   ranked-risk optimization additionally learns where inside each band
+   the realized selectivities concentrate. *)
 let refined_env t env =
-  Env.refine env ~selectivities:(Feedback.selectivity_bounds t.feedback)
+  Env.refine_dists env ~selectivities:(Feedback.selectivity_dists t.feedback)
 
 let stats t =
   Mutex.lock t.mu;

@@ -473,7 +473,7 @@ let serve_soak ?(clients = 4) ?(requests = 256) ?(seed = 1)
           (Protocol.Run
              { Protocol.id = Some i; bindings = [ ("u", u) ];
                memory_pages = Some (16 + (i mod 4 * 16)); deadline_ms;
-               retries = Some 1; sql = shapes.(shape) }))
+               retries = Some 1; risk = None; sql = shapes.(shape) }))
   in
   let responses = Server.run_batch server ~clients lines in
   let parsed =

@@ -1,8 +1,13 @@
 (** The per-session observation cache: what execution has taught us
     about this session's parameters and operators.
 
-    Two keyed families of running bands, each band the [\[min, max\]]
-    envelope of every value observed so far:
+    Two keyed families of running histograms.  Each histogram keeps the
+    exact [\[min, max\]] envelope of every value observed so far plus at
+    most [Dqep_cost.Dist.max_buckets] (value, count) buckets recording
+    where inside the envelope the observations fell; the extreme buckets
+    always sit exactly at the envelope's ends, so a histogram's hull IS
+    its band and every band-shaped consumer behaves as before the
+    histogram upgrade:
 
     - {e selectivities}, keyed by selectivity variable name — fed by
       start-up parameter bindings and realized operator selectivities;
@@ -34,12 +39,32 @@ val observe_rows : t -> key:string -> int -> unit
 val selectivity_band : t -> string -> Dqep_util.Interval.t option
 val rows_band : t -> string -> Dqep_util.Interval.t option
 
+val selectivity_dist : t -> string -> Dqep_cost.Dist.t option
+(** The variable's observation histogram as a distribution.  Its hull
+    equals {!selectivity_band}. *)
+
+val rows_dist : t -> string -> Dqep_cost.Dist.t option
+
 val selectivity_bounds : t -> (string * Dqep_util.Interval.t) list
 (** Every selectivity band, sorted by variable name. *)
 
 val cardinality_bounds : t -> (string * Dqep_util.Interval.t) list
 
+val selectivity_dists : t -> (string * Dqep_cost.Dist.t) list
+(** Every selectivity histogram, sorted by variable name; hulls equal
+    {!selectivity_bounds}.  Feed to [Dqep_cost.Env.refine_dists]. *)
+
+val cardinality_dists : t -> (string * Dqep_cost.Dist.t) list
+(** Every cardinality histogram, keyed by relation set; hulls feed
+    [Dqep_optimizer.Reoptimize.replan_bands]. *)
+
 val observations : t -> int
 (** Total number of recorded observations (not bands). *)
 
 val clear : t -> unit
+
+val absorb : into:t -> t -> unit
+(** [absorb ~into src] folds every histogram of [src] into [into]
+    (envelopes union, counts add, buckets merge and re-compact).  The
+    plan cache uses this to bank a shape's accumulated feedback into an
+    eviction-surviving side table. *)

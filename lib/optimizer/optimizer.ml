@@ -25,6 +25,8 @@ type options = {
   sample_seed : int;
   verify : bool;
   prune_dead : bool;
+  risk : Dqep_cost.Risk.t;
+  risk_margin : float;
 }
 
 let default_options =
@@ -38,7 +40,9 @@ let default_options =
     sample_domination = None;
     sample_seed = 42;
     verify = false;
-    prune_dead = false }
+    prune_dead = false;
+    risk = Dqep_cost.Risk.default;
+    risk_margin = 0.1 }
 
 type stats = {
   cpu_seconds : float;
@@ -51,6 +55,7 @@ type stats = {
   sample_evaluations : int;
   alternatives_pruned : int;
   plan_nodes : int;
+  choose_nodes : int;
 }
 
 type result = {
@@ -91,7 +96,8 @@ let optimize ?(options = default_options) ?refine ~mode catalog query =
         ~force_incomparable:options.exhaustive
         ~sample_domination:options.sample_domination
         ~sample_seed:options.sample_seed ~verify_winners:options.verify
-        ~prune_dead:options.prune_dead env
+        ~prune_dead:options.prune_dead ~risk:options.risk
+        ~risk_margin:options.risk_margin env
     in
     let memo = Memo.create env in
     let search_result, cpu_seconds =
@@ -125,4 +131,5 @@ let optimize ?(options = default_options) ?refine ~mode catalog query =
               pruned = s.Search.pruned;
               sample_evaluations = s.Search.sample_evaluations;
               alternatives_pruned = s.Search.alternatives_pruned;
-              plan_nodes = Plan.node_count plan } })
+              plan_nodes = Plan.node_count plan;
+              choose_nodes = Plan.choose_count plan } })

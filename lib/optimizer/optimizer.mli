@@ -52,6 +52,16 @@ type options = {
       (** drop choose alternatives no startup decision can ever select
           ({!Dqep_analysis.Analyses.survivors}) as winners are memoized —
           smaller dynamic plans, fewer run-time failover spares *)
+  risk : Dqep_cost.Risk.t;
+      (** ranking posture ({!Dqep_cost.Risk}): [Worst_case] (default)
+          is the paper's interval search bit-for-bit; [Expected] ranks
+          by least expected cost over the scenario grid and collapses
+          incomparable near-ties, [Quantile p] by the [p]-quantile *)
+  risk_margin : float;
+      (** relative near-tie retention for ranked postures (default 0.1):
+          plans within [(1 + risk_margin)] of the best rank stay as
+          choose alternatives; 0 degenerates to a single-plan optimizer.
+          Ignored under [Worst_case] *)
 }
 
 val default_options : options
@@ -66,8 +76,10 @@ type stats = {
   pruned : int;
   sample_evaluations : int;
   alternatives_pruned : int;
-      (** choose alternatives dropped as dead under [prune_dead] *)
+      (** choose alternatives dropped as dead under [prune_dead] or
+          collapsed as rank near-misses under a ranked [risk] posture *)
   plan_nodes : int;  (** size of the produced plan DAG *)
+  choose_nodes : int;  (** choose-plan operators in the produced plan *)
 }
 
 type result = {

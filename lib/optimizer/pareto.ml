@@ -3,8 +3,8 @@ module Plan = Dqep_plans.Plan
 
 type t = Plan.t list
 
-let insert ~keep_equal ?(force_incomparable = false) ?sample_dominates set
-    (plan : Plan.t) =
+let insert ~keep_equal ?(force_incomparable = false) ?sample_dominates ?rank
+    ?scenario_costs ?(margin = 0.) ?on_rank_drop set (plan : Plan.t) =
   if List.exists (fun (e : Plan.t) -> e.Plan.pid = plan.Plan.pid) set then
     (set, false)
   else if force_incomparable then (set @ [ plan ], true)
@@ -31,5 +31,61 @@ let insert ~keep_equal ?(force_incomparable = false) ?sample_dominates set
         | Some f -> f plan existing)
     in
     let survivors = List.filter (fun e -> not (dominates e)) set in
-    (survivors @ [ plan ], true)
+    match rank with
+    | None -> (survivors @ [ plan ], true)
+    | Some rk ->
+      (* Risk-ranked collapse: after interval dominance has had its say,
+         only plans whose rank is within [margin] of the set's best
+         survive — plus, per scenario of the grid, the plan achieving
+         that scenario's minimum cost whenever the kept set is more
+         than [margin] worse there.  Start-up resolution picks the
+         cheapest alternative per point environment, so this keeps the
+         group's resolved cost on every grid scenario within a
+         (1 + margin) factor of what interval incomparability would
+         have delivered; drops are redundant up to that tolerance, not
+         merely mid-ranked.  Everything reaching this point is pairwise
+         incomparable (or a kept equal), so every rank drop is a plan
+         interval mode would have retained — the callback lets the
+         search count them. *)
+      let candidates = survivors @ [ plan ] in
+      let best =
+        List.fold_left (fun acc p -> Float.min acc (rk p)) Float.infinity
+          candidates
+      in
+      let cutoff = (1. +. margin) *. best in
+      let kept = ref (List.filter (fun p -> rk p <= cutoff) candidates) in
+      (match scenario_costs with
+      | None -> ()
+      | Some vec ->
+        let scenarios =
+          List.fold_left (fun acc p -> max acc (Array.length (vec p))) 0
+            candidates
+        in
+        for j = 0 to scenarios - 1 do
+          let at p =
+            let v = vec p in
+            if j < Array.length v then v.(j) else Float.infinity
+          in
+          let mj =
+            List.fold_left (fun acc p -> Float.min acc (at p)) Float.infinity
+              candidates
+          in
+          let kept_mj =
+            List.fold_left (fun acc p -> Float.min acc (at p)) Float.infinity
+              !kept
+          in
+          if kept_mj > (1. +. margin) *. mj then
+            match List.find_opt (fun p -> at p <= mj) candidates with
+            | Some p -> kept := !kept @ [ p ]
+            | None -> ()
+        done);
+      let kept = !kept in
+      (* Restore candidate order: membership, not insertion order, was
+         what the retention pass decided. *)
+      let kept = List.filter (fun p -> List.memq p kept) candidates in
+      let dropped = List.filter (fun p -> not (List.memq p kept)) candidates in
+      (match on_rank_drop with
+      | None -> ()
+      | Some f -> List.iter f dropped);
+      (kept, List.memq plan kept)
   end

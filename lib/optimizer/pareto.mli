@@ -15,6 +15,10 @@ val insert :
   keep_equal:bool ->
   ?force_incomparable:bool ->
   ?sample_dominates:(Plan.t -> Plan.t -> bool) ->
+  ?rank:(Plan.t -> float) ->
+  ?scenario_costs:(Plan.t -> float array) ->
+  ?margin:float ->
+  ?on_rank_drop:(Plan.t -> unit) ->
   t ->
   Plan.t ->
   t * bool
@@ -22,4 +26,17 @@ val insert :
     dominates it, removing any plans it dominates; returns the new set
     and whether the plan was added.  [sample_dominates a b] — used for
     the paper's Section 3 heuristic — may declare [a] consistently
-    cheaper than [b] even when their intervals overlap. *)
+    cheaper than [b] even when their intervals overlap.
+
+    [rank] switches on risk-ranked collapse ({!Dqep_cost.Risk}): after
+    interval dominance is applied unchanged, only plans whose rank is
+    within [margin] (relative) of the set's best rank survive, plus —
+    when [scenario_costs] supplies each plan's start-up-resolved cost
+    per scenario of the environment's grid — one plan achieving each
+    scenario's minimum.  Preserving the per-scenario argmins makes
+    every drop redundant on the grid: resolution there picks the same
+    costs interval incomparability would have offered.  Because
+    everything at that point is pairwise interval-incomparable, each
+    drop is an alternative pure interval mode would have kept;
+    [on_rank_drop] is invoked once per such plan so callers can count
+    them.  Without [rank] the behaviour is exactly the paper's. *)

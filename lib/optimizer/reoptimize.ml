@@ -52,7 +52,8 @@ let prepare ?(options = Optimizer.default_options) ~mode catalog query =
         ~force_incomparable:options.Optimizer.exhaustive
         ~sample_domination:options.Optimizer.sample_domination
         ~sample_seed:options.Optimizer.sample_seed
-        ~verify_winners:options.Optimizer.verify env
+        ~verify_winners:options.Optimizer.verify ~risk:options.Optimizer.risk
+        ~risk_margin:options.Optimizer.risk_margin env
     in
     let memo = Memo.create env in
     let root = Memo.ingest memo query in
@@ -61,10 +62,7 @@ let prepare ?(options = Optimizer.default_options) ~mode catalog query =
     | None -> Error "optimization produced no plan"
     | Some plan -> Ok ({ memo; search; root; last = None }, plan))
 
-let replan t ~rels_rows =
-  match Memo.refine_rows t.memo rels_rows with
-  | [] -> None
-  | moved ->
+let replan_moved t moved =
     let n = Memo.group_count t.memo in
     let dirty = Array.make n false in
     List.iter (fun id -> dirty.(id) <- true) moved;
@@ -95,6 +93,21 @@ let replan t ~rels_rows =
           groups_dirty;
           reused_winners = reused };
     plan
+
+let replan t ~rels_rows =
+  match Memo.refine_rows t.memo rels_rows with
+  | [] -> None
+  | moved -> replan_moved t moved
+
+(* Feedback-histogram replanning: the observations are bands (hulls of
+   per-relation-set histograms accumulated by [Dqep_obs.Feedback]), not
+   exact counts — the session may have seen several executions of the
+   shape, each refining the band a little.  Same dirty-closure re-entry
+   as [replan]. *)
+let replan_bands t ~rels_bands =
+  match Memo.refine_rows_interval t.memo rels_bands with
+  | [] -> None
+  | moved -> replan_moved t moved
 
 let last_stats t = t.last
 

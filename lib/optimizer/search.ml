@@ -7,6 +7,7 @@ module Col = Dqep_algebra.Col
 module Catalog = Dqep_catalog.Catalog
 module Env = Dqep_cost.Env
 module Cost_model = Dqep_cost.Cost_model
+module Risk = Dqep_cost.Risk
 module Plan = Dqep_plans.Plan
 module Startup = Dqep_plans.Startup
 
@@ -27,15 +28,18 @@ type config = {
   sample_seed : int;
   verify_winners : bool;
   prune_dead : bool;
+  risk : Risk.t;
+  risk_margin : float;
 }
 
 let config ?(keep_equal_alternatives = true) ?(prune = true)
     ?(use_index_join = true) ?(left_deep_only = false)
     ?(force_incomparable = false) ?(sample_domination = None)
-    ?(sample_seed = 42) ?(verify_winners = false) ?(prune_dead = false) env =
+    ?(sample_seed = 42) ?(verify_winners = false) ?(prune_dead = false)
+    ?(risk = Risk.default) ?(risk_margin = 0.1) env =
   { env; keep_equal_alternatives; prune; use_index_join; left_deep_only;
     force_incomparable; sample_domination; sample_seed; verify_winners;
-    prune_dead }
+    prune_dead; risk; risk_margin }
 
 type stats = {
   goals : int;
@@ -54,6 +58,9 @@ type t = {
   winners : (int, (Props.required * entry) list) Hashtbl.t;
   sample_envs : Env.t list Lazy.t;
   sample_costs : (int * int, float) Hashtbl.t;
+  rank_envs : Startup.evaluator list Lazy.t;
+  rank_vectors : (int, float array) Hashtbl.t;
+  rank_costs : (int, float) Hashtbl.t;
   mutable goals : int;
   mutable candidates : int;
   mutable pruned : int;
@@ -91,6 +98,15 @@ let create config memo =
         | None -> []
         | Some n -> make_sample_envs config n);
     sample_costs = Hashtbl.create 256;
+    rank_envs =
+      lazy
+        (match config.risk with
+        | Risk.Worst_case -> []
+        | Risk.Expected | Risk.Quantile _ ->
+          List.map (fun (_, env) -> Startup.evaluator env)
+            (Env.scenarios config.env));
+    rank_vectors = Hashtbl.create 256;
+    rank_costs = Hashtbl.create 256;
     goals = 0;
     candidates = 0;
     pruned = 0;
@@ -149,6 +165,37 @@ let sample_cost t j env (plan : Plan.t) =
     Hashtbl.add t.sample_costs key c;
     c
 
+(* The policy's rank of a plan: its start-up-resolved cost under every
+   scenario of the environment's grid, aggregated by the risk posture.
+   Each scenario is a point environment inside the uncertainty box, and
+   start-up resolution picks the cheapest choose-plan alternative there,
+   so every scenario cost — and hence any aggregate of them — lies
+   within the plan's interval cost.  That containment is what keeps the
+   search's [lo > limit] pruning sound when the limit is tightened from
+   a rank (see [consider]). *)
+let scenario_vector t (plan : Plan.t) =
+  match Hashtbl.find_opt t.rank_vectors plan.Plan.pid with
+  | Some v -> v
+  | None ->
+    let v =
+      Array.of_list
+        (List.map
+           (fun ev ->
+             t.sample_evaluations <- t.sample_evaluations + 1;
+             Startup.evaluate_with ev plan)
+           (Lazy.force t.rank_envs))
+    in
+    Hashtbl.add t.rank_vectors plan.Plan.pid v;
+    v
+
+let rank t (plan : Plan.t) =
+  match Hashtbl.find_opt t.rank_costs plan.Plan.pid with
+  | Some r -> r
+  | None ->
+    let r = Risk.aggregate t.config.risk (scenario_vector t plan) in
+    Hashtbl.add t.rank_costs plan.Plan.pid r;
+    r
+
 (* [a] consistently at least as cheap as [b] over all sampled settings. *)
 let sample_dominates t a b =
   match Lazy.force t.sample_envs with
@@ -187,6 +234,24 @@ let rec optimize t gid required ~limit =
       | None -> None
       | Some _ -> Some (fun a b -> sample_dominates t a b)
     in
+    let rank_of =
+      match t.config.risk with
+      | Risk.Worst_case -> None
+      | Risk.Expected | Risk.Quantile _ -> Some (fun p -> rank t p)
+    in
+    let scenario_costs_of =
+      match rank_of with
+      | None -> None
+      | Some _ -> Some (fun p -> scenario_vector t p)
+    in
+    (* Per-scenario minima over the plans retained so far: a later
+       candidate whose optimistic bound clears every minimum can never
+       become a scenario winner, so the ranked limit below may tighten
+       to [max scenario_min] without losing grid optimality. *)
+    let scenario_min = ref [||] in
+    let on_rank_drop _ =
+      t.alternatives_pruned <- t.alternatives_pruned + 1
+    in
     let consider (plan : Plan.t) =
       t.candidates <- t.candidates + 1;
       if Props.satisfies plan.Plan.props required then begin
@@ -203,12 +268,41 @@ let rec optimize t gid required ~limit =
         else begin
           let set, added =
             Pareto.insert ~keep_equal:t.config.keep_equal_alternatives
-              ?sample_dominates:sample_dom !pareto plan
+              ?sample_dominates:sample_dom ?rank:rank_of
+              ?scenario_costs:scenario_costs_of
+              ~margin:t.config.risk_margin ~on_rank_drop !pareto plan
           in
           pareto := set;
-          if added && t.config.prune
-             && plan.Plan.total_cost.Interval.hi < !local_limit
-          then local_limit := plan.Plan.total_cost.Interval.hi
+          if added && t.config.prune then begin
+            (match rank_of with
+            | None ->
+              if plan.Plan.total_cost.Interval.hi < !local_limit then
+                local_limit := plan.Plan.total_cost.Interval.hi
+            | Some rk ->
+              (* Rank-based tightening: a plan with a lower bound above
+                 (1 + margin) x this rank can never be a margin
+                 near-tie (rank >= lo), and one whose lower bound
+                 clears every retained scenario minimum can never win a
+                 scenario — above both it could not survive the ranked
+                 Pareto filter, so pruning it early is pure savings. *)
+              let v = scenario_vector t plan in
+              if Array.length !scenario_min = 0 then
+                scenario_min := Array.copy v
+              else
+                Array.iteri
+                  (fun j c ->
+                    if c < !scenario_min.(j) then !scenario_min.(j) <- c)
+                  v;
+              let winner_bound =
+                Array.fold_left Float.max neg_infinity !scenario_min
+              in
+              let cutoff =
+                Float.max
+                  ((1. +. t.config.risk_margin) *. rk plan)
+                  winner_bound
+              in
+              if cutoff < !local_limit then local_limit := cutoff)
+          end
         end
       end
     in

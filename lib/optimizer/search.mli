@@ -42,6 +42,18 @@ type config = {
           the whole parameter space ({!Dqep_analysis.Analyses.survivors})
           before memoizing a winner — smaller dynamic plans at the cost
           of run-time failover spares *)
+  risk : Dqep_cost.Risk.t;
+      (** ranking posture.  [Worst_case] (the default) is the paper's
+          pure interval search, bit-for-bit; [Expected] / [Quantile _]
+          additionally rank incomparable survivors by their aggregated
+          scenario cost and keep only near-ties ({!Pareto.insert}'s
+          [rank] path), emitting strictly fewer choose alternatives *)
+  risk_margin : float;
+      (** relative near-tie retention margin for ranked postures: a plan
+          survives if its rank is within [(1 + risk_margin)] of the
+          goal's best rank.  0 keeps only rank winners (a traditional
+          single-plan optimizer); larger margins trade choose-plan
+          adaptivity back in.  Ignored under [Worst_case] *)
 }
 
 val config :
@@ -54,6 +66,8 @@ val config :
   ?sample_seed:int ->
   ?verify_winners:bool ->
   ?prune_dead:bool ->
+  ?risk:Dqep_cost.Risk.t ->
+  ?risk_margin:float ->
   Dqep_cost.Env.t ->
   config
 
@@ -61,9 +75,12 @@ type stats = {
   goals : int;  (** optimization goals evaluated (including cache hits) *)
   candidates : int;  (** physical plans considered *)
   pruned : int;  (** candidates cut by branch-and-bound *)
-  sample_evaluations : int;  (** plan evaluations for sampled domination *)
+  sample_evaluations : int;
+      (** plan evaluations for sampled domination and risk ranking *)
   alternatives_pruned : int;
-      (** choose alternatives dropped as dead under [prune_dead] *)
+      (** choose alternatives dropped as dead under [prune_dead], plus
+          interval-incomparable plans collapsed by the risk posture's
+          rank filter *)
 }
 
 type t

@@ -3,6 +3,7 @@ module Physical = Dqep_algebra.Physical
 module Env = Dqep_cost.Env
 module Estimate = Dqep_cost.Estimate
 module Cost_model = Dqep_cost.Cost_model
+module Risk = Dqep_cost.Risk
 module Timer = Dqep_util.Timer
 
 type stats = {
@@ -26,6 +27,7 @@ let () =
 
 type eval_state = {
   env : Env.t;
+  risk : Risk.t;
   overrides : (int * float) list;
   excluded : int list;
   memo : (int, node_value) Hashtbl.t;
@@ -113,16 +115,17 @@ let rec eval_node st (p : Plan.t) =
         let own = Cost_model.own_cost st.env p.Plan.op ~inputs:cm_inputs ~output_rows:rows in
         List.fold_left
           (fun acc v -> acc +. v.total)
-          (Interval.mid own) input_values
+          (Risk.scalarize st.risk own) input_values
     in
     let v = { rows; total } in
     Hashtbl.add st.memo p.Plan.pid v;
     v
 
-let evaluate ?(overrides = []) ?(excluded = []) env plan =
+let evaluate ?(risk = Risk.Expected) ?(overrides = []) ?(excluded = []) env
+    plan =
   let st =
-    { env; overrides; excluded; memo = Hashtbl.create 256; cost_evaluations = 0;
-      choose_decisions = 0 }
+    { env; risk; overrides; excluded; memo = Hashtbl.create 256;
+      cost_evaluations = 0; choose_decisions = 0 }
   in
   let v, cpu_seconds = Timer.cpu (fun () -> eval_node st plan) in
   ( v.total,
@@ -131,16 +134,25 @@ let evaluate ?(overrides = []) ?(excluded = []) env plan =
       choose_decisions = st.choose_decisions;
       cpu_seconds } )
 
+type evaluator = eval_state
+
+let evaluator ?(risk = Risk.Expected) ?(overrides = []) ?(excluded = []) env =
+  { env; risk; overrides; excluded; memo = Hashtbl.create 1024;
+    cost_evaluations = 0; choose_decisions = 0 }
+
+let evaluate_with st plan = (eval_node st plan).total
+
 type decision = {
   choose_pid : int;
   alternatives : (int * string * float) list;
   chosen_pid : int;
 }
 
-let explain ?(overrides = []) ?(excluded = []) env plan =
+let explain ?(risk = Risk.Expected) ?(overrides = []) ?(excluded = []) env
+    plan =
   let st =
-    { env; overrides; excluded; memo = Hashtbl.create 256; cost_evaluations = 0;
-      choose_decisions = 0 }
+    { env; risk; overrides; excluded; memo = Hashtbl.create 256;
+      cost_evaluations = 0; choose_decisions = 0 }
   in
   ignore (eval_node st plan);
   let decisions = ref [] in
@@ -186,8 +198,8 @@ let pp_decisions ppf decisions =
 
 let estimated_rows ?(overrides = []) env plan =
   let st =
-    { env; overrides; excluded = []; memo = Hashtbl.create 64;
-      cost_evaluations = 0; choose_decisions = 0 }
+    { env; risk = Risk.Expected; overrides; excluded = [];
+      memo = Hashtbl.create 64; cost_evaluations = 0; choose_decisions = 0 }
   in
   Interval.mid (eval_node st plan).rows
 
@@ -198,10 +210,11 @@ type resolution = {
   stats : stats;
 }
 
-let resolve ?(overrides = []) ?(excluded = []) env plan =
+let resolve ?(risk = Risk.Expected) ?(overrides = []) ?(excluded = []) env
+    plan =
   let st =
-    { env; overrides; excluded; memo = Hashtbl.create 256; cost_evaluations = 0;
-      choose_decisions = 0 }
+    { env; risk; overrides; excluded; memo = Hashtbl.create 256;
+      cost_evaluations = 0; choose_decisions = 0 }
   in
   let (), cpu_seconds = Timer.cpu (fun () -> ignore (eval_node st plan)) in
   (* Extraction is not part of the measured decision procedure; it is a
@@ -254,7 +267,7 @@ let resolve ?(overrides = []) ?(excluded = []) env plan =
   in
   let chosen = extract plan in
   (* Execution cost of the chosen plan, without decision overheads. *)
-  let exec_cost, _ = evaluate ~overrides env chosen in
+  let exec_cost, _ = evaluate ~risk ~overrides env chosen in
   { plan = chosen;
     anticipated_cost = exec_cost;
     choices = List.rev !choices;

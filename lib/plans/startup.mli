@@ -23,6 +23,7 @@ exception Exhausted of int
     needed. *)
 
 val evaluate :
+  ?risk:Dqep_cost.Risk.t ->
   ?overrides:(int * float) list ->
   ?excluded:int list ->
   Dqep_cost.Env.t ->
@@ -41,7 +42,32 @@ val evaluate :
     [excluded] lists pids of choose-plan {e alternatives} that must not
     be chosen — alternatives that failed at run-time
     ({!Dqep_exec.Resilience}'s failover) cost infinity, so the decision
-    falls on a surviving one. *)
+    falls on a surviving one.
+
+    [risk] scalarizes any residual cost uncertainty (e.g. an interval
+    memory grant during a lowered-memory re-resolution).  The default
+    [Expected] is the interval midpoint — the scalarization this module
+    has always used; under a fully bound point environment every posture
+    agrees. *)
+
+type evaluator
+(** A persistent evaluation state: the per-node memo survives across
+    {!evaluate_with} calls, so pricing many plans that share subplan
+    DAG nodes (the optimizer's rank machinery prices every candidate
+    under every scenario) costs only the nodes not seen before. *)
+
+val evaluator :
+  ?risk:Dqep_cost.Risk.t ->
+  ?overrides:(int * float) list ->
+  ?excluded:int list ->
+  Dqep_cost.Env.t ->
+  evaluator
+(** An evaluator for a fixed environment and decision parameters; the
+    cache is only valid for plans whose node pids are stable (one
+    builder). *)
+
+val evaluate_with : evaluator -> Plan.t -> float
+(** As the cost component of {!evaluate}, memoized across calls. *)
 
 val estimated_rows :
   ?overrides:(int * float) list -> Dqep_cost.Env.t -> Plan.t -> float
@@ -59,6 +85,7 @@ type resolution = {
 }
 
 val resolve :
+  ?risk:Dqep_cost.Risk.t ->
   ?overrides:(int * float) list ->
   ?excluded:int list ->
   Dqep_cost.Env.t ->
@@ -79,6 +106,7 @@ type decision = {
 }
 
 val explain :
+  ?risk:Dqep_cost.Risk.t ->
   ?overrides:(int * float) list ->
   ?excluded:int list ->
   Dqep_cost.Env.t ->

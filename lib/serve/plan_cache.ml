@@ -34,6 +34,7 @@ module Attribute = Dqep_catalog.Attribute
 module Index = Dqep_catalog.Index
 module Bindings = Dqep_cost.Bindings
 module Plan = Dqep_plans.Plan
+module Feedback = Dqep_obs.Feedback
 
 (* --- shape normalization -------------------------------------------------- *)
 
@@ -155,6 +156,13 @@ type t = {
   replan_threshold : int;
   mu : Mutex.t;
   entries : (string, entry) Hashtbl.t;
+  (* Per-shape run feedback (realized parameter selectivities, observed
+     cardinalities), deliberately NOT tied to plan entries: evicting or
+     invalidating a plan discards the plan, not what its runs measured,
+     so the re-optimization that follows an eviction still sees every
+     observation accumulated against the shape.  Each Feedback.t carries
+     its own lock; this table is only touched under [mu]. *)
+  feedback : (string, Feedback.t) Hashtbl.t;
   mutable clock : int;
   mutable s_hits : int;
   mutable s_misses : int;
@@ -168,8 +176,8 @@ let create ?(capacity = 64) ?(replan_threshold = 3) () =
   if replan_threshold < 1 then
     invalid_arg "Plan_cache.create: replan_threshold < 1";
   { capacity; replan_threshold; mu = Mutex.create ();
-    entries = Hashtbl.create 64; clock = 0; s_hits = 0; s_misses = 0;
-    s_evictions = 0; s_drift = 0; s_replan = 0 }
+    entries = Hashtbl.create 64; feedback = Hashtbl.create 64; clock = 0;
+    s_hits = 0; s_misses = 0; s_evictions = 0; s_drift = 0; s_replan = 0 }
 
 let locked t f =
   Mutex.lock t.mu;
@@ -245,6 +253,20 @@ let invalidate t ~key =
         true)
 
 let mem t ~key = locked t (fun () -> Hashtbl.mem t.entries key)
+
+let shape_feedback t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.feedback key with
+      | Some fb -> fb
+      | None ->
+        let fb = Feedback.create () in
+        Hashtbl.add t.feedback key fb;
+        fb)
+
+let absorb_feedback t ~key src =
+  Feedback.absorb ~into:(shape_feedback t ~key) src
+
+let feedback_shapes t = locked t (fun () -> Hashtbl.length t.feedback)
 
 let stats t =
   locked t (fun () ->

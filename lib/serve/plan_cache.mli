@@ -77,6 +77,28 @@ val invalidate : t -> key:string -> bool
 
 val mem : t -> key:string -> bool
 
+(** {1 Per-shape feedback}
+
+    A side table of {!Dqep_obs.Feedback} caches keyed by shape,
+    deliberately decoupled from the plan entries: LRU eviction, drift
+    invalidation and replan-storm eviction drop the {e plan}, never the
+    observations its runs deposited, so the re-optimization that follows
+    any eviction is still refined by everything measured against the
+    shape.  Bands only grow and merging is commutative, so concurrent
+    depositors compose. *)
+
+val shape_feedback : t -> key:string -> Dqep_obs.Feedback.t
+(** The shape's accumulated feedback, created empty on first use.
+    The returned cache is live (and itself thread-safe): observe into it
+    directly, or merge a whole run's cache with {!absorb_feedback}. *)
+
+val absorb_feedback : t -> key:string -> Dqep_obs.Feedback.t -> unit
+(** Fold an entire feedback cache (for example a completed run's) into
+    the shape's side-table entry via {!Dqep_obs.Feedback.absorb}. *)
+
+val feedback_shapes : t -> int
+(** Number of shapes holding accumulated feedback (never shrinks). *)
+
 type stats = {
   size : int;
   hits : int;

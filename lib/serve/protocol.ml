@@ -10,12 +10,15 @@
    Parsing never raises: malformed lines come back as [Error _] and the
    server turns them into an [Error_reply] with class "protocol". *)
 
+module Risk = Dqep_cost.Risk
+
 type run = {
   id : int option;
   bindings : (string * float) list;  (* host var -> selectivity *)
   memory_pages : int option;
   deadline_ms : float option;
   retries : int option;
+  risk : Risk.t option;  (* start-up resolution policy override *)
   sql : string;
 }
 
@@ -117,10 +120,17 @@ let parse_run rest =
       | "retries" ->
         let* t = int_of_wire v in
         Ok { r with retries = Some t }
+      | "risk" -> (
+        match Risk.of_string v with
+        | Some rk -> Ok { r with risk = Some rk }
+        | None ->
+          Error
+            (Printf.sprintf "malformed risk %S (want expected|worst|quantile:P)"
+               v))
       | _ -> Error (Printf.sprintf "unknown field %S" k))
     (Ok
        { id = None; bindings = []; memory_pages = None; deadline_ms = None;
-         retries = None; sql })
+         retries = None; risk = None; sql })
     fields
 
 let parse_request line =
@@ -160,6 +170,15 @@ let render_request = function
     Option.iter (fun m -> field "memory" (string_of_int m)) r.memory_pages;
     Option.iter (fun d -> field "deadline_ms" (float_to_wire d)) r.deadline_ms;
     Option.iter (fun t -> field "retries" (string_of_int t)) r.retries;
+    (* Quantile probabilities travel in %h like every other wire float,
+       so a rendered request round-trips its policy exactly. *)
+    Option.iter
+      (fun rk ->
+        field "risk"
+          (match rk with
+          | Risk.Quantile p -> "quantile:" ^ float_to_wire p
+          | rk -> Risk.to_string rk))
+      r.risk;
     field "sql" r.sql;
     Buffer.contents buf
 

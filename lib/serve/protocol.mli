@@ -5,7 +5,7 @@
 
     {v
     RUN [id=N] [set=hv:float,...] [memory=PAGES] [deadline_ms=F]
-        [retries=N] sql=SELECT ...
+        [retries=N] [risk=expected|worst|quantile:P] sql=SELECT ...
     STATS
     PING
     QUIT
@@ -32,6 +32,9 @@ type run = {
   memory_pages : int option;  (** start-up memory grant *)
   deadline_ms : float option;  (** wall-clock budget, queueing included *)
   retries : int option;  (** per-request retry budget (server clamps) *)
+  risk : Dqep_cost.Risk.t option;
+      (** start-up resolution policy for this request; the server's
+          configured resilience policy when absent *)
   sql : string;
 }
 

@@ -29,6 +29,9 @@ module Json = Dqep_util.Json
 module Stats_u = Dqep_util.Stats
 module Trace = Dqep_obs.Trace
 module Counter = Dqep_obs.Counter
+module Feedback = Dqep_obs.Feedback
+module Env = Dqep_cost.Env
+module Bindings = Dqep_cost.Bindings
 module Catalog = Dqep_catalog.Catalog
 module Database = Dqep_storage.Database
 module Sql = Dqep_sql.Sql
@@ -243,9 +246,19 @@ let handle_run t (run : Protocol.run) =
           match Sql.to_logical catalog (Plan_cache.generalize ast) with
           | Error e -> Error (`Client ("semantic", e))
           | Ok logical -> (
+            (* Refine first by the session's global observation cache,
+               then by this shape's own accumulated feedback — the side
+               table survives whatever eviction caused this miss, so a
+               shape that has run before is never re-optimized from the
+               cold catalog priors. *)
+            let refine env =
+              let env = Session.refined_env t.session env in
+              let shape_fb = Plan_cache.shape_feedback t.cache ~key in
+              Env.refine_dists env
+                ~selectivities:(Feedback.selectivity_dists shape_fb)
+            in
             match
-              Optimizer.optimize
-                ~refine:(Session.refined_env t.session)
+              Optimizer.optimize ~refine
                 ~mode:(Optimizer.dynamic ~uncertain_memory:true ())
                 catalog logical
             with
@@ -290,12 +303,20 @@ let handle_run t (run : Protocol.run) =
           in
           let resilience =
             let base = t.cfg.resilience in
-            match run.Protocol.retries with
+            let base =
+              match run.Protocol.retries with
+              | None -> base
+              | Some r ->
+                { base with
+                  Resilience.max_retries =
+                    Int.max 0 (Int.min r t.cfg.max_request_retries) }
+            in
+            (* Cached dynamic plans are risk-agnostic (optimized under
+               the server's default posture); a per-request risk only
+               steers start-up resolution of the choose-plan nodes. *)
+            match run.Protocol.risk with
             | None -> base
-            | Some r ->
-              { base with
-                Resilience.max_retries =
-                  Int.max 0 (Int.min r t.cfg.max_request_retries) }
+            | Some risk -> { base with Resilience.risk }
           in
           let db = t.acquire ~shape:key in
           let outcome =
@@ -317,6 +338,14 @@ let handle_run t (run : Protocol.run) =
             err t ~id ~class_:"internal" detail
           | Ok (Session.Completed (tuples, stats)) ->
             Breaker.success breaker;
+            (* Deposit the realized parameter selectivities into the
+               shape's eviction-surviving feedback: each bound parameter
+               is an exact observation of where in [0, 1] this shape's
+               traffic actually lands. *)
+            let shape_fb = Plan_cache.shape_feedback t.cache ~key in
+            List.iter
+              (fun (p, s) -> Feedback.observe_selectivity shape_fb p s)
+              bindings.Bindings.selectivities;
             if stats.Executor.replans > 0 then note_replan t ~key;
             let ms = (t.cfg.clock () -. t0) *. 1000. in
             record_latency t ~cached ms;

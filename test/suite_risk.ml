@@ -1,0 +1,191 @@
+(* Risk postures end to end.
+
+   Three pins:
+   - worst-case mode IS the pre-refactor optimizer: dynamic plans for
+     120 generated instances and the five paper queries match the
+     seed-locked digests in [Fixture_worstcase] bit-for-bit;
+   - ranked postures only change WHICH plans are kept, never what they
+     compute: plans optimized and resolved under every posture execute
+     multiset-equal to the naive reference evaluator;
+   - the expected-cost posture earns its keep: across the corpus it
+     emits strictly fewer choose-plan alternatives than interval search
+     while never emitting more on any single instance. *)
+
+module D = Dqep
+
+(* Digest the canonical access-module encoding, not [Plan.pp]: pids are
+   process-global, so a pp-based digest would depend on how many plans
+   earlier suites happened to build. *)
+let digest_plan plan =
+  Digest.to_hex (Digest.string (D.Access_module.encode plan))
+
+let optimize_exn ?options ~mode (q : D.Queries.t) =
+  match D.Optimizer.optimize ?options ~mode q.D.Queries.catalog q.D.Queries.query with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "optimize failed: %s" e
+
+let queries_of_instance (inst : D.Plangen.instance) =
+  { D.Queries.id = 0; relations = 0; query = inst.D.Plangen.query;
+    host_vars = inst.D.Plangen.host_vars; catalog = inst.D.Plangen.catalog }
+
+let with_risk risk = { D.Optimizer.default_options with risk }
+
+(* --- worst-case is bit-for-bit the pre-refactor search -------------------- *)
+
+let test_worstcase_fixture_plangen () =
+  List.iter
+    (fun (seed, digest, chooses) ->
+      let q = queries_of_instance (D.Plangen.generate ~seed) in
+      let r = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+      Alcotest.(check string)
+        (Printf.sprintf "plangen seed %d digest" seed)
+        digest (digest_plan r.D.Optimizer.plan);
+      Alcotest.(check int)
+        (Printf.sprintf "plangen seed %d choose count" seed)
+        chooses
+        (D.Plan.choose_count r.D.Optimizer.plan))
+    Fixture_worstcase.plangen_dynamic
+
+let test_worstcase_fixture_paper () =
+  List.iter
+    (fun (q : D.Queries.t) ->
+      let digest, chooses =
+        match List.assoc_opt q.D.Queries.id
+                (List.map (fun (i, d, c) -> (i, (d, c)))
+                   Fixture_worstcase.paper_dynamic)
+        with
+        | Some dc -> dc
+        | None -> Alcotest.failf "no fixture for paper query %d" q.D.Queries.id
+      in
+      let r = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+      Alcotest.(check string)
+        (Printf.sprintf "paper query %d digest" q.D.Queries.id)
+        digest (digest_plan r.D.Optimizer.plan);
+      Alcotest.(check int)
+        (Printf.sprintf "paper query %d choose count" q.D.Queries.id)
+        chooses
+        (D.Plan.choose_count r.D.Optimizer.plan))
+    (D.Queries.paper_queries ())
+
+let test_worstcase_options_identical () =
+  (* Passing Worst_case explicitly is the same search as the default
+     options (the rank machinery is gated off entirely). *)
+  List.iter
+    (fun seed ->
+      let q = queries_of_instance (D.Plangen.generate ~seed) in
+      let base = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+      let explicit =
+        optimize_exn ~options:(with_risk D.Risk.Worst_case)
+          ~mode:(D.Optimizer.dynamic ()) q
+      in
+      Alcotest.(check string) "same plan"
+        (digest_plan base.D.Optimizer.plan)
+        (digest_plan explicit.D.Optimizer.plan))
+    [ 3; 17; 42; 99 ]
+
+(* --- differential execution under every posture --------------------------- *)
+
+let postures =
+  [ ("worst", D.Risk.Worst_case); ("expected", D.Risk.Expected);
+    ("q90", D.Risk.Quantile 0.9) ]
+
+let test_differential_all_postures () =
+  (* 40 generated instances x 3 postures = 120 optimized-and-executed
+     plans, every one multiset-equal to the reference evaluator. *)
+  for seed = 1 to 40 do
+    let inst = D.Plangen.generate ~seed in
+    let q = queries_of_instance inst in
+    let db = D.Database.build ~seed q.D.Queries.catalog in
+    let b = D.Plangen.bindings inst ~seed:(seed * 7 + 1) in
+    let ref_schema, expected = D.Reference.eval db b q.D.Queries.query in
+    let reference = D.Reference.normalize ref_schema expected in
+    List.iter
+      (fun (label, risk) ->
+        let r =
+          optimize_exn ~options:(with_risk risk)
+            ~mode:(D.Optimizer.dynamic ()) q
+        in
+        let tuples, stats = D.Executor.run db ~risk b r.D.Optimizer.plan in
+        let schema =
+          D.Plan.schema q.D.Queries.catalog stats.D.Executor.resolved_plan
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d %s matches reference" seed label)
+          true
+          (D.Reference.multiset_equal reference
+             (D.Reference.normalize schema tuples)))
+      postures
+  done
+
+(* --- expected-cost mode prunes, never inflates ---------------------------- *)
+
+let test_expected_emits_fewer_chooses () =
+  let targets =
+    D.Queries.paper_queries ()
+    @ List.init 30 (fun i ->
+          queries_of_instance (D.Plangen.generate ~seed:(i + 1)))
+  in
+  let total_worst = ref 0 and total_expected = ref 0 in
+  List.iter
+    (fun q ->
+      let worst = optimize_exn ~mode:(D.Optimizer.dynamic ()) q in
+      let expected =
+        optimize_exn ~options:(with_risk D.Risk.Expected)
+          ~mode:(D.Optimizer.dynamic ()) q
+      in
+      let cw = D.Plan.choose_count worst.D.Optimizer.plan in
+      let ce = D.Plan.choose_count expected.D.Optimizer.plan in
+      Alcotest.(check bool) "never more choose nodes than interval search"
+        true (ce <= cw);
+      total_worst := !total_worst + cw;
+      total_expected := !total_expected + ce;
+      (* Every rank-collapsed near-tie is accounted for. *)
+      if ce < cw then
+        Alcotest.(check bool) "pruning is attributed" true
+          (expected.D.Optimizer.stats.D.Optimizer.alternatives_pruned > 0))
+    targets;
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer in aggregate (%d < %d)" !total_expected
+       !total_worst)
+    true
+    (!total_expected < !total_worst)
+
+(* --- start-up resolution follows the posture ------------------------------ *)
+
+let test_resolution_respects_posture () =
+  (* Resolution under explicit postures agrees with the posture's
+     scalarization of the alternatives' cost intervals: worst-case
+     resolution never anticipates more than the quantile-0 optimist. *)
+  let q = D.Queries.chain ~relations:3 in
+  let r =
+    optimize_exn ~mode:(D.Optimizer.dynamic ~uncertain_memory:true ()) q
+  in
+  let env =
+    D.Env.of_bindings q.D.Queries.catalog
+      (D.Bindings.make
+         ~selectivities:(List.map (fun hv -> (hv, 0.4)) q.D.Queries.host_vars)
+         ~memory_pages:32)
+  in
+  let anticipated risk =
+    (D.Startup.resolve ~risk env r.D.Optimizer.plan).D.Startup.anticipated_cost
+  in
+  let worst = anticipated D.Risk.Worst_case in
+  let expected = anticipated D.Risk.Expected in
+  let optimist = anticipated (D.Risk.Quantile 0.) in
+  Alcotest.(check bool) "optimist <= expected" true (optimist <= expected);
+  Alcotest.(check bool) "expected <= worst" true (expected <= worst)
+
+let suite =
+  ( "risk",
+    [ Alcotest.test_case "worst-case fixture: 120 plangen plans" `Slow
+        test_worstcase_fixture_plangen;
+      Alcotest.test_case "worst-case fixture: paper queries" `Quick
+        test_worstcase_fixture_paper;
+      Alcotest.test_case "explicit Worst_case = default search" `Quick
+        test_worstcase_options_identical;
+      Alcotest.test_case "differential: all postures match reference" `Slow
+        test_differential_all_postures;
+      Alcotest.test_case "expected-cost emits fewer choose nodes" `Slow
+        test_expected_emits_fewer_chooses;
+      Alcotest.test_case "resolution respects the posture" `Quick
+        test_resolution_respects_posture ] )

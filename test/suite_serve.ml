@@ -29,13 +29,14 @@ let chain_sql n =
        (Printf.sprintf "%s.%s <= :u" (rel 1) D.Paper_catalog.select_attr
        :: joins))
 
-let run_request ?(u = 0.3) ?id ?deadline_ms ?retries sql =
+let run_request ?(u = 0.3) ?id ?deadline_ms ?retries ?risk sql =
   P.Run
     { P.id;
       bindings = [ ("u", u) ];
       memory_pages = Some 64;
       deadline_ms;
       retries;
+      risk;
       sql }
 
 let make_server ?config catalog =
@@ -54,21 +55,31 @@ let request_gen =
   let open QCheck.Gen in
   let name = map (Printf.sprintf "hv%d") (int_range 0 99) in
   let sel = float_range 0. 1. in
+  let risk =
+    opt
+      (oneof
+         [ return D.Risk.Expected;
+           return D.Risk.Worst_case;
+           map (fun p -> D.Risk.Quantile p) (float_range 0. 1.) ])
+  in
   let run =
     map
-      (fun (id, bindings, memory, deadline, retries) ->
+      (fun ((id, bindings, memory, deadline, retries), risk) ->
         P.Run
           { P.id;
             bindings;
             memory_pages = memory;
             deadline_ms = deadline;
             retries;
+            risk;
             sql = "SELECT * FROM R1, R2 WHERE R1.a <= :hv0 AND R1.jr = R2.jl" })
-      (tup5 (opt (int_range 0 10000))
-         (list_size (int_range 0 4) (pair name sel))
-         (opt (int_range 1 512))
-         (opt (float_range 0.001 5000.))
-         (opt (int_range 0 9)))
+      (pair
+         (tup5 (opt (int_range 0 10000))
+            (list_size (int_range 0 4) (pair name sel))
+            (opt (int_range 1 512))
+            (opt (float_range 0.001 5000.))
+            (opt (int_range 0 9)))
+         risk)
   in
   frequency [ (6, run); (1, return P.Stats); (1, return P.Ping); (1, return P.Quit) ]
 
